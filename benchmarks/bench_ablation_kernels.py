@@ -1,0 +1,39 @@
+"""Ablation: cracking-kernel choice and bucket block size.
+
+Not a paper artefact, but an ablation of two design choices DESIGN.md calls
+out: the partition kernel used when cracking a piece and the block size of
+the linked bucket lists (the paper's ``sb``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cracking.kernels import partition_predicated, partition_two_sided
+from repro.progressive.blocks import BlockList
+
+
+@pytest.mark.parametrize("kernel", [partition_predicated, partition_two_sided])
+def test_ablation_partition_kernels(benchmark, kernel):
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1_000_000, size=500_000)
+
+    def crack():
+        working = values.copy()
+        return kernel(working, 500_000)
+
+    boundary = benchmark(crack)
+    assert 0 < boundary < values.size
+
+
+@pytest.mark.parametrize("block_size", [1_024, 4_096, 16_384])
+def test_ablation_bucket_block_size(benchmark, block_size):
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 1_000_000, size=200_000)
+
+    def fill_and_scan():
+        blocks = BlockList(block_size=block_size)
+        blocks.append_array(values)
+        return blocks.scan(0, 500_000).count
+
+    count = benchmark(fill_and_scan)
+    assert count == int((values <= 500_000).sum())

@@ -1,0 +1,34 @@
+"""Figure 10: per-query time series of PQ vs. the best cracking comparators."""
+
+import numpy as np
+
+from repro.experiments.skyserver_comparison import run_figure10
+from repro.experiments.reporting import render_figure10
+
+
+def test_fig10_per_query_series(benchmark, bench_config):
+    executions = benchmark.pedantic(
+        run_figure10, args=(bench_config,), rounds=1, iterations=1
+    )
+    print("\n" + render_figure10(executions, head=15))
+
+    progressive = executions["PQ"]
+    for cracking_name in ("AA", "PSTC"):
+        cracking = executions[cracking_name]
+        # The cracking comparators start with a (much) more expensive first
+        # query than the budget-paced progressive index.
+        assert cracking.records[0].elapsed_seconds > progressive.records[0].elapsed_seconds
+
+    # Progressive Quicksort converges during the workload and its per-query
+    # cost drops to index-lookup level afterwards.
+    converged_at = progressive.metrics().convergence_query
+    assert converged_at is not None
+    times = progressive.times()
+    if converged_at < len(times) - 10:
+        assert np.median(times[converged_at:]) < np.median(times[:converged_at])
+
+    benchmark.extra_info["pq_converged_at"] = converged_at
+    benchmark.extra_info["first_query_seconds"] = {
+        name: round(execution.records[0].elapsed_seconds, 5)
+        for name, execution in executions.items()
+    }

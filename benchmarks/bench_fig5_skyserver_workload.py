@@ -1,0 +1,21 @@
+"""Figure 5: shape of the SkyServer-like data set and query log.
+
+Benchmarks the workload generator itself and records the two shape statistics
+the experiment relies on: the skew of the value distribution (Figure 5a) and
+the spatial clustering of the query log (Figure 5b).
+"""
+
+from repro.experiments.workload_figures import figure5_summary
+
+
+def test_fig5_skyserver_inputs(benchmark, bench_config):
+    summary = benchmark.pedantic(
+        figure5_summary, args=(bench_config,), rounds=1, iterations=1
+    )
+    # Figure 5a: the right-ascension distribution is strongly non-uniform.
+    assert summary.distribution_skew() > 1.5
+    # Figure 5b: consecutive queries stay spatially close (drifting focus).
+    assert summary.workload_drift() < 0.2
+    benchmark.extra_info["distribution_skew"] = round(summary.distribution_skew(), 2)
+    benchmark.extra_info["workload_drift"] = round(summary.workload_drift(), 4)
+    benchmark.extra_info["n_queries"] = summary.n_queries

@@ -1,0 +1,31 @@
+"""Figure 6: the synthetic workload patterns.
+
+Benchmarks the pattern generators and checks the defining property of each
+pattern (sweep direction, zoom behaviour, skew concentration, periodicity).
+"""
+
+import numpy as np
+
+from repro.experiments.workload_figures import figure6_summary
+
+
+def test_fig6_synthetic_patterns(benchmark, bench_config):
+    series = benchmark.pedantic(figure6_summary, args=(bench_config,), rounds=1, iterations=1)
+    assert len(series) == 8
+
+    # SeqOver sweeps forward, wrapping around once it reaches the end of the
+    # domain: the overwhelming majority of steps move to the right.
+    seq_lows = np.array([low for low, _ in series["SeqOver"]])
+    forward_steps = (np.diff(seq_lows) > 0).mean()
+    assert forward_steps > 0.8
+
+    zoom_widths = [high - low for low, high in series["ZoomIn"]]
+    assert zoom_widths[0] > zoom_widths[-1]
+
+    zoom_out_widths = [high - low for low, high in series["ZoomOutAlt"]]
+    assert zoom_out_widths[-1] > zoom_out_widths[0]
+
+    skew_centres = np.array([(low + high) / 2 for low, high in series["Skew"]])
+    assert ((skew_centres > 0.35) & (skew_centres < 0.65)).mean() > 0.7
+
+    benchmark.extra_info["patterns"] = sorted(series)

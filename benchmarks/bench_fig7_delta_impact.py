@@ -1,0 +1,43 @@
+"""Figure 7: impact of the delta parameter on the progressive indexes.
+
+Regenerates the four panels (first-query time, pay-off, convergence,
+cumulative time) over a delta grid and checks the qualitative shape reported
+in the paper.
+"""
+
+from repro.experiments.delta_impact import run_delta_impact
+from repro.experiments.reporting import render_delta_impact
+
+
+def test_fig7_delta_impact(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_delta_impact,
+        args=(bench_config,),
+        kwargs={"deltas": (0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_delta_impact(result))
+
+    for algorithm in result.algorithms():
+        rows = result.for_algorithm(algorithm)
+        # Figure 7a: the first query gets more expensive as delta grows.
+        assert rows[-1].first_query_seconds > rows[0].first_query_seconds
+        # Figure 7c: with delta = 1 the index converges within a handful of
+        # queries; with the smallest delta it takes (much) longer, if at all.
+        assert rows[-1].convergence_query is not None
+        small_delta_convergence = rows[0].convergence_query
+        assert small_delta_convergence is None or (
+            rows[-1].convergence_query <= small_delta_convergence
+        )
+
+    # Figure 7a: Bucketsort is hit hardest by a large delta, Quicksort least.
+    first_query_at_max_delta = {
+        algorithm: result.for_algorithm(algorithm)[-1].first_query_seconds
+        for algorithm in result.algorithms()
+    }
+    assert first_query_at_max_delta["PQ"] <= first_query_at_max_delta["PB"]
+
+    benchmark.extra_info["first_query_at_delta_1"] = {
+        name: round(value, 5) for name, value in first_query_at_max_delta.items()
+    }

@@ -1,0 +1,28 @@
+"""Figure 8: cost-model validation with a fixed indexing budget (delta = 0.25).
+
+Runs the SkyServer-like workload with every progressive index and compares
+the measured per-query time against the cost-model prediction.
+"""
+
+from repro.experiments.cost_model_validation import run_cost_model_validation
+from repro.experiments.reporting import render_cost_model_validation
+
+
+def test_fig8_fixed_budget_cost_model(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_cost_model_validation,
+        args=(bench_config,),
+        kwargs={"adaptive": False},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_cost_model_validation(result))
+    for algorithm in result.algorithms():
+        series = result.series[algorithm]
+        # The cost model must track the measured per-query behaviour: a clear
+        # positive correlation over the whole workload.
+        assert series.correlation() > 0.3, algorithm
+        benchmark.extra_info[f"{algorithm}_correlation"] = round(series.correlation(), 3)
+        benchmark.extra_info[f"{algorithm}_relative_error"] = round(
+            series.mean_relative_error(), 2
+        )

@@ -1,0 +1,37 @@
+"""Figure 9: cost-model validation with the adaptive indexing budget.
+
+Runs the SkyServer-like workload with the adaptive budget (t_budget = 0.2 x
+t_scan) and checks the defining property of Figure 9: the per-query time
+stays approximately constant until the index converges, then drops.
+"""
+
+import numpy as np
+
+from repro.experiments.cost_model_validation import run_cost_model_validation
+from repro.experiments.reporting import render_cost_model_validation
+
+
+def test_fig9_adaptive_budget_cost_model(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_cost_model_validation,
+        args=(bench_config,),
+        kwargs={"adaptive": True},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_cost_model_validation(result))
+    for algorithm in result.algorithms():
+        series = result.series[algorithm]
+        phases = np.array(series.phases)
+        measured = series.measured_seconds
+        converged = phases == "converged"
+        building = ~converged
+        if converged.any() and building.sum() >= 5:
+            # Queries after convergence are (much) cheaper than the paced
+            # queries issued while the index was still being built.
+            assert np.median(measured[converged]) < np.median(measured[building])
+            benchmark.extra_info[f"{algorithm}_speedup_after_convergence"] = round(
+                float(np.median(measured[building]) / max(np.median(measured[converged]), 1e-9)),
+                1,
+            )
+        benchmark.extra_info[f"{algorithm}_converged"] = bool(converged.any())

@@ -1,0 +1,48 @@
+"""Table 2: full SkyServer-like workload comparison across all algorithms."""
+
+from repro.experiments.skyserver_comparison import run_skyserver_comparison
+from repro.experiments.reporting import render_table2
+
+
+def test_table2_skyserver_comparison(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_skyserver_comparison, args=(bench_config,), rounds=1, iterations=1
+    )
+    print("\n" + render_table2(result))
+
+    progressive = ("PQ", "PMSD", "PLSD", "PB")
+    cracking = ("STD", "STC", "PSTC", "CGI", "AA")
+
+    # The full scan never converges and has the cheapest first query.
+    assert result.row("FS").convergence_query is None
+    # The full index converges immediately but has by far the most expensive
+    # first query among the baselines and progressive methods.
+    assert result.row("FI").convergence_query == 1
+    assert result.row("FI").first_query_seconds > result.row("FS").first_query_seconds
+
+    for name in progressive:
+        row = result.row(name)
+        # Progressive indexes converge within the workload...
+        assert row.convergence_query is not None
+        # ...and their first query stays within a small factor of a scan,
+        # well below the full-index stall.
+        assert row.first_query_seconds < result.row("FI").first_query_seconds
+    for name in cracking:
+        # Adaptive indexing never reaches a converged state.
+        assert result.row(name).convergence_query is None
+
+    # Robustness: progressive indexing has (orders of magnitude) lower
+    # variance than the cracking family.
+    best_progressive = min(result.row(name).robustness_variance for name in progressive)
+    worst_cracking = max(result.row(name).robustness_variance for name in cracking)
+    assert best_progressive < worst_cracking
+
+    for name in result.algorithms():
+        row = result.row(name)
+        benchmark.extra_info[name] = {
+            "first_query_s": round(row.first_query_seconds, 5),
+            "first_query_vs_scan": round(row.first_query_scan_ratio, 1),
+            "convergence": row.convergence_query,
+            "robustness_var": float(f"{row.robustness_variance:.3e}"),
+            "cumulative_s": round(row.cumulative_seconds, 3),
+        }

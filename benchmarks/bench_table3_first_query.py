@@ -1,0 +1,32 @@
+"""Table 3: first-query cost on the synthetic workload grid."""
+
+from repro.experiments.reporting import render_synthetic_table
+
+
+def test_table3_first_query_cost(benchmark, synthetic_comparison):
+    result = synthetic_comparison
+
+    def derive():
+        return {
+            block: result.table("first_query_seconds", block) for block in result.blocks()
+        }
+
+    tables = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print("\n" + render_synthetic_table(result, "first_query_seconds", "Table 3: first query cost (s)"))
+
+    for block, table in tables.items():
+        for pattern, values in table.items():
+            progressive = [values[name] for name in ("PQ", "PB", "PLSD", "PMSD") if name in values]
+            if "AA" not in values or not progressive:
+                continue
+            # Paper: every progressive index has a (much) cheaper first query
+            # than adaptive adaptive indexing, which copies and partitions the
+            # whole column up front.
+            assert min(progressive) < values["AA"], (block, pattern)
+
+    uniform = tables.get("uniform", {})
+    if uniform:
+        sample = next(iter(uniform.values()))
+        benchmark.extra_info["uniform_first_query_s"] = {
+            name: round(value, 5) for name, value in sample.items()
+        }

@@ -1,0 +1,48 @@
+"""Table 4: cumulative workload time on the synthetic grid."""
+
+from repro.experiments.reporting import render_synthetic_table
+
+
+def test_table4_cumulative_time(benchmark, synthetic_comparison):
+    result = synthetic_comparison
+
+    def derive():
+        return {
+            block: result.winners("cumulative_seconds", block) for block in result.blocks()
+        }
+
+    winners = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print("\n" + render_synthetic_table(result, "cumulative_seconds", "Table 4: cumulative time (s)"))
+
+    # Paper: for point queries the LSD intermediate index is usable from the
+    # start, so PLSD stays much closer to the winner on point workloads than
+    # on range workloads.  At scaled-down sizes the constant per-query
+    # overhead shifts the absolute ratios (see EXPERIMENTS.md), so the ratios
+    # are recorded rather than asserted; the relative claim (point gap <
+    # range gap) is asserted below.
+    point_table = result.table("cumulative_seconds", "point")
+    point_ratios = [
+        values["PLSD"] / min(values.values())
+        for values in point_table.values()
+        if "PLSD" in values
+    ]
+    range_table = result.table("cumulative_seconds", "uniform")
+    range_ratios = [
+        values["PLSD"] / min(values.values())
+        for values in range_table.values()
+        if "PLSD" in values
+    ]
+    if point_ratios and range_ratios:
+        assert sum(point_ratios) / len(point_ratios) <= sum(range_ratios) / len(range_ratios)
+        benchmark.extra_info["plsd_point_gap"] = round(sum(point_ratios) / len(point_ratios), 2)
+        benchmark.extra_info["plsd_range_gap"] = round(sum(range_ratios) / len(range_ratios), 2)
+
+    # Paper: for range queries PLSD is the weakest progressive method because
+    # its buckets cannot prune range predicates before convergence.
+    uniform = result.table("cumulative_seconds", "uniform")
+    for pattern, values in uniform.items():
+        others = [values[name] for name in ("PQ", "PB", "PMSD") if name in values]
+        if "PLSD" in values and others:
+            assert values["PLSD"] >= min(others), pattern
+
+    benchmark.extra_info["winners"] = winners

@@ -1,0 +1,34 @@
+"""Table 5: robustness (variance of the first 100 query times) on the synthetic grid."""
+
+import numpy as np
+
+from repro.experiments.reporting import render_synthetic_table
+
+
+def test_table5_robustness(benchmark, synthetic_comparison):
+    result = synthetic_comparison
+
+    def derive():
+        return {
+            block: result.table("robustness_variance", block) for block in result.blocks()
+        }
+
+    tables = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print("\n" + render_synthetic_table(result, "robustness_variance", "Table 5: robustness (variance)"))
+
+    # Paper: progressive indexing is (orders of magnitude) more robust than
+    # adaptive indexing because the per-query indexing penalty is controlled.
+    ratios = []
+    for block, table in tables.items():
+        for pattern, values in table.items():
+            progressive = [values[name] for name in ("PQ", "PB", "PLSD", "PMSD") if name in values]
+            if "AA" not in values or not progressive:
+                continue
+            best_progressive = min(progressive)
+            if best_progressive > 0:
+                ratios.append(values["AA"] / best_progressive)
+            assert best_progressive <= values["AA"], (block, pattern)
+    if ratios:
+        benchmark.extra_info["median_AA_vs_best_progressive_variance_ratio"] = round(
+            float(np.median(ratios)), 1
+        )

@@ -1,0 +1,50 @@
+"""Shared configuration and cached experiment runs for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The synthetic
+grid feeds three tables (Tables 3, 4 and 5), so it is executed once per
+pytest session and cached here; all other experiments are timed directly by
+their benchmark.
+
+The scale can be adjusted from the command line::
+
+    pytest benchmarks/ --benchmark-only --bench-elements 1000000 --bench-queries 300
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.synthetic_comparison import run_synthetic_comparison
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("progressive-indexes benchmarks")
+    group.addoption(
+        "--bench-elements", type=int, default=300_000,
+        help="column size used by the benchmark experiments",
+    )
+    group.addoption(
+        "--bench-large-elements", type=int, default=1_000_000,
+        help="column size of the large (paper: 10^9) experiment block",
+    )
+    group.addoption(
+        "--bench-queries", type=int, default=150,
+        help="number of queries per workload",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config(request) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_elements=request.config.getoption("--bench-elements"),
+        n_elements_large=request.config.getoption("--bench-large-elements"),
+        n_queries=request.config.getoption("--bench-queries"),
+        calibrate_constants=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_comparison(bench_config):
+    """Tables 3-5 source data (the grid is executed once per session)."""
+    return run_synthetic_comparison(bench_config)

@@ -1,0 +1,67 @@
+"""Quickstart: index a column progressively while querying it.
+
+Creates a table with one numeric column, lets the Figure 11 decision tree
+pick a progressive indexing algorithm, and runs a stream of range queries.
+Every query stays within the configured indexing budget (20% of a scan) and
+the index converges to a full B+-tree as a side effect of the workload.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Column, IndexingSession, Predicate
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n_elements = 1_000_000
+
+    print(f"Generating a column with {n_elements:,} uniformly distributed integers...")
+    data = rng.integers(0, n_elements, size=n_elements, dtype=np.int64)
+    session = IndexingSession(Column(data, name="measurement"))
+
+    # Let the decision tree pick the algorithm (uniform integer data and a
+    # range-query workload recommend Progressive Radixsort MSD).
+    index = session.create_index("measurement", budget_fraction=0.2)
+    print(f"Decision tree selected: {index.describe()}")
+
+    print("\nRunning 200 range queries (selectivity 1%)...")
+    width = n_elements // 100
+    previous_phase = None
+    for query_number in range(1, 201):
+        low = int(rng.integers(0, n_elements - width))
+        started = time.perf_counter()
+        result = session.between("measurement", low, low + width)
+        elapsed = (time.perf_counter() - started) * 1000
+        phase = index.phase.value
+        if phase != previous_phase:
+            print(f"  query {query_number:>4}: phase -> {phase}")
+            previous_phase = phase
+        if query_number in (1, 10, 50, 100, 200):
+            print(
+                f"  query {query_number:>4}: {result.count:>8,} rows, "
+                f"sum={result.value_sum:>16,}  ({elapsed:.2f} ms)"
+            )
+
+    print("\nIndex status after the workload:")
+    for column_name, status in session.status().items():
+        print(f"  {column_name}: {status}")
+
+    # Verify the final answer against a plain NumPy scan.
+    predicate = Predicate(1_000, 1_000 + width)
+    result = session.between("measurement", predicate.low, predicate.high)
+    mask = (data >= predicate.low) & (data <= predicate.high)
+    assert result.count == int(mask.sum())
+    assert result.value_sum == data[mask].sum()
+    print("\nAnswers verified against a full scan — done.")
+
+
+if __name__ == "__main__":
+    main()

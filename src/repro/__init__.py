@@ -1,0 +1,110 @@
+"""Progressive Indexes — a reproduction of Holanda et al., VLDB 2019.
+
+This package re-implements "Progressive Indexes: Indexing for Interactive
+Data Analysis" (PVLDB 12(13), 2019) as a stand-alone Python library:
+
+* the four progressive indexing algorithms (Quicksort, Radixsort MSD,
+  Radixsort LSD, Bucketsort) with their per-phase cost models and the fixed /
+  adaptive indexing budgets (:mod:`repro.progressive`, :mod:`repro.core`);
+* the adaptive-indexing comparators from the database-cracking family
+  (:mod:`repro.cracking`) and the full-scan / full-index baselines
+  (:mod:`repro.baselines`);
+* the B+-tree substrate (:mod:`repro.btree`);
+* the synthetic and SkyServer-like workload generators
+  (:mod:`repro.workloads`);
+* the execution engine, metrics and the Figure 11 decision tree
+  (:mod:`repro.engine`);
+* drivers regenerating every table and figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Column, IndexingSession
+>>> data = np.random.default_rng(0).integers(0, 1_000_000, size=100_000)
+>>> session = IndexingSession(Column(data, name="ra"))
+>>> session.create_index("ra", method="PQ", budget_fraction=0.2)   # doctest: +ELLIPSIS
+<repro.progressive.quicksort.ProgressiveQuicksort object at ...>
+>>> answer = session.between("ra", 1_000, 50_000)
+>>> answer.count == int(((data >= 1_000) & (data <= 50_000)).sum())
+True
+"""
+
+from repro.baselines import FullIndex, FullScan
+from repro.btree import BPlusTree, CascadeTree
+from repro.core import (
+    AdaptiveBudget,
+    CostConstants,
+    CostModel,
+    FixedBudget,
+    IndexPhase,
+    Predicate,
+    QueryResult,
+    calibrate,
+    point,
+    range_query,
+    simulated_constants,
+)
+from repro.cracking import (
+    AdaptiveAdaptiveIndexing,
+    CoarseGranularIndex,
+    ProgressiveStochasticCracking,
+    StandardCracking,
+    StochasticCracking,
+)
+from repro.engine import (
+    ALGORITHMS,
+    IndexingSession,
+    WorkloadExecutor,
+    create_index,
+    recommend_index,
+)
+from repro.progressive import (
+    ProgressiveBucketsort,
+    ProgressiveQuicksort,
+    ProgressiveRadixsortLSD,
+    ProgressiveRadixsortMSD,
+)
+from repro.storage import Column, Table
+from repro.workloads import Workload, generate_pattern, skyserver_data, skyserver_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AdaptiveAdaptiveIndexing",
+    "AdaptiveBudget",
+    "BPlusTree",
+    "CascadeTree",
+    "CoarseGranularIndex",
+    "Column",
+    "CostConstants",
+    "CostModel",
+    "FixedBudget",
+    "FullIndex",
+    "FullScan",
+    "IndexPhase",
+    "IndexingSession",
+    "Predicate",
+    "ProgressiveBucketsort",
+    "ProgressiveQuicksort",
+    "ProgressiveRadixsortLSD",
+    "ProgressiveRadixsortMSD",
+    "ProgressiveStochasticCracking",
+    "QueryResult",
+    "StandardCracking",
+    "StochasticCracking",
+    "Table",
+    "Workload",
+    "WorkloadExecutor",
+    "calibrate",
+    "create_index",
+    "generate_pattern",
+    "point",
+    "range_query",
+    "recommend_index",
+    "simulated_constants",
+    "skyserver_data",
+    "skyserver_workload",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Non-adaptive baselines: predicated full scan and a-priori full index."""
+
+from repro.baselines.full_index import FullIndex
+from repro.baselines.full_scan import FullScan
+
+__all__ = ["FullIndex", "FullScan"]

@@ -1,0 +1,30 @@
+"""Full-scan baseline (paper: "FS").
+
+Every query performs a predicated scan of the entire column; no index is
+ever constructed.  This is the most robust and the cheapest-first-query
+baseline of the paper's evaluation, but its cumulative cost grows linearly
+with the number of queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+
+
+class FullScan(BaseIndex):
+    """Answer every query with a predicated scan of the base column."""
+
+    name = "FS"
+    description = "Predicated full scan (no index)"
+
+    @property
+    def phase(self) -> IndexPhase:
+        # A full scan never builds an index, so it never leaves the inactive
+        # state; it also never converges.
+        return IndexPhase.INACTIVE
+
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        self.last_stats.predicted_cost = self._cost_model.scan_time(len(self._column))
+        return self._scan_column(predicate)

@@ -1,0 +1,16 @@
+"""B+-tree substrate.
+
+Two flavours are provided:
+
+* :class:`~repro.btree.bplus_tree.BPlusTree` — a node-based B+-tree with bulk
+  loading, point/range lookups and single-value inserts.  The full-index
+  baseline bulk loads the column into this structure on its first query.
+* :class:`~repro.btree.cascade.CascadeTree` — the implicit "copy every β-th
+  element to a parent level" structure that the consolidation phase of the
+  progressive indexes builds on top of their fully sorted array.
+"""
+
+from repro.btree.bplus_tree import BPlusTree
+from repro.btree.cascade import CascadeTree
+
+__all__ = ["BPlusTree", "CascadeTree"]

@@ -1,0 +1,217 @@
+"""A node-based B+-tree with bulk loading, lookups and inserts.
+
+The full-index baseline of the paper "bulk loads the data into a B+-tree
+after which the B+-tree is used to answer subsequent queries"; this module
+provides that structure.  It indexes the values of a single column (the
+queries aggregate the indexed attribute itself) and supports:
+
+* :meth:`BPlusTree.bulk_load` — build the tree bottom-up from sorted data;
+* :meth:`BPlusTree.range_query` — ``SUM``/``COUNT`` over an inclusive range;
+* :meth:`BPlusTree.point_query` — aggregate of a single value;
+* :meth:`BPlusTree.insert` — single-value insert with node splits (not used
+  by the paper's read-only experiments, provided for library completeness).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.query import Predicate, QueryResult
+from repro.btree.node import InnerNode, LeafNode
+
+#: Default tree fanout (paper: β = 64 in the consolidation discussion).
+DEFAULT_FANOUT = 64
+
+
+class BPlusTree:
+    """A B+-tree over numeric values.
+
+    Parameters
+    ----------
+    fanout:
+        Maximum number of children per inner node and values per leaf.
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self.fanout = int(fanout)
+        self.root: Optional[object] = None
+        self._first_leaf: Optional[LeafNode] = None
+        self._size = 0
+        self._height = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree, 1 for a single leaf)."""
+        return self._height
+
+    @property
+    def first_leaf(self) -> Optional[LeafNode]:
+        """Leftmost leaf (entry point for full leaf-level scans)."""
+        return self._first_leaf
+
+    def iter_leaves(self):
+        """Iterate over the leaves left to right."""
+        leaf = self._first_leaf
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next_leaf
+
+    def to_array(self) -> np.ndarray:
+        """All stored values in sorted order."""
+        chunks = [leaf.values for leaf in self.iter_leaves() if leaf.size]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes used by leaves and inner nodes."""
+        leaf_bytes = sum(leaf.values.nbytes for leaf in self.iter_leaves())
+        # Inner nodes are small; estimate 16 bytes per key plus pointers.
+        inner_bytes = 0
+        stack = [self.root] if self.root is not None and not self.root.is_leaf else []
+        while stack:
+            node = stack.pop()
+            inner_bytes += 16 * len(node.keys) + 8 * len(node.children)
+            for child in node.children:
+                if not child.is_leaf:
+                    stack.append(child)
+        return leaf_bytes + inner_bytes
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, sorted_values: np.ndarray, fanout: int = DEFAULT_FANOUT) -> "BPlusTree":
+        """Build a tree bottom-up from ``sorted_values`` (must be sorted)."""
+        tree = cls(fanout=fanout)
+        values = np.asarray(sorted_values)
+        tree._size = int(values.size)
+        if values.size == 0:
+            return tree
+        leaves: List[LeafNode] = []
+        for start in range(0, values.size, fanout):
+            leaves.append(LeafNode(values[start : start + fanout]))
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        tree._first_leaf = leaves[0]
+        tree._height = 1
+        level: List[object] = list(leaves)
+        while len(level) > 1:
+            parents: List[object] = []
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                keys = [tree._smallest_value(child) for child in group[1:]]
+                parents.append(InnerNode(keys, group))
+            level = parents
+            tree._height += 1
+        tree.root = level[0]
+        return tree
+
+    @staticmethod
+    def _smallest_value(node: object):
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.smallest
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, value, side: str = "right") -> Optional[LeafNode]:
+        node = self.root
+        if node is None:
+            return None
+        while not node.is_leaf:
+            node = node.child_for(value, side=side)
+        return node
+
+    def range_query(self, low, high) -> QueryResult:
+        """Aggregate (sum, count) of values in ``[low, high]``."""
+        if self.root is None or low > high:
+            return QueryResult.empty()
+        # Descend with the "left" convention so duplicates of ``low`` that
+        # spill into an earlier leaf are not skipped.
+        leaf = self._descend_to_leaf(low, side="left")
+        total_sum = 0
+        total_count = 0
+        while leaf is not None:
+            values = leaf.values
+            if values.size:
+                if values[0] > high:
+                    break
+                lo = int(np.searchsorted(values, low, side="left"))
+                hi = int(np.searchsorted(values, high, side="right"))
+                if hi > lo:
+                    segment = values[lo:hi]
+                    total_sum = total_sum + segment.sum()
+                    total_count += int(segment.size)
+                if hi < values.size:
+                    break
+            leaf = leaf.next_leaf
+        return QueryResult(total_sum, total_count)
+
+    def point_query(self, value) -> QueryResult:
+        """Aggregate of all occurrences of ``value``."""
+        return self.range_query(value, value)
+
+    def query(self, predicate: Predicate) -> QueryResult:
+        """Answer a :class:`~repro.core.query.Predicate`."""
+        return self.range_query(predicate.low, predicate.high)
+
+    def contains(self, value) -> bool:
+        """Whether ``value`` occurs in the tree."""
+        return self.point_query(value).count > 0
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+    def insert(self, value) -> None:
+        """Insert a single value, splitting nodes as required."""
+        self._size += 1
+        if self.root is None:
+            leaf = LeafNode(np.asarray([value]))
+            self.root = leaf
+            self._first_leaf = leaf
+            self._height = 1
+            return
+        split = self._insert_recursive(self.root, value)
+        if split is not None:
+            key, right_node = split
+            self.root = InnerNode([key], [self.root, right_node])
+            self._height += 1
+
+    def _insert_recursive(self, node: object, value):
+        if node.is_leaf:
+            position = int(np.searchsorted(node.values, value, side="right"))
+            node.values = np.insert(node.values, position, value)
+            if node.values.size <= self.fanout:
+                return None
+            middle = node.values.size // 2
+            right = LeafNode(node.values[middle:], next_leaf=node.next_leaf)
+            node.values = node.values[:middle]
+            node.next_leaf = right
+            return right.values[0], right
+        child_index = node.child_index_for(value)
+        split = self._insert_recursive(node.children[child_index], value)
+        if split is None:
+            return None
+        key, right_child = split
+        node.keys.insert(child_index, key)
+        node.children.insert(child_index + 1, right_child)
+        if len(node.children) <= self.fanout:
+            return None
+        middle = len(node.children) // 2
+        push_up_key = node.keys[middle - 1]
+        right = InnerNode(node.keys[middle:], node.children[middle:])
+        node.keys = node.keys[: middle - 1]
+        node.children = node.children[:middle]
+        return push_up_key, right

@@ -1,0 +1,129 @@
+"""Implicit B+-tree cascade over a sorted array.
+
+The consolidation phase of every progressive index "progressively constructs
+a B+-tree from [the sorted array]" by copying every β-th element of a level
+into its parent level.  The resulting read-only structure is an implicit
+B+-tree: a stack of ever-smaller sorted arrays where a lookup descends from
+the top level, narrowing the candidate window in the level below to about one
+fanout of elements per step, and finishes with a binary search inside a small
+window of the leaf array.  :class:`CascadeTree` is that structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.query import Predicate, QueryResult
+
+#: Default fanout β of the cascade.
+DEFAULT_FANOUT = 64
+
+
+class CascadeTree:
+    """An implicit B+-tree built from a sorted leaf array.
+
+    Parameters
+    ----------
+    leaf_values:
+        The fully sorted array of indexed values (level 0).
+    fanout:
+        β — each upper level samples every β-th element of the level below.
+    levels:
+        Optional pre-built upper levels, ordered bottom-up
+        (``levels[0]`` samples the leaf array, ``levels[i]`` samples
+        ``levels[i-1]``).  Used by the progressive consolidator, which builds
+        them incrementally; when omitted the levels are built eagerly.
+    """
+
+    def __init__(
+        self,
+        leaf_values: np.ndarray,
+        fanout: int = DEFAULT_FANOUT,
+        levels: List[np.ndarray] | None = None,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self.fanout = int(fanout)
+        self.leaf_values = np.asarray(leaf_values)
+        if levels is None:
+            self.levels = self.build_levels(self.leaf_values, self.fanout)
+        else:
+            self.levels = list(levels)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_levels(leaf_values: np.ndarray, fanout: int) -> List[np.ndarray]:
+        """Build the upper levels by sampling every ``fanout``-th element."""
+        levels: List[np.ndarray] = []
+        current = np.asarray(leaf_values)
+        while current.size > fanout:
+            current = current[::fanout].copy()
+            levels.append(current)
+        return levels
+
+    @staticmethod
+    def copied_elements(n_elements: int, fanout: int) -> int:
+        """Total elements copied into upper levels (paper: ``N_copy``)."""
+        total = 0
+        current = n_elements
+        while current > fanout:
+            current = (current + fanout - 1) // fanout
+            total += current
+        return total
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of levels including the leaf array."""
+        return len(self.levels) + 1
+
+    def __len__(self) -> int:
+        return int(self.leaf_values.size)
+
+    def memory_footprint(self) -> int:
+        """Bytes used by the upper levels (the leaf array is shared)."""
+        return sum(level.nbytes for level in self.levels)
+
+    # ------------------------------------------------------------------
+    def _leaf_position(self, value, side: str) -> int:
+        """Position of ``value`` in the leaf array via cascade descent.
+
+        Each level narrows the candidate window in the level below to roughly
+        one fanout of elements, so the total number of elements inspected is
+        ``O(fanout * height)`` regardless of the column size.
+        """
+        # Arrays ordered top-down, each followed by its child array.
+        chain = list(reversed(self.levels)) + [self.leaf_values]
+        lo = 0
+        hi = chain[0].size
+        for depth, level in enumerate(chain):
+            window = level[lo:hi]
+            position = lo + int(np.searchsorted(window, value, side=side))
+            if depth == len(chain) - 1:
+                return position
+            child = chain[depth + 1]
+            lo = max(0, (position - 1) * self.fanout)
+            hi = min(child.size, position * self.fanout + 1)
+        return 0  # pragma: no cover - chain is never empty
+
+    # ------------------------------------------------------------------
+    def range_query(self, low, high) -> QueryResult:
+        """Aggregate (sum, count) of leaf values in ``[low, high]``."""
+        if self.leaf_values.size == 0 or low > high:
+            return QueryResult.empty()
+        lo = self._leaf_position(low, side="left")
+        hi = self._leaf_position(high, side="right")
+        if hi <= lo:
+            return QueryResult.empty()
+        segment = self.leaf_values[lo:hi]
+        return QueryResult(segment.sum(), int(segment.size))
+
+    def point_query(self, value) -> QueryResult:
+        """Aggregate of all occurrences of ``value``."""
+        return self.range_query(value, value)
+
+    def query(self, predicate: Predicate) -> QueryResult:
+        """Answer a :class:`~repro.core.query.Predicate`."""
+        return self.range_query(predicate.low, predicate.high)

@@ -1,0 +1,86 @@
+"""Nodes of the node-based B+-tree.
+
+The tree stores the indexed values themselves (the paper's queries aggregate
+the indexed attribute, so no separate row identifiers are needed).  Leaves
+keep their values in small sorted NumPy arrays and are chained left-to-right
+so range queries can walk the leaf level; inner nodes store separator keys
+and child pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class LeafNode:
+    """A leaf holding a sorted run of values.
+
+    Attributes
+    ----------
+    values:
+        Sorted NumPy array of the values stored in this leaf.
+    next_leaf:
+        The leaf immediately to the right, or ``None`` for the last leaf.
+    """
+
+    __slots__ = ("values", "next_leaf")
+
+    is_leaf = True
+
+    def __init__(self, values: np.ndarray, next_leaf: Optional["LeafNode"] = None) -> None:
+        self.values = np.asarray(values)
+        self.next_leaf = next_leaf
+
+    @property
+    def size(self) -> int:
+        """Number of values stored in the leaf."""
+        return int(self.values.size)
+
+    @property
+    def smallest(self):
+        """Smallest value in the leaf (used as separator during splits)."""
+        return self.values[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LeafNode(size={self.size})"
+
+
+class InnerNode:
+    """An inner node routing lookups through separator keys.
+
+    ``children[i]`` holds values ``< keys[i]``; ``children[-1]`` holds values
+    ``>= keys[-1]``.  Keys are kept in a Python list because inner nodes are
+    small (bounded by the fanout) and are modified during inserts.
+    """
+
+    __slots__ = ("keys", "children")
+
+    is_leaf = False
+
+    def __init__(self, keys: List, children: List) -> None:
+        self.keys = list(keys)
+        self.children = list(children)
+
+    @property
+    def size(self) -> int:
+        """Number of children."""
+        return len(self.children)
+
+    def child_for(self, value, side: str = "right") -> object:
+        """Child that may contain ``value``.
+
+        ``side="right"`` (the insert convention) routes a value equal to a
+        separator key into the right child; ``side="left"`` routes it into
+        the leftmost child that may hold duplicates of the value, which is
+        what range scans starting at ``value`` need.
+        """
+        return self.children[self.child_index_for(value, side=side)]
+
+    def child_index_for(self, value, side: str = "right") -> int:
+        """Index of the child that may contain ``value`` (see :meth:`child_for`)."""
+        return int(np.searchsorted(np.asarray(self.keys), value, side=side))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"InnerNode(keys={len(self.keys)}, children={len(self.children)})"

@@ -1,0 +1,30 @@
+"""Core abstractions shared by every index implementation.
+
+This package contains the query model, the three-phase life cycle of a
+progressive index, the cost-model constants and formulas from Section 3 /
+Table 1 of the paper, and the fixed / adaptive indexing-budget controllers.
+"""
+
+from repro.core.budget import AdaptiveBudget, FixedBudget, IndexingBudget
+from repro.core.calibration import CostConstants, calibrate, simulated_constants
+from repro.core.cost_model import CostModel
+from repro.core.index import BaseIndex, QueryStats
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult, point, range_query
+
+__all__ = [
+    "AdaptiveBudget",
+    "BaseIndex",
+    "CostConstants",
+    "CostModel",
+    "FixedBudget",
+    "IndexPhase",
+    "IndexingBudget",
+    "Predicate",
+    "QueryResult",
+    "QueryStats",
+    "calibrate",
+    "point",
+    "range_query",
+    "simulated_constants",
+]

@@ -1,0 +1,209 @@
+"""Indexing-budget controllers.
+
+Section 3 of the paper defines two budget flavours:
+
+Fixed indexing budget
+    The user provides an indexing budget ``t_budget`` for the first query;
+    the corresponding ``delta`` is computed once (``delta = t_budget /
+    t_full_work``) and reused for the remainder of the workload.  A fixed
+    ``delta`` can also be supplied directly, which is how the delta-sweep
+    experiment (Figure 7) is expressed.
+
+Adaptive indexing budget
+    The user provides ``t_budget`` for the first query, which fixes the target
+    query time ``t_adaptive = t_scan + t_budget``.  For every subsequent query
+    the cost model computes how much indexing work keeps the total query cost
+    at ``t_adaptive``, i.e. ``delta = t_budget_remaining / t_full_work`` where
+    ``t_budget_remaining = t_adaptive - t_query_without_indexing``.
+
+An index interacts with its budget through two calls per query:
+
+``next_delta(full_work_time, query_base_cost)``
+    Returns the fraction of the column to index for this query, where
+    ``full_work_time`` is the cost of performing the *entire* remaining phase
+    work in one go and ``query_base_cost`` is the predicted cost of answering
+    the query without doing any indexing.
+
+``register_scan_time(t_scan)``
+    Called once, on the first query, so budgets expressed as a fraction of
+    the scan cost can be resolved to seconds.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import InvalidBudgetError
+
+#: Smallest delta the adaptive budget will return while work remains.  A
+#: strictly positive floor guarantees deterministic convergence even when a
+#: single query is predicted to have no slack at all.
+MINIMUM_DELTA = 1e-4
+
+
+class IndexingBudget(abc.ABC):
+    """Strategy object deciding how much indexing work each query performs."""
+
+    #: Whether the budget recomputes delta for every query.
+    adaptive: bool = False
+
+    def register_scan_time(self, scan_time: float) -> None:
+        """Inform the budget of the measured/predicted full-scan time.
+
+        Budgets defined as a fraction of the scan cost resolve themselves to
+        seconds on this call; other budgets ignore it.
+        """
+
+    @abc.abstractmethod
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        """Return the fraction of the remaining phase work to perform now.
+
+        Parameters
+        ----------
+        full_work_time:
+            Predicted cost (seconds) of performing all remaining work of the
+            current phase at once.
+        query_base_cost:
+            Predicted cost (seconds) of answering the current query without
+            any indexing work.
+        """
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class FixedBudget(IndexingBudget):
+    """Index a fixed fraction ``delta`` of the column with every query.
+
+    Parameters
+    ----------
+    delta:
+        Fraction of the (remaining phase) work performed per query.  ``0``
+        disables indexing entirely — the index never converges, matching the
+        paper's ``delta = 0`` discussion.
+    """
+
+    adaptive = False
+
+    def __init__(self, delta: float) -> None:
+        if not 0.0 <= delta <= 1.0:
+            raise InvalidBudgetError(f"delta must be within [0, 1], got {delta}")
+        self.delta = float(delta)
+
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        return self.delta
+
+    def describe(self) -> str:
+        return f"FixedBudget(delta={self.delta})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()
+
+
+class FixedTimeBudget(IndexingBudget):
+    """Fixed budget expressed as seconds of indexing time for the first query.
+
+    The delta implied by the first query (``t_budget / t_full_work``) is
+    computed once and reused for all subsequent queries, as described in the
+    paper's "fixed indexing budget" flavour.
+    """
+
+    adaptive = False
+
+    def __init__(self, budget_seconds: float) -> None:
+        if budget_seconds <= 0:
+            raise InvalidBudgetError(
+                f"budget_seconds must be positive, got {budget_seconds}"
+            )
+        self.budget_seconds = float(budget_seconds)
+        self._delta: float | None = None
+
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        if self._delta is None:
+            if full_work_time <= 0:
+                self._delta = 1.0
+            else:
+                self._delta = min(1.0, self.budget_seconds / full_work_time)
+        return self._delta
+
+    def describe(self) -> str:
+        return f"FixedTimeBudget(budget={self.budget_seconds:.6f}s)"
+
+
+class AdaptiveBudget(IndexingBudget):
+    """Adaptive budget keeping total query cost approximately constant.
+
+    Parameters
+    ----------
+    budget_seconds:
+        Indexing budget of the first query, in seconds.  Mutually exclusive
+        with ``scan_fraction``.
+    scan_fraction:
+        Indexing budget of the first query expressed as a fraction of the
+        full-scan cost (the paper's experiments use ``0.2``, i.e. every query
+        costs about ``1.2 x t_scan`` until convergence).  Resolved to seconds
+        when :meth:`register_scan_time` is called.
+    minimum_delta:
+        Floor on the returned delta while work remains, guaranteeing
+        convergence even when the cost model predicts no slack.
+    """
+
+    adaptive = True
+
+    def __init__(
+        self,
+        budget_seconds: float | None = None,
+        scan_fraction: float | None = None,
+        minimum_delta: float = MINIMUM_DELTA,
+    ) -> None:
+        if (budget_seconds is None) == (scan_fraction is None):
+            raise InvalidBudgetError(
+                "provide exactly one of budget_seconds or scan_fraction"
+            )
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise InvalidBudgetError(
+                f"budget_seconds must be positive, got {budget_seconds}"
+            )
+        if scan_fraction is not None and scan_fraction <= 0:
+            raise InvalidBudgetError(
+                f"scan_fraction must be positive, got {scan_fraction}"
+            )
+        if minimum_delta < 0:
+            raise InvalidBudgetError(
+                f"minimum_delta must be non-negative, got {minimum_delta}"
+            )
+        self.budget_seconds = budget_seconds
+        self.scan_fraction = scan_fraction
+        self.minimum_delta = float(minimum_delta)
+        self.target_query_cost: float | None = None
+
+    def register_scan_time(self, scan_time: float) -> None:
+        if self.budget_seconds is None:
+            self.budget_seconds = self.scan_fraction * scan_time
+        if self.target_query_cost is None:
+            self.target_query_cost = scan_time + self.budget_seconds
+
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        if self.budget_seconds is None:
+            raise InvalidBudgetError(
+                "AdaptiveBudget with scan_fraction requires register_scan_time() "
+                "before the first next_delta() call"
+            )
+        if full_work_time <= 0:
+            return 1.0
+        if self.target_query_cost is None:
+            # First query: the budget itself is the indexing slack.
+            slack = self.budget_seconds
+        else:
+            slack = self.target_query_cost - query_base_cost
+        delta = slack / full_work_time
+        return float(min(1.0, max(self.minimum_delta, delta)))
+
+    def describe(self) -> str:
+        if self.scan_fraction is not None:
+            return f"AdaptiveBudget(scan_fraction={self.scan_fraction})"
+        return f"AdaptiveBudget(budget={self.budget_seconds:.6f}s)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()

@@ -1,0 +1,225 @@
+"""Cost model formulas from Section 3 of the paper.
+
+Each progressive indexing algorithm combines a small set of primitive cost
+terms: sequentially scanning pages, sequentially writing pages, random
+accesses while traversing auxiliary structures, appending to linked bucket
+blocks, and copying elements into B+-tree levels.  :class:`CostModel` exposes
+those primitives (parameterised by the calibrated
+:class:`~repro.core.calibration.CostConstants`) so that the per-algorithm
+cost models in the index implementations stay short, readable transcriptions
+of the paper's formulas:
+
+* creation phase of Progressive Quicksort:
+  ``t_total = (1 - rho + alpha - delta) * t_scan + delta * t_pivot``
+* refinement phase: ``t_total = t_lookup + alpha * t_scan + delta * t_swap``
+* consolidation phase: ``t_total = t_lookup + alpha * t_scan + delta * t_copy``
+* radix/bucket creation:
+  ``t_total = (1 - rho - delta) * t_scan + alpha * t_bscan + delta * t_bucket``
+
+All costs are expressed in seconds for a given number of elements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants, simulated_constants
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """A predicted query cost split into its components.
+
+    Attributes
+    ----------
+    scan:
+        Time spent scanning base-column or index data to answer the query.
+    lookup:
+        Time spent traversing auxiliary structures (pivot tree, bucket tree,
+        binary search, B+-tree descent).
+    indexing:
+        Time spent on index construction or refinement (the indexing budget).
+    """
+
+    scan: float
+    lookup: float
+    indexing: float
+
+    @property
+    def total(self) -> float:
+        """Total predicted query time in seconds."""
+        return self.scan + self.lookup + self.indexing
+
+
+class CostModel:
+    """Primitive cost terms shared by all per-algorithm cost models.
+
+    Parameters
+    ----------
+    constants:
+        Calibrated or simulated machine constants.  Defaults to the
+        deterministic :func:`~repro.core.calibration.simulated_constants`.
+    block_size:
+        Number of elements per linked bucket block (paper: ``sb``).
+    """
+
+    def __init__(
+        self,
+        constants: CostConstants | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.constants = constants or simulated_constants()
+        self.constants.validate()
+        self.block_size = int(block_size)
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+
+    # ------------------------------------------------------------------
+    # Primitive terms
+    # ------------------------------------------------------------------
+    def pages(self, n_elements: int) -> float:
+        """Number of pages covering ``n_elements`` elements (fractional)."""
+        return n_elements / self.constants.gamma
+
+    def scan_time(self, n_elements: int) -> float:
+        """Sequential, predicated scan of ``n_elements``: ``omega * N / gamma``."""
+        return self.constants.omega * self.pages(n_elements)
+
+    def write_time(self, n_elements: int) -> float:
+        """Sequential write of ``n_elements``: ``kappa * N / gamma``."""
+        return self.constants.kappa * self.pages(n_elements)
+
+    def pivot_time(self, n_elements: int) -> float:
+        """Quicksort creation: read the column and write the pivoted copy.
+
+        Paper: ``t_pivot = (kappa + omega) * N / gamma``.
+        """
+        return (self.constants.kappa + self.constants.omega) * self.pages(n_elements)
+
+    def swap_time(self, n_elements: int) -> float:
+        """Quicksort refinement: predicated in-place swaps of ``n_elements``.
+
+        Paper: ``t_swap = kappa * N / gamma``.
+        """
+        return self.constants.kappa * self.pages(n_elements)
+
+    def tree_lookup_time(self, height: int) -> float:
+        """Descend a pivot / bucket tree of ``height`` levels: ``h * phi``."""
+        return max(0, height) * self.constants.phi
+
+    def binary_search_time(self, n_elements: int) -> float:
+        """Binary search over a sorted array: ``log2(N) * phi``."""
+        if n_elements <= 1:
+            return self.constants.phi
+        return math.log2(n_elements) * self.constants.phi
+
+    # Bucket-based algorithms ------------------------------------------
+    def bucket_scan_time(self, n_elements: int) -> float:
+        """Scan linked bucket blocks holding ``n_elements``.
+
+        Paper: ``t_bscan = t_scan + phi * N / sb`` — a sequential scan plus a
+        random access per block boundary.
+        """
+        return self.scan_time(n_elements) + self.constants.phi * (
+            n_elements / self.block_size
+        )
+
+    def bucket_write_time(self, n_elements: int) -> float:
+        """Append ``n_elements`` to radix buckets.
+
+        Paper: ``t_bucket = (kappa + omega) * N / gamma + tau * N / sb``.
+        """
+        return (self.constants.kappa + self.constants.omega) * self.pages(
+            n_elements
+        ) + self.constants.tau * (n_elements / self.block_size)
+
+    def equiheight_bucket_write_time(self, n_elements: int, n_buckets: int) -> float:
+        """Append ``n_elements`` to equi-height buckets.
+
+        Identical to :meth:`bucket_write_time` except that locating the bucket
+        requires a binary search over the bucket boundaries, costing an extra
+        ``log2(b)`` factor (paper, Section 3.3).
+        """
+        return math.log2(max(2, n_buckets)) * self.bucket_write_time(n_elements)
+
+    # Consolidation -----------------------------------------------------
+    def btree_copy_count(self, n_elements: int, fanout: int) -> int:
+        """Number of elements copied into upper B+-tree levels.
+
+        Paper: ``N_copy = sum_{i=1..log_beta(n)} n / beta^i``.
+        """
+        if n_elements <= 1 or fanout <= 1:
+            return 0
+        total = 0
+        level = n_elements
+        while level > 1:
+            level = level // fanout
+            total += level
+        return total
+
+    def consolidation_copy_time(self, n_copy_elements: int) -> float:
+        """Copy ``n_copy_elements`` into B+-tree levels.
+
+        Each copied element is read with a random (strided) access from the
+        level below and written sequentially to the level above.
+        """
+        return n_copy_elements * self.constants.phi + self.write_time(n_copy_elements)
+
+    # ------------------------------------------------------------------
+    # Composite helpers used by several algorithms
+    # ------------------------------------------------------------------
+    def creation_phase_cost(
+        self,
+        n_elements: int,
+        rho: float,
+        alpha: float,
+        delta: float,
+        index_write_time_full: float,
+        indexed_scan_time_full: float | None = None,
+    ) -> CostBreakdown:
+        """Generic creation-phase cost.
+
+        Parameters
+        ----------
+        n_elements:
+            Column size ``N``.
+        rho:
+            Fraction of the column already indexed.
+        alpha:
+            Fraction of the *indexed* data that must be scanned for the query.
+        delta:
+            Fraction of the column indexed by this query.
+        index_write_time_full:
+            Time to move the entire column into the index (``t_pivot`` or
+            ``t_bucket``-style term); the indexing cost is ``delta`` times it.
+        indexed_scan_time_full:
+            Time to scan the entire indexed structure; defaults to the plain
+            column scan time (Progressive Quicksort), bucket algorithms pass
+            :meth:`bucket_scan_time`.
+        """
+        base_scan_fraction = max(0.0, 1.0 - rho - delta)
+        scan = base_scan_fraction * self.scan_time(n_elements)
+        indexed_scan_full = (
+            self.scan_time(n_elements)
+            if indexed_scan_time_full is None
+            else indexed_scan_time_full
+        )
+        scan += alpha * indexed_scan_full
+        indexing = delta * index_write_time_full
+        return CostBreakdown(scan=scan, lookup=0.0, indexing=indexing)
+
+    def refinement_phase_cost(
+        self,
+        alpha: float,
+        delta: float,
+        lookup_time: float,
+        indexed_scan_time_full: float,
+        refine_time_full: float,
+    ) -> CostBreakdown:
+        """Generic refinement-phase cost: ``t_lookup + alpha*t_scan + delta*t_refine``."""
+        return CostBreakdown(
+            scan=alpha * indexed_scan_time_full,
+            lookup=lookup_time,
+            indexing=delta * refine_time_full,
+        )

@@ -1,0 +1,181 @@
+"""Common interface implemented by every index in the library.
+
+The benchmark harness, the execution engine, and the examples only rely on
+this interface, so progressive indexes, adaptive (cracking) indexes and the
+full-scan / full-index baselines are interchangeable:
+
+* :meth:`BaseIndex.query` answers a predicate and, as a side effect, performs
+  whatever indexing work the algorithm's budget allows.
+* :attr:`BaseIndex.phase` exposes the life-cycle phase (baselines report
+  ``CONVERGED`` or ``INACTIVE`` as appropriate).
+* :attr:`BaseIndex.last_stats` exposes per-query bookkeeping (predicted cost,
+  delta used, phase) consumed by the cost-model-validation experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.budget import FixedBudget, IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.cost_model import CostModel
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.errors import IndexStateError
+from repro.storage.column import Column
+
+
+@dataclass
+class QueryStats:
+    """Bookkeeping recorded by an index for a single query.
+
+    Attributes
+    ----------
+    query_number:
+        1-based sequence number of the query against this index.
+    phase:
+        Phase the index was in when the query arrived.
+    delta:
+        Fraction of (remaining phase) work performed during this query;
+        ``0`` for baselines and converged indexes.
+    predicted_cost:
+        Cost-model prediction for the query in seconds (``None`` when the
+        algorithm has no cost model, e.g. cracking baselines).
+    elements_indexed:
+        Number of elements moved / refined / copied by the indexing work.
+    """
+
+    query_number: int = 0
+    phase: IndexPhase = IndexPhase.INACTIVE
+    delta: float = 0.0
+    predicted_cost: float | None = None
+    elements_indexed: int = 0
+    notes: dict = field(default_factory=dict)
+
+
+class BaseIndex(abc.ABC):
+    """Abstract base class of all indexes.
+
+    Parameters
+    ----------
+    column:
+        The column to index.
+    budget:
+        Indexing-budget controller; defaults to a fixed ``delta = 0.1``.
+        Baselines ignore the budget.
+    constants:
+        Machine constants for the cost model; defaults to the deterministic
+        simulated constants.
+    """
+
+    #: Short, unique identifier used in reports (e.g. ``"PQ"``, ``"STD"``).
+    name: str = "base"
+    #: Longer human-readable description.
+    description: str = ""
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+    ) -> None:
+        if not isinstance(column, Column):
+            column = Column(column)
+        self._column = column
+        self._budget = budget or FixedBudget(0.1)
+        self._cost_model = CostModel(constants)
+        self._queries_executed = 0
+        self.last_stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def column(self) -> Column:
+        """The column this index answers queries for."""
+        return self._column
+
+    @property
+    def budget(self) -> IndexingBudget:
+        """The indexing-budget controller in use."""
+        return self._budget
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model parameterised with this index's constants."""
+        return self._cost_model
+
+    @property
+    def queries_executed(self) -> int:
+        """Number of queries answered so far."""
+        return self._queries_executed
+
+    @property
+    @abc.abstractmethod
+    def phase(self) -> IndexPhase:
+        """Current life-cycle phase."""
+
+    @property
+    def converged(self) -> bool:
+        """Whether the index is fully built (no further indexing work)."""
+        return self.phase is IndexPhase.CONVERGED
+
+    def query(self, predicate: Predicate) -> QueryResult:
+        """Answer ``predicate``, spending at most the budgeted indexing time.
+
+        Returns the exact aggregate over the column regardless of how much of
+        the index has been built.
+        """
+        if not isinstance(predicate, Predicate):
+            raise IndexStateError(
+                f"query() expects a Predicate, got {type(predicate).__name__}"
+            )
+        self._queries_executed += 1
+        self.last_stats = QueryStats(
+            query_number=self._queries_executed, phase=self.phase
+        )
+        result = self._execute(predicate)
+        return result
+
+    def predict_cost(self, predicate: Predicate) -> float | None:
+        """Cost-model prediction of the next query's total time, if available.
+
+        The default implementation returns ``None``; progressive indexes
+        override it with their per-phase formulas.
+        """
+        return None
+
+    def memory_footprint(self) -> int:
+        """Approximate additional memory used by the index, in bytes.
+
+        The default accounts for nothing; concrete indexes override it.
+        """
+        return 0
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        return f"{self.name}: {self.description or type(self).__name__}"
+
+    # ------------------------------------------------------------------
+    # Implementation hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        """Answer the predicate and perform budgeted indexing work."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _scan_column(self, predicate: Predicate, start: int = 0, stop: int | None = None) -> QueryResult:
+        """Predicated scan of (part of) the base column."""
+        value_sum, count = self._column.scan_range(
+            predicate.low, predicate.high, start=start, stop=stop
+        )
+        return QueryResult(value_sum, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(name={self.name!r}, phase={self.phase.value!r}, "
+            f"queries={self._queries_executed})"
+        )

@@ -1,0 +1,67 @@
+"""The canonical phases of a progressive index.
+
+Section 3 of the paper defines three phases every progressive indexing
+algorithm moves through:
+
+``CREATION``
+    The index is progressively populated from the base column; queries scan
+    the not-yet-indexed tail of the column plus the partial index.
+``REFINEMENT``
+    All data lives in the index; queries only touch the index while it is
+    progressively reorganised towards a fully sorted array.
+``CONSOLIDATION``
+    The sorted array is progressively turned into a B+-tree.
+``CONVERGED``
+    The B+-tree is complete; no further indexing work is performed.
+
+``INACTIVE`` is the state before the first query touches the column (no
+memory has been allocated yet), matching the paper's premise that an index is
+only initiated when its column is first queried.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IndexPhase(enum.Enum):
+    """Life-cycle phase of a progressive index."""
+
+    INACTIVE = "inactive"
+    CREATION = "creation"
+    REFINEMENT = "refinement"
+    CONSOLIDATION = "consolidation"
+    CONVERGED = "converged"
+
+    @property
+    def does_indexing_work(self) -> bool:
+        """Whether queries in this phase still spend budget on indexing."""
+        return self in (
+            IndexPhase.CREATION,
+            IndexPhase.REFINEMENT,
+            IndexPhase.CONSOLIDATION,
+        )
+
+    @property
+    def order(self) -> int:
+        """Monotone integer ordering of the phases (INACTIVE=0 .. CONVERGED=4)."""
+        return _PHASE_ORDER[self]
+
+    def __lt__(self, other: "IndexPhase") -> bool:
+        if not isinstance(other, IndexPhase):
+            return NotImplemented
+        return self.order < other.order
+
+    def __le__(self, other: "IndexPhase") -> bool:
+        if not isinstance(other, IndexPhase):
+            return NotImplemented
+        return self.order <= other.order
+
+
+_PHASE_ORDER = {
+    IndexPhase.INACTIVE: 0,
+    IndexPhase.CREATION: 1,
+    IndexPhase.REFINEMENT: 2,
+    IndexPhase.CONSOLIDATION: 3,
+    IndexPhase.CONVERGED: 4,
+}

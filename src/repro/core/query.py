@@ -1,0 +1,132 @@
+"""Query model: range/point predicates and query results.
+
+The paper's workloads consist of queries of the form::
+
+    SELECT SUM(R.A) FROM R WHERE R.A BETWEEN V1 AND V2
+
+Point queries are the special case ``V1 == V2``.  A :class:`Predicate`
+captures the inclusive range ``[low, high]``; a :class:`QueryResult` carries
+the aggregate answer (sum and count of matching values) so that any two index
+implementations can be cross-checked for exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidPredicateError
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An inclusive range predicate ``low <= value <= high``.
+
+    Attributes
+    ----------
+    low, high:
+        Inclusive bounds of the selection.  ``low == high`` denotes a point
+        query.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise InvalidPredicateError(
+                f"predicate lower bound {self.low!r} exceeds upper bound {self.high!r}"
+            )
+
+    @property
+    def is_point(self) -> bool:
+        """Whether this predicate selects a single value."""
+        return self.low == self.high
+
+    def width(self) -> float:
+        """Width of the selected range (zero for point queries)."""
+        return self.high - self.low
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of ``values`` matching the predicate (predicated)."""
+        return (values >= self.low) & (values <= self.high)
+
+    def selectivity(self, domain_low: float, domain_high: float) -> float:
+        """Approximate selectivity against a uniform domain ``[low, high]``."""
+        domain = domain_high - domain_low
+        if domain <= 0:
+            return 1.0
+        return min(1.0, max(0.0, self.width() / domain))
+
+    def __repr__(self) -> str:
+        if self.is_point:
+            return f"Predicate(point={self.low!r})"
+        return f"Predicate(low={self.low!r}, high={self.high!r})"
+
+
+def range_query(low: float, high: float) -> Predicate:
+    """Build a range predicate ``low <= value <= high``."""
+    return Predicate(low, high)
+
+
+def point(value: float) -> Predicate:
+    """Build a point predicate ``value == x``."""
+    return Predicate(value, value)
+
+
+@dataclass
+class QueryResult:
+    """Aggregate answer to a predicate.
+
+    Attributes
+    ----------
+    value_sum:
+        Sum of all values matching the predicate (``SELECT SUM``).
+    count:
+        Number of matching values.
+    """
+
+    value_sum: float
+    count: int
+
+    def __add__(self, other: "QueryResult") -> "QueryResult":
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return QueryResult(self.value_sum + other.value_sum, self.count + other.count)
+
+    def __iadd__(self, other: "QueryResult") -> "QueryResult":
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        self.value_sum = self.value_sum + other.value_sum
+        self.count += other.count
+        return self
+
+    def approximately_equals(self, other: "QueryResult", rel_tol: float = 1e-9) -> bool:
+        """Whether two results agree (exact count, numerically equal sums)."""
+        if self.count != other.count:
+            return False
+        if self.value_sum == other.value_sum:
+            return True
+        denominator = max(abs(self.value_sum), abs(other.value_sum), 1.0)
+        return abs(self.value_sum - other.value_sum) / denominator <= rel_tol
+
+    @classmethod
+    def empty(cls) -> "QueryResult":
+        """A result with no matching rows."""
+        return cls(0, 0)
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "QueryResult":
+        """Aggregate a vector of already-filtered values."""
+        if values.size == 0:
+            return cls.empty()
+        return cls(values.sum(), int(values.size))
+
+    @classmethod
+    def from_masked(cls, values: np.ndarray, mask: np.ndarray) -> "QueryResult":
+        """Aggregate ``values[mask]`` without allocating when empty."""
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            return cls.empty()
+        return cls(values[mask].sum(), count)

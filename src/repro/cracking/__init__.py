@@ -1,0 +1,41 @@
+"""Adaptive indexing (database cracking) baselines.
+
+The paper compares its progressive indexes against the database-cracking
+family of adaptive indexes.  This package provides from-scratch
+implementations of each comparator:
+
+* :class:`~repro.cracking.standard.StandardCracking` — the original database
+  cracking algorithm (crack on the query predicates).
+* :class:`~repro.cracking.stochastic.StochasticCracking` — random pivots make
+  the cracking pattern independent of the workload.
+* :class:`~repro.cracking.progressive_stochastic.ProgressiveStochasticCracking`
+  — stochastic cracking with a cap on the number of swaps per query.
+* :class:`~repro.cracking.coarse_granular.CoarseGranularIndex` — equal-sized
+  partitions are created on the first query, cracking continues afterwards.
+* :class:`~repro.cracking.adaptive_adaptive.AdaptiveAdaptiveIndexing` — radix
+  partition on the first query, high-fanout cracking afterwards.
+
+They are all built on the shared substrate of a
+:class:`~repro.cracking.cracker_column.CrackerColumn` (the physically
+reorganised copy of the data) and a
+:class:`~repro.cracking.cracker_index.CrackerIndex` (an AVL tree mapping
+pivot values to piece boundaries).
+"""
+
+from repro.cracking.adaptive_adaptive import AdaptiveAdaptiveIndexing
+from repro.cracking.coarse_granular import CoarseGranularIndex
+from repro.cracking.cracker_column import CrackerColumn
+from repro.cracking.cracker_index import CrackerIndex
+from repro.cracking.progressive_stochastic import ProgressiveStochasticCracking
+from repro.cracking.standard import StandardCracking
+from repro.cracking.stochastic import StochasticCracking
+
+__all__ = [
+    "AdaptiveAdaptiveIndexing",
+    "CoarseGranularIndex",
+    "CrackerColumn",
+    "CrackerIndex",
+    "ProgressiveStochasticCracking",
+    "StandardCracking",
+    "StochasticCracking",
+]

@@ -1,0 +1,192 @@
+"""A self-balancing AVL tree mapping keys to values.
+
+The cracker index of database cracking maps pivot values to piece boundaries
+and is traditionally implemented as an AVL tree (Idreos et al., CIDR 2007).
+This module provides that substrate: an ordered map with ``O(log n)`` insert,
+exact lookup, *floor* (largest key ``<= k``) and *higher* (smallest key
+``> k``) queries — exactly the operations piece lookup needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class _AVLNode:
+    """Internal tree node."""
+
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key, value) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_AVLNode] = None
+        self.right: Optional[_AVLNode] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AVLNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update_height(node: _AVLNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _AVLNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _AVLNode) -> _AVLNode:
+    pivot = node.left
+    node.left = pivot.right
+    pivot.right = node
+    _update_height(node)
+    _update_height(pivot)
+    return pivot
+
+
+def _rotate_left(node: _AVLNode) -> _AVLNode:
+    pivot = node.right
+    node.right = pivot.left
+    pivot.left = node
+    _update_height(node)
+    _update_height(pivot)
+    return pivot
+
+
+def _rebalance(node: _AVLNode) -> _AVLNode:
+    _update_height(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """An ordered key → value map backed by an AVL tree."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_AVLNode] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None or self._find(key) is not None
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (0 when empty)."""
+        return _height(self._root)
+
+    # ------------------------------------------------------------------
+    def insert(self, key, value) -> None:
+        """Insert ``key -> value``; an existing key has its value replaced."""
+        self._root, inserted = self._insert(self._root, key, value)
+        if inserted:
+            self._size += 1
+
+    def _insert(self, node: Optional[_AVLNode], key, value) -> Tuple[_AVLNode, bool]:
+        if node is None:
+            return _AVLNode(key, value), True
+        if key == node.key:
+            node.value = value
+            return node, False
+        if key < node.key:
+            node.left, inserted = self._insert(node.left, key, value)
+        else:
+            node.right, inserted = self._insert(node.right, key, value)
+        return _rebalance(node), inserted
+
+    # ------------------------------------------------------------------
+    def _find(self, key) -> Optional[_AVLNode]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def get(self, key, default=None):
+        """Value stored under ``key``, or ``default`` when absent."""
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def floor_item(self, key) -> Optional[Tuple[object, object]]:
+        """The ``(key, value)`` pair with the largest key ``<= key``."""
+        node = self._root
+        best: Optional[_AVLNode] = None
+        while node is not None:
+            if node.key == key:
+                return node.key, node.value
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def higher_item(self, key) -> Optional[Tuple[object, object]]:
+        """The ``(key, value)`` pair with the smallest key ``> key``."""
+        node = self._root
+        best: Optional[_AVLNode] = None
+        while node is not None:
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def min_item(self) -> Optional[Tuple[object, object]]:
+        """The smallest ``(key, value)`` pair, or ``None`` when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def max_item(self) -> Optional[Tuple[object, object]]:
+        """The largest ``(key, value)`` pair, or ``None`` when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[object, object]]:
+        """Iterate over ``(key, value)`` pairs in ascending key order."""
+        stack: List[_AVLNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator:
+        """Iterate over the keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator:
+        """Iterate over the values in ascending key order."""
+        for _, value in self.items():
+            yield value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AVLTree(size={self._size}, height={self.height})"

@@ -1,0 +1,105 @@
+"""Shared machinery of all database-cracking indexes.
+
+Every cracking variant follows the same outer structure: the first query pays
+for copying the column into a :class:`~repro.cracking.cracker_column.CrackerColumn`,
+every query physically reorganises some pieces of that copy, and the answer is
+aggregated from the (partially) reorganised data.  The variants only differ in
+*where* they crack, which is the single method subclasses implement.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.cracking.cracker_column import CrackerColumn
+from repro.storage.column import Column
+
+
+class CrackingIndexBase(BaseIndex):
+    """Base class of the adaptive-indexing (cracking) algorithms.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Accepted for interface compatibility; cracking algorithms do not use
+        an indexing budget (their per-query work is dictated by the
+        algorithm, which is exactly the robustness problem the paper's
+        progressive indexes address).
+    constants:
+        Cost-model constants (used only for reporting).
+    adaptive_kernels:
+        Select the partition kernel per crack with the Haffner-style decision
+        tree instead of always using the predicated kernel.
+    rng:
+        Random generator used by the stochastic variants.
+    """
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        adaptive_kernels: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        self.adaptive_kernels = bool(adaptive_kernels)
+        self._rng = rng or np.random.default_rng(7)
+        self._cracker: CrackerColumn | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cracker(self) -> CrackerColumn | None:
+        """The cracker column (``None`` before the first query)."""
+        return self._cracker
+
+    @property
+    def phase(self) -> IndexPhase:
+        if self._cracker is None:
+            return IndexPhase.INACTIVE
+        # Cracking refines forever; it offers no deterministic convergence,
+        # which Table 2 of the paper records as "x".
+        return IndexPhase.REFINEMENT
+
+    def memory_footprint(self) -> int:
+        return self._cracker.memory_footprint() if self._cracker is not None else 0
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._cracker is None:
+            self._cracker = CrackerColumn(self._column, adaptive_kernels=self.adaptive_kernels)
+            self._on_first_query()
+            self.last_stats.elements_indexed = len(self._column)
+        swaps_before = self._cracker.swaps_performed
+        result = self._crack_and_answer(predicate)
+        self.last_stats.notes["swaps"] = self._cracker.swaps_performed - swaps_before
+        self.last_stats.notes["pieces"] = self._cracker.n_pieces
+        return result
+
+    def _on_first_query(self) -> None:
+        """Hook for variants that do extra work on the first query."""
+
+    @abc.abstractmethod
+    def _crack_and_answer(self, predicate: Predicate) -> QueryResult:
+        """Crack according to the variant's policy and answer the predicate."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the stochastic variants
+    # ------------------------------------------------------------------
+    def _random_pivot(self, value_low: float, value_high: float) -> float | None:
+        """A uniformly random pivot strictly inside ``(value_low, value_high)``."""
+        if not value_high > value_low:
+            return None
+        pivot = float(self._rng.uniform(value_low, value_high))
+        if pivot <= value_low or pivot >= value_high:
+            return None
+        return pivot

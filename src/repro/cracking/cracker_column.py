@@ -1,0 +1,179 @@
+"""The cracker column: a physically reorganised copy of the base column.
+
+Database cracking copies the column on the first query and thereafter
+reorganises (cracks) it piece by piece as a side effect of query processing.
+:class:`CrackerColumn` bundles the writable copy with its
+:class:`~repro.cracking.cracker_index.CrackerIndex` and provides the
+operations every cracking variant is expressed in:
+
+* :meth:`crack` — partition the piece containing a pivot value so that the
+  pivot becomes a piece boundary;
+* :meth:`crack_piece_at` — crack an explicit piece around an arbitrary pivot
+  (used by the stochastic variants, which pick random pivots);
+* :meth:`range_query` — crack on both query bounds and aggregate the
+  contiguous run of qualifying elements;
+* :meth:`range_query_without_cracking` — aggregate without reorganising,
+  scanning the (at most two) boundary pieces (used when a swap budget has
+  been exhausted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import QueryResult
+from repro.cracking.cracker_index import CrackerIndex, Piece
+from repro.cracking.kernels import choose_kernel, partition_predicated
+from repro.storage.column import Column
+
+
+def upper_exclusive(value, dtype: np.dtype):
+    """Smallest representable value strictly greater than ``value``.
+
+    Cracking partitions with a "strictly less than" convention, so an
+    inclusive upper bound ``high`` is handled by cracking at the next
+    representable value.
+    """
+    if np.issubdtype(dtype, np.integer):
+        return int(value) + 1
+    return float(np.nextafter(value, np.inf))
+
+
+class CrackerColumn:
+    """A writable copy of a column plus its cracker index.
+
+    Parameters
+    ----------
+    column:
+        The base column; its data is copied (this copy is the dominant cost
+        of the first query of every cracking algorithm).
+    adaptive_kernels:
+        When true, the partition kernel is chosen per crack with the
+        Haffner-style decision tree; otherwise the predicated kernel is
+        always used.
+    """
+
+    def __init__(self, column: Column, adaptive_kernels: bool = False) -> None:
+        self._column = column
+        self.values = column.copy_data()
+        value_low = float(column.min())
+        value_high = upper_exclusive(column.max(), column.dtype)
+        self.index = CrackerIndex(len(column), value_low, value_high)
+        self.adaptive_kernels = bool(adaptive_kernels)
+        self.swaps_performed = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of pieces the column is currently divided into."""
+        return self.index.n_pieces
+
+    def memory_footprint(self) -> int:
+        """Bytes held by the cracker column copy."""
+        return int(self.values.nbytes)
+
+    def piece_for(self, value) -> Piece:
+        """The piece currently containing ``value``."""
+        return self.index.piece_for(value)
+
+    # ------------------------------------------------------------------
+    # Cracking primitives
+    # ------------------------------------------------------------------
+    def crack_piece_at(self, piece: Piece, pivot) -> int:
+        """Partition ``piece`` around ``pivot`` and record the new boundary.
+
+        Returns the boundary position.  The pivot may be any value inside the
+        piece's value bounds; it does not have to occur in the data.
+        """
+        segment = self.values[piece.start : piece.end]
+        if self.adaptive_kernels:
+            selectivity = 0.5
+            span = piece.value_high - piece.value_low
+            if span > 0:
+                selectivity = min(1.0, max(0.0, (pivot - piece.value_low) / span))
+            kernel = choose_kernel(piece.size, selectivity)
+        else:
+            kernel = partition_predicated
+        boundary_offset = kernel(segment, pivot)
+        position = piece.start + boundary_offset
+        self.index.add(pivot, position)
+        self.swaps_performed += piece.size
+        return position
+
+    def crack(self, value) -> int:
+        """Crack at ``value`` (no-op if ``value`` is already a boundary).
+
+        Returns the boundary position of ``value``: all elements before it
+        are ``< value``, all elements at or after it are ``>= value``.
+        """
+        existing = self.index.position_of(value)
+        if existing is not None:
+            return int(existing)
+        piece = self.index.piece_for(value)
+        if piece.size == 0:
+            self.index.add(value, piece.start)
+            return piece.start
+        return self.crack_piece_at(piece, value)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def range_query(self, low, high) -> QueryResult:
+        """Crack on both bounds of ``[low, high]`` and aggregate the run."""
+        high_bound = upper_exclusive(high, self.values.dtype)
+        position_low = self.crack(low)
+        position_high = self.crack(high_bound)
+        if position_high <= position_low:
+            return QueryResult.empty()
+        segment = self.values[position_low:position_high]
+        return QueryResult(segment.sum(), int(segment.size))
+
+    def range_query_without_cracking(self, low, high) -> QueryResult:
+        """Aggregate ``[low, high]`` without any reorganisation.
+
+        The pieces containing the bounds are scanned with a predicate mask;
+        the fully covered pieces in between are aggregated without filtering.
+        """
+        high_bound = upper_exclusive(high, self.values.dtype)
+        low_piece = self.index.piece_for(low)
+        high_piece = self.index.piece_for(high_bound)
+
+        low_position = self.index.position_of(low)
+        high_position = self.index.position_of(high_bound)
+
+        result = QueryResult.empty()
+        if low_piece.start == high_piece.start:
+            # Both bounds fall into the same piece: a single masked scan.
+            segment = self.values[low_piece.start : low_piece.end]
+            mask = (segment >= low) & (segment <= high)
+            return QueryResult.from_masked(segment, mask)
+
+        # Piece containing the lower bound.
+        middle_start = low_piece.end
+        if low_position is not None:
+            middle_start = int(low_position)
+        else:
+            segment = self.values[low_piece.start : low_piece.end]
+            mask = segment >= low
+            result += QueryResult.from_masked(segment, mask)
+
+        # Piece containing the upper bound.
+        middle_end = high_piece.start
+        if high_position is not None:
+            middle_end = int(high_position)
+        else:
+            segment = self.values[high_piece.start : high_piece.end]
+            mask = segment <= high
+            result += QueryResult.from_masked(segment, mask)
+
+        if middle_end > middle_start:
+            segment = self.values[middle_start:middle_end]
+            result += QueryResult(segment.sum(), int(segment.size))
+        return result
+
+    def is_fully_sorted(self) -> bool:
+        """Whether the cracker column has (incidentally) become fully sorted."""
+        return bool(np.all(self.values[:-1] <= self.values[1:]))

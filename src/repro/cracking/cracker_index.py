@@ -1,0 +1,133 @@
+"""The cracker index: pivot values mapped to piece boundaries.
+
+Database cracking maintains, next to the physically reorganised cracker
+column, a *cracker index* that records where the column has already been
+partitioned.  An entry ``key -> position`` states the invariant::
+
+    column[0:position]  <  key
+    column[position:N] >=  key
+
+The pieces of the cracker column are therefore the gaps between consecutive
+boundary positions.  :class:`CrackerIndex` stores the entries in an AVL tree
+(:mod:`repro.cracking.avl`) and answers the piece-lookup queries the cracking
+algorithms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.cracking.avl import AVLTree
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A contiguous, not-yet-fully-cracked piece of the cracker column.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open position range of the piece.
+    value_low, value_high:
+        Known value bounds of the piece: every element ``e`` in the piece
+        satisfies ``value_low <= e < value_high`` (bounds come from the
+        neighbouring cracker-index entries, or the column domain at the
+        edges).
+    """
+
+    start: int
+    end: int
+    value_low: float
+    value_high: float
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the piece."""
+        return self.end - self.start
+
+
+class CrackerIndex:
+    """Ordered map from pivot value to piece boundary position.
+
+    Parameters
+    ----------
+    n_elements:
+        Size of the cracker column.
+    value_low, value_high:
+        Domain bounds of the column (used for the edge pieces).
+    """
+
+    def __init__(self, n_elements: int, value_low: float, value_high: float) -> None:
+        self._tree = AVLTree()
+        self._n = int(n_elements)
+        self._value_low = value_low
+        self._value_high = value_high
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        """Height of the underlying AVL tree."""
+        return self._tree.height
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of pieces the column is currently divided into."""
+        return len(self._tree) + 1
+
+    def boundaries(self) -> Iterator[Tuple[float, int]]:
+        """Iterate over ``(pivot value, position)`` entries in value order."""
+        return self._tree.items()
+
+    # ------------------------------------------------------------------
+    def add(self, key: float, position: int) -> None:
+        """Record that the column has been cracked at ``key`` / ``position``."""
+        self._tree.insert(key, int(position))
+
+    def position_of(self, key: float):
+        """Boundary position of ``key`` if it has been cracked on, else ``None``."""
+        return self._tree.get(key)
+
+    def piece_for(self, value: float) -> Piece:
+        """The piece that currently contains ``value``.
+
+        The piece spans from the boundary of the largest cracked key
+        ``<= value`` to the boundary of the smallest cracked key ``> value``
+        (column edges when no such keys exist).
+        """
+        floor = self._tree.floor_item(value)
+        higher = self._tree.higher_item(value)
+        start = floor[1] if floor is not None else 0
+        value_low = floor[0] if floor is not None else self._value_low
+        end = higher[1] if higher is not None else self._n
+        value_high = higher[0] if higher is not None else self._value_high
+        return Piece(start=int(start), end=int(end), value_low=value_low, value_high=value_high)
+
+    def largest_piece(self) -> Piece:
+        """The largest current piece (useful for idle refinement policies)."""
+        previous_pos = 0
+        previous_key = self._value_low
+        best = Piece(0, self._n, self._value_low, self._value_high)
+        best_size = -1
+        entries = list(self._tree.items()) + [(self._value_high, self._n)]
+        for key, position in entries:
+            size = position - previous_pos
+            if size > best_size:
+                best = Piece(previous_pos, position, previous_key, key)
+                best_size = size
+            previous_pos = position
+            previous_key = key
+        return best
+
+    def piece_sizes(self) -> list:
+        """Sizes of all pieces in column order."""
+        sizes = []
+        previous = 0
+        for _, position in self._tree.items():
+            sizes.append(position - previous)
+            previous = position
+        sizes.append(self._n - previous)
+        return sizes

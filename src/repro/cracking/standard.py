@@ -1,0 +1,24 @@
+"""Standard database cracking (Idreos et al., CIDR 2007).
+
+Each query cracks the column on its two predicate bounds: the piece currently
+containing each bound is partitioned around that bound, and the answer is the
+contiguous run of elements between the two resulting boundaries.  Because the
+pivots are the query predicates themselves, the physical organisation mirrors
+the workload — which is precisely why standard cracking degrades on
+sequential workload patterns (large unindexed pieces keep being re-cracked).
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Predicate, QueryResult
+from repro.cracking.base import CrackingIndexBase
+
+
+class StandardCracking(CrackingIndexBase):
+    """Crack on the query predicates (the original adaptive index)."""
+
+    name = "STD"
+    description = "Standard database cracking"
+
+    def _crack_and_answer(self, predicate: Predicate) -> QueryResult:
+        return self._cracker.range_query(predicate.low, predicate.high)

@@ -1,0 +1,42 @@
+"""Execution engine: run workloads against indexes and collect metrics.
+
+* :mod:`repro.engine.registry` — name → index class registry used by the
+  experiment drivers and the high-level session API.
+* :mod:`repro.engine.executor` — executes a workload against an index,
+  timing every query and recording the per-query statistics the experiments
+  need.
+* :mod:`repro.engine.metrics` — the paper's evaluation metrics (first-query
+  cost, pay-off, convergence, robustness, cumulative time).
+* :mod:`repro.engine.decision_tree` — the algorithm recommendation of
+  Figure 11.
+* :mod:`repro.engine.session` — a small user-facing API for indexing a table
+  column and querying it progressively.
+"""
+
+from repro.engine.decision_tree import Recommendation, recommend_index
+from repro.engine.executor import ExecutionResult, QueryRecord, WorkloadExecutor
+from repro.engine.metrics import WorkloadMetrics, compute_metrics
+from repro.engine.registry import (
+    ALGORITHMS,
+    ADAPTIVE_ALGORITHMS,
+    BASELINE_ALGORITHMS,
+    PROGRESSIVE_ALGORITHMS,
+    create_index,
+)
+from repro.engine.session import IndexingSession
+
+__all__ = [
+    "ADAPTIVE_ALGORITHMS",
+    "ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "ExecutionResult",
+    "IndexingSession",
+    "PROGRESSIVE_ALGORITHMS",
+    "QueryRecord",
+    "Recommendation",
+    "WorkloadExecutor",
+    "WorkloadMetrics",
+    "compute_metrics",
+    "create_index",
+    "recommend_index",
+]

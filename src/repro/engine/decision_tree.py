@@ -1,0 +1,99 @@
+"""The algorithm-selection decision tree of Figure 11.
+
+The paper concludes with a decision tree recommending which progressive
+indexing technique to use for a given scenario, distilled from the
+experimental evaluation:
+
+* Workloads dominated by **point queries** benefit most from Progressive
+  Radixsort (LSD), whose intermediate index accelerates point lookups from
+  the very first queries (Table 4, point-query block).
+* For **range queries on skewed data**, Progressive Bucketsort's equi-height
+  partitions keep the pieces balanced and give the best cumulative times
+  (Table 4, skewed block).
+* For **range queries on roughly uniform (or unknown but integer) data**,
+  Progressive Radixsort (MSD) converges fastest and has the best cumulative
+  time (Table 4, uniform block).
+* When the extra memory for bucket blocks is not available, or the data type
+  does not radix-cluster well (e.g. floating point with unknown domain),
+  Progressive Quicksort is the safe default: it allocates only the index
+  array and is the least sensitive to the delta parameter (Figure 7a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+from repro.core.index import BaseIndex
+from repro.progressive.bucketsort import ProgressiveBucketsort
+from repro.progressive.quicksort import ProgressiveQuicksort
+from repro.progressive.radixsort_lsd import ProgressiveRadixsortLSD
+from repro.progressive.radixsort_msd import ProgressiveRadixsortMSD
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The outcome of walking the decision tree."""
+
+    index_class: Type[BaseIndex]
+    acronym: str
+    reason: str
+
+    def create(self, column, budget=None, constants=None, **kwargs) -> BaseIndex:
+        """Instantiate the recommended index for ``column``."""
+        return self.index_class(column, budget=budget, constants=constants, **kwargs)
+
+
+def recommend_index(
+    point_query_workload: bool = False,
+    skewed_data: bool = False,
+    memory_constrained: bool = False,
+    integer_domain: bool = True,
+) -> Recommendation:
+    """Walk the Figure 11 decision tree.
+
+    Parameters
+    ----------
+    point_query_workload:
+        Whether the workload consists (mostly) of point queries.
+    skewed_data:
+        Whether the data distribution is known to be heavily skewed.
+    memory_constrained:
+        Whether the extra memory for bucket block lists is unavailable
+        (the bucket-based algorithms temporarily hold the data twice).
+    integer_domain:
+        Whether the column has an integer (radix-clusterable) domain.
+
+    Returns
+    -------
+    Recommendation
+        The recommended progressive indexing technique and the reasoning.
+    """
+    if point_query_workload:
+        return Recommendation(
+            ProgressiveRadixsortLSD,
+            "PLSD",
+            "Point-query workloads are accelerated by the LSD intermediate "
+            "index from the first queries onwards.",
+        )
+    if memory_constrained or not integer_domain:
+        return Recommendation(
+            ProgressiveQuicksort,
+            "PQ",
+            "Progressive Quicksort only allocates the index array itself and "
+            "does not rely on radix clustering, making it the safe default "
+            "under memory pressure or for non-integer domains.",
+        )
+    if skewed_data:
+        return Recommendation(
+            ProgressiveBucketsort,
+            "PB",
+            "Equi-height buckets stay balanced under data skew, giving the "
+            "best cumulative times on skewed distributions.",
+        )
+    return Recommendation(
+        ProgressiveRadixsortMSD,
+        "PMSD",
+        "Radix clustering on the most significant bits converges fastest and "
+        "has the best cumulative time on (roughly) uniform integer data.",
+    )

@@ -1,0 +1,156 @@
+"""Workload executor: drives an index through a workload and records timings.
+
+The executor is the measurement harness shared by every experiment and
+benchmark: it times each query, snapshots the per-query statistics the index
+reports (phase, delta, cost-model prediction), optionally cross-checks every
+answer against a reference full scan, and condenses the run into the paper's
+metrics (:mod:`repro.engine.metrics`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import QueryResult
+from repro.engine.metrics import WorkloadMetrics, compute_metrics
+from repro.errors import ExperimentError
+from repro.workloads.workload import Workload
+
+
+@dataclass
+class QueryRecord:
+    """Measurements for a single executed query."""
+
+    query_number: int
+    elapsed_seconds: float
+    predicted_seconds: Optional[float]
+    phase: IndexPhase
+    delta: float
+    result_count: int
+    result_sum: float
+    converged: bool
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running one workload against one index."""
+
+    index_name: str
+    workload_name: str
+    records: List[QueryRecord] = field(default_factory=list)
+    scan_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        """Number of executed queries."""
+        return len(self.records)
+
+    def times(self) -> np.ndarray:
+        """Per-query elapsed times in seconds."""
+        return np.array([record.elapsed_seconds for record in self.records])
+
+    def predicted_times(self) -> np.ndarray:
+        """Per-query cost-model predictions (NaN where unavailable)."""
+        return np.array(
+            [
+                record.predicted_seconds if record.predicted_seconds is not None else np.nan
+                for record in self.records
+            ]
+        )
+
+    def converged_flags(self) -> List[bool]:
+        """Per-query convergence flags."""
+        return [record.converged for record in self.records]
+
+    def metrics(self) -> WorkloadMetrics:
+        """The paper's summary metrics for this run."""
+        return compute_metrics(self.times(), self.converged_flags(), self.scan_seconds)
+
+    def phase_transitions(self) -> List[tuple]:
+        """``(query_number, phase)`` pairs where the index changed phase."""
+        transitions = []
+        previous = None
+        for record in self.records:
+            if record.phase is not previous:
+                transitions.append((record.query_number, record.phase))
+                previous = record.phase
+        return transitions
+
+
+class WorkloadExecutor:
+    """Runs workloads against indexes and produces :class:`ExecutionResult`.
+
+    Parameters
+    ----------
+    verify:
+        When true, every query answer is cross-checked against a predicated
+        scan of the base column; a mismatch raises
+        :class:`~repro.errors.ExperimentError`.  Useful in tests, too slow
+        for large benchmark runs.
+    warmup_scans:
+        Number of full scans executed (and timed) before the workload to
+        obtain the scan baseline used by the pay-off metric.
+    """
+
+    def __init__(self, verify: bool = False, warmup_scans: int = 3) -> None:
+        self.verify = bool(verify)
+        self.warmup_scans = max(1, int(warmup_scans))
+
+    # ------------------------------------------------------------------
+    def measure_scan_time(self, index: BaseIndex, workload: Workload) -> float:
+        """Median time of a predicated full scan answering the first query."""
+        predicate = workload[0]
+        column = index.column
+        durations = []
+        for _ in range(self.warmup_scans):
+            start = time.perf_counter()
+            column.scan_range(predicate.low, predicate.high)
+            durations.append(time.perf_counter() - start)
+        return float(np.median(durations))
+
+    def run(self, index: BaseIndex, workload: Workload) -> ExecutionResult:
+        """Execute ``workload`` against ``index`` and record every query."""
+        result = ExecutionResult(
+            index_name=index.name,
+            workload_name=workload.name,
+            scan_seconds=self.measure_scan_time(index, workload),
+        )
+        column = index.column
+        for query_number, predicate in enumerate(workload, start=1):
+            start = time.perf_counter()
+            answer = index.query(predicate)
+            elapsed = time.perf_counter() - start
+            stats = index.last_stats
+            result.records.append(
+                QueryRecord(
+                    query_number=query_number,
+                    elapsed_seconds=elapsed,
+                    predicted_seconds=stats.predicted_cost,
+                    phase=stats.phase,
+                    delta=stats.delta,
+                    result_count=answer.count,
+                    result_sum=float(answer.value_sum),
+                    converged=index.converged,
+                )
+            )
+            if self.verify:
+                self._verify(answer, column, predicate, index, query_number)
+        return result
+
+    @staticmethod
+    def _verify(answer: QueryResult, column, predicate, index: BaseIndex, query_number: int) -> None:
+        expected_sum, expected_count = column.scan_range(predicate.low, predicate.high)
+        reference = QueryResult(expected_sum, expected_count)
+        if not reference.approximately_equals(answer):
+            raise ExperimentError(
+                f"{index.name} returned an incorrect answer for query {query_number}: "
+                f"got (sum={answer.value_sum}, count={answer.count}), "
+                f"expected (sum={reference.value_sum}, count={reference.count})"
+            )

@@ -1,0 +1,107 @@
+"""Evaluation metrics of Section 4 of the paper.
+
+Given the per-query execution times of a workload, the paper reports:
+
+* **First query cost** — the time of the very first query (which includes
+  whatever upfront work the algorithm performs).
+* **Pay-off** — the query number ``q`` at which the cumulative cost of the
+  indexing method drops below the cumulative cost of always scanning
+  (``sum_q t_method <= sum_q t_scan``).
+* **Convergence** — the query number at which the index is fully built
+  (``None`` / "x" for methods without deterministic convergence).
+* **Robustness** — the variance of the first 100 query times (lower is more
+  robust).
+* **Cumulative time** — total time of the entire workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Number of leading queries whose variance defines the robustness score.
+ROBUSTNESS_WINDOW = 100
+
+
+@dataclass
+class WorkloadMetrics:
+    """Summary metrics of one workload execution."""
+
+    first_query_seconds: float
+    cumulative_seconds: float
+    robustness_variance: float
+    payoff_query: Optional[int]
+    convergence_query: Optional[int]
+    n_queries: int
+
+    def as_row(self) -> dict:
+        """Dictionary representation used by the report writers."""
+        return {
+            "first_query": self.first_query_seconds,
+            "convergence": self.convergence_query if self.convergence_query else "x",
+            "robustness": self.robustness_variance,
+            "cumulative": self.cumulative_seconds,
+            "payoff": self.payoff_query if self.payoff_query else "x",
+            "queries": self.n_queries,
+        }
+
+
+def first_query_cost(times: Sequence[float]) -> float:
+    """Time of the first query."""
+    return float(times[0]) if len(times) else 0.0
+
+
+def cumulative_cost(times: Sequence[float]) -> float:
+    """Total time of the workload."""
+    return float(np.sum(times)) if len(times) else 0.0
+
+
+def robustness(times: Sequence[float], window: int = ROBUSTNESS_WINDOW) -> float:
+    """Variance of the first ``window`` query times (the paper's robustness)."""
+    if not len(times):
+        return 0.0
+    head = np.asarray(times[:window], dtype=float)
+    return float(np.var(head))
+
+
+def payoff_query(times: Sequence[float], scan_time: float) -> Optional[int]:
+    """First query number where cumulative cost <= cumulative scan cost.
+
+    ``scan_time`` is the cost of answering one query with a full scan.
+    Returns ``None`` if the method never pays off within the workload.
+    """
+    if scan_time <= 0 or not len(times):
+        return None
+    cumulative = np.cumsum(np.asarray(times, dtype=float))
+    scan_cumulative = scan_time * np.arange(1, len(cumulative) + 1)
+    winners = np.nonzero(cumulative <= scan_cumulative)[0]
+    if winners.size == 0:
+        return None
+    return int(winners[0]) + 1
+
+
+def convergence_query(converged_flags: Sequence[bool]) -> Optional[int]:
+    """First query number after which the index reports convergence."""
+    for query_number, converged in enumerate(converged_flags, start=1):
+        if converged:
+            return query_number
+    return None
+
+
+def compute_metrics(
+    times: Sequence[float],
+    converged_flags: Sequence[bool],
+    scan_time: float,
+    robustness_window: int = ROBUSTNESS_WINDOW,
+) -> WorkloadMetrics:
+    """Compute the full metric set for one workload execution."""
+    return WorkloadMetrics(
+        first_query_seconds=first_query_cost(times),
+        cumulative_seconds=cumulative_cost(times),
+        robustness_variance=robustness(times, window=robustness_window),
+        payoff_query=payoff_query(times, scan_time),
+        convergence_query=convergence_query(converged_flags),
+        n_queries=len(times),
+    )

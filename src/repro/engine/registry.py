@@ -1,0 +1,87 @@
+"""Registry mapping the paper's algorithm acronyms to index classes.
+
+The experiment drivers, the benchmarks and the session API all refer to the
+algorithms by the short names used in the paper's tables (``PQ``, ``PMSD``,
+``PLSD``, ``PB``, ``STD``, ``STC``, ``PSTC``, ``CGI``, ``AA``, ``FS``,
+``FI``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.baselines.full_index import FullIndex
+from repro.baselines.full_scan import FullScan
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.cracking.adaptive_adaptive import AdaptiveAdaptiveIndexing
+from repro.cracking.coarse_granular import CoarseGranularIndex
+from repro.cracking.progressive_stochastic import ProgressiveStochasticCracking
+from repro.cracking.standard import StandardCracking
+from repro.cracking.stochastic import StochasticCracking
+from repro.errors import ExperimentError
+from repro.progressive.bucketsort import ProgressiveBucketsort
+from repro.progressive.quicksort import ProgressiveQuicksort
+from repro.progressive.radixsort_lsd import ProgressiveRadixsortLSD
+from repro.progressive.radixsort_msd import ProgressiveRadixsortMSD
+from repro.storage.column import Column
+
+#: The paper's four progressive indexing techniques.
+PROGRESSIVE_ALGORITHMS: Dict[str, Type[BaseIndex]] = {
+    "PQ": ProgressiveQuicksort,
+    "PMSD": ProgressiveRadixsortMSD,
+    "PLSD": ProgressiveRadixsortLSD,
+    "PB": ProgressiveBucketsort,
+}
+
+#: The adaptive-indexing (cracking) comparators.
+ADAPTIVE_ALGORITHMS: Dict[str, Type[BaseIndex]] = {
+    "STD": StandardCracking,
+    "STC": StochasticCracking,
+    "PSTC": ProgressiveStochasticCracking,
+    "CGI": CoarseGranularIndex,
+    "AA": AdaptiveAdaptiveIndexing,
+}
+
+#: The non-adaptive baselines.
+BASELINE_ALGORITHMS: Dict[str, Type[BaseIndex]] = {
+    "FS": FullScan,
+    "FI": FullIndex,
+}
+
+#: Every algorithm of the evaluation, keyed by its paper acronym.
+ALGORITHMS: Dict[str, Type[BaseIndex]] = {
+    **BASELINE_ALGORITHMS,
+    **ADAPTIVE_ALGORITHMS,
+    **PROGRESSIVE_ALGORITHMS,
+}
+
+
+def create_index(
+    name: str,
+    column: Column,
+    budget: IndexingBudget | None = None,
+    constants: CostConstants | None = None,
+    **kwargs,
+) -> BaseIndex:
+    """Instantiate an algorithm by its paper acronym.
+
+    Parameters
+    ----------
+    name:
+        One of the keys of :data:`ALGORITHMS` (case-insensitive).
+    column:
+        Column to index.
+    budget, constants:
+        Forwarded to the index constructor.
+    kwargs:
+        Additional algorithm-specific keyword arguments.
+    """
+    key = name.upper()
+    if key not in ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        )
+    index_class = ALGORITHMS[key]
+    return index_class(column, budget=budget, constants=constants, **kwargs)

@@ -1,0 +1,166 @@
+"""High-level user-facing API: index a table column and query it.
+
+:class:`IndexingSession` is the entry point a downstream user of the library
+interacts with: register a table, create a (progressive) index on one of its
+columns — either by naming an algorithm or by letting the Figure 11 decision
+tree choose — and run range / point queries.  Every query transparently
+advances the index construction within the configured budget.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import IndexingSession, Table
+>>> table = Table({"ra": np.random.default_rng(0).integers(0, 1000, 10_000)})
+>>> session = IndexingSession(table)
+>>> session.create_index("ra", method="PQ", budget_fraction=0.2)
+>>> result = session.between("ra", 100, 200)
+>>> result.count > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.budget import AdaptiveBudget, FixedBudget, IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.core.query import Predicate, QueryResult
+from repro.engine.decision_tree import recommend_index
+from repro.engine.registry import create_index
+from repro.errors import ExperimentError, IndexStateError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+class IndexingSession:
+    """Manages progressive indexes over the columns of one table.
+
+    Parameters
+    ----------
+    table:
+        The table whose columns can be indexed.  A bare :class:`Column` (or
+        NumPy array) is also accepted and wrapped into a single-column table.
+    constants:
+        Optional cost-model constants shared by all indexes created in this
+        session (calibrate once, reuse everywhere).
+    """
+
+    def __init__(self, table, constants: CostConstants | None = None) -> None:
+        if isinstance(table, Table):
+            self._table = table
+        elif isinstance(table, Column):
+            self._table = Table({table.name: table})
+        else:
+            self._table = Table({"value": Column(table)})
+        self._constants = constants
+        self._indexes: Dict[str, BaseIndex] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        """The session's table."""
+        return self._table
+
+    def indexes(self) -> Dict[str, BaseIndex]:
+        """The indexes created so far, keyed by column name."""
+        return dict(self._indexes)
+
+    def index_for(self, column_name: str) -> BaseIndex:
+        """The index on ``column_name`` (raises if none was created)."""
+        try:
+            return self._indexes[column_name]
+        except KeyError:
+            raise IndexStateError(
+                f"no index was created on column {column_name!r}; "
+                "call create_index() first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        column_name: str,
+        method: Optional[str] = None,
+        budget: Optional[IndexingBudget] = None,
+        budget_fraction: Optional[float] = None,
+        fixed_delta: Optional[float] = None,
+        point_query_workload: bool = False,
+        skewed_data: bool = False,
+        **kwargs,
+    ) -> BaseIndex:
+        """Create a progressive index on ``column_name``.
+
+        Parameters
+        ----------
+        column_name:
+            Which column of the table to index.
+        method:
+            Algorithm acronym (``"PQ"``, ``"PMSD"``, ``"PLSD"``, ``"PB"``, or
+            a baseline).  When omitted the Figure 11 decision tree picks one
+            based on ``point_query_workload`` and ``skewed_data``.
+        budget:
+            Explicit budget controller; overrides the convenience parameters.
+        budget_fraction:
+            Adaptive indexing budget as a fraction of the scan cost (the
+            paper's default experiments use ``0.2``).
+        fixed_delta:
+            Fixed fraction of the column indexed per query.
+        kwargs:
+            Extra keyword arguments forwarded to the index constructor.
+        """
+        if column_name in self._indexes:
+            raise ExperimentError(f"column {column_name!r} is already indexed")
+        column = self._table.column(column_name)
+        if budget is None:
+            if fixed_delta is not None:
+                budget = FixedBudget(fixed_delta)
+            else:
+                budget = AdaptiveBudget(scan_fraction=budget_fraction or 0.2)
+        if method is None:
+            recommendation = recommend_index(
+                point_query_workload=point_query_workload, skewed_data=skewed_data
+            )
+            index = recommendation.create(
+                column, budget=budget, constants=self._constants, **kwargs
+            )
+        else:
+            index = create_index(
+                method, column, budget=budget, constants=self._constants, **kwargs
+            )
+        self._indexes[column_name] = index
+        return index
+
+    def drop_index(self, column_name: str) -> None:
+        """Remove the index on ``column_name`` (no error if absent)."""
+        self._indexes.pop(column_name, None)
+
+    # ------------------------------------------------------------------
+    def between(self, column_name: str, low, high) -> QueryResult:
+        """``SELECT SUM(col), COUNT(*) WHERE col BETWEEN low AND high``.
+
+        Uses the column's index when one exists, otherwise a predicated full
+        scan.
+        """
+        predicate = Predicate(low, high)
+        if column_name in self._indexes:
+            return self._indexes[column_name].query(predicate)
+        column = self._table.column(column_name)
+        value_sum, count = column.scan_range(low, high)
+        return QueryResult(value_sum, count)
+
+    def equals(self, column_name: str, value) -> QueryResult:
+        """Point-query variant of :meth:`between`."""
+        return self.between(column_name, value, value)
+
+    def status(self) -> Dict[str, dict]:
+        """Per-index construction status (phase, queries, convergence)."""
+        report = {}
+        for column_name, index in self._indexes.items():
+            report[column_name] = {
+                "algorithm": index.name,
+                "phase": index.phase.value,
+                "queries_executed": index.queries_executed,
+                "converged": index.converged,
+                "memory_bytes": index.memory_footprint(),
+            }
+        return report

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the progressive indexing library.
+
+All exceptions raised by the library derive from :class:`ProgressiveIndexError`
+so callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ProgressiveIndexError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidColumnError(ProgressiveIndexError):
+    """Raised when a column is constructed from unsuitable data.
+
+    Examples include empty input, non one-dimensional arrays, or data types
+    that cannot be indexed (e.g. object arrays).
+    """
+
+
+class InvalidPredicateError(ProgressiveIndexError):
+    """Raised when a query predicate is malformed (e.g. ``low > high``)."""
+
+
+class InvalidBudgetError(ProgressiveIndexError):
+    """Raised when an indexing budget is configured with invalid parameters.
+
+    The budget fraction ``delta`` must lie in ``[0, 1]`` and time budgets must
+    be non-negative.
+    """
+
+
+class IndexStateError(ProgressiveIndexError):
+    """Raised when an index is driven through an illegal state transition.
+
+    For example, asking a consolidated index to perform further refinement
+    work, or querying an index after its backing column has been released.
+    """
+
+
+class CalibrationError(ProgressiveIndexError):
+    """Raised when hardware-constant calibration produces unusable values."""
+
+
+class WorkloadError(ProgressiveIndexError):
+    """Raised when a workload generator is configured inconsistently."""
+
+
+class ExperimentError(ProgressiveIndexError):
+    """Raised when an experiment driver receives an invalid configuration."""

@@ -1,0 +1,34 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every module corresponds to one or more evaluation artefacts (see the
+per-experiment index in DESIGN.md):
+
+* :mod:`repro.experiments.config` — shared, scaled-down experiment defaults.
+* :mod:`repro.experiments.delta_impact` — Figure 7 (impact of delta).
+* :mod:`repro.experiments.cost_model_validation` — Figures 8 and 9.
+* :mod:`repro.experiments.skyserver_comparison` — Table 2 and Figure 10.
+* :mod:`repro.experiments.synthetic_comparison` — Tables 3, 4 and 5.
+* :mod:`repro.experiments.workload_figures` — Figures 5 and 6 (data /
+  workload shapes).
+* :mod:`repro.experiments.reporting` — plain-text and CSV report writers.
+* :mod:`repro.experiments.runner` — ``python -m repro.experiments.runner``
+  runs everything and writes EXPERIMENTS-style output.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.cost_model_validation import run_cost_model_validation
+from repro.experiments.delta_impact import run_delta_impact
+from repro.experiments.skyserver_comparison import run_figure10, run_skyserver_comparison
+from repro.experiments.synthetic_comparison import run_synthetic_comparison
+from repro.experiments.workload_figures import figure5_summary, figure6_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "figure5_summary",
+    "figure6_summary",
+    "run_cost_model_validation",
+    "run_delta_impact",
+    "run_figure10",
+    "run_skyserver_comparison",
+    "run_synthetic_comparison",
+]

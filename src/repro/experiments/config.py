@@ -1,0 +1,102 @@
+"""Shared experiment configuration.
+
+The paper's experiments run on 10^8–10^9 element columns with up to 160,000
+queries.  The defaults here are scaled down so the full reproduction runs on
+a laptop in minutes; every driver accepts an :class:`ExperimentConfig` so the
+original scale can be requested explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.calibration import CostConstants, calibrate
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    Attributes
+    ----------
+    n_elements:
+        Column size used by the SkyServer-like and synthetic experiments.
+    n_elements_large:
+        Column size of the "10^9" block of Tables 3–5 (scaled down by the
+        same factor as ``n_elements``).
+    n_queries:
+        Number of queries per workload.
+    selectivity:
+        Range-query selectivity of the synthetic workloads (paper: 0.1).
+    budget_fraction:
+        Adaptive indexing budget as a fraction of the scan cost (paper: 0.2).
+    seed:
+        Seed of the experiment-wide random generator.
+    calibrate_constants:
+        Measure the cost-model constants at driver start-up (recommended for
+        timing experiments); otherwise the deterministic simulated constants
+        are used.
+    """
+
+    n_elements: int = 1_000_000
+    n_elements_large: int = 4_000_000
+    n_queries: int = 300
+    selectivity: float = 0.1
+    budget_fraction: float = 0.2
+    seed: int = 42
+    calibrate_constants: bool = True
+    robustness_window: int = 100
+    _constants: CostConstants | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0 or self.n_elements_large <= 0:
+            raise ExperimentError("column sizes must be positive")
+        if self.n_queries <= 0:
+            raise ExperimentError("n_queries must be positive")
+        if not 0 < self.selectivity <= 1:
+            raise ExperimentError("selectivity must be in (0, 1]")
+        if self.budget_fraction <= 0:
+            raise ExperimentError("budget_fraction must be positive")
+
+    # ------------------------------------------------------------------
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh random generator derived from the experiment seed."""
+        return np.random.default_rng(self.seed + salt)
+
+    def constants(self) -> CostConstants:
+        """Cost-model constants (calibrated once per config, then cached)."""
+        if self._constants is None:
+            if self.calibrate_constants:
+                self._constants = calibrate()
+            else:
+                from repro.core.calibration import simulated_constants
+
+                self._constants = simulated_constants()
+        return self._constants
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A tiny configuration for smoke tests and CI."""
+        return cls(
+            n_elements=20_000,
+            n_elements_large=50_000,
+            n_queries=40,
+            calibrate_constants=False,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The original paper's scale (only practical on a large machine)."""
+        return cls(
+            n_elements=100_000_000,
+            n_elements_large=1_000_000_000,
+            n_queries=10_000,
+        )
+
+    def domain(self) -> Tuple[int, int]:
+        """Value domain of the synthetic data sets (``[0, n_elements)``)."""
+        return 0, self.n_elements

@@ -1,0 +1,120 @@
+"""Figures 8 and 9: cost-model validation.
+
+Figure 8 runs the SkyServer-like workload with a **fixed** indexing budget
+(``delta = 0.25``) and compares, per query, the measured execution time with
+the cost-model prediction.  Figure 9 repeats the comparison with the
+**adaptive** indexing budget (``t_budget = 0.2 * t_scan``), where the paper
+additionally observes that the measured per-query time stays approximately
+constant until the index converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.budget import AdaptiveBudget, FixedBudget
+from repro.engine.executor import ExecutionResult, WorkloadExecutor
+from repro.engine.registry import PROGRESSIVE_ALGORITHMS
+from repro.experiments.config import ExperimentConfig
+from repro.storage.column import Column
+from repro.workloads.skyserver import skyserver_data, skyserver_workload
+
+#: Fixed delta used by the Figure 8 experiment.
+FIXED_DELTA = 0.25
+
+
+@dataclass
+class CostModelSeries:
+    """Measured and predicted per-query times for one algorithm."""
+
+    algorithm: str
+    budget: str
+    measured_seconds: np.ndarray
+    predicted_seconds: np.ndarray
+    phases: List[str]
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the series."""
+        return int(self.measured_seconds.size)
+
+    def correlation(self) -> float:
+        """Pearson correlation between measured and predicted times.
+
+        Computed over queries with a prediction; a high correlation is the
+        quantitative counterpart of "the cost model tracks the measured
+        cost" in Figures 8 and 9.
+        """
+        mask = ~np.isnan(self.predicted_seconds)
+        measured = self.measured_seconds[mask]
+        predicted = self.predicted_seconds[mask]
+        if measured.size < 2 or np.allclose(measured, measured[0]) or np.allclose(
+            predicted, predicted[0]
+        ):
+            return 1.0
+        return float(np.corrcoef(measured, predicted)[0, 1])
+
+    def mean_relative_error(self) -> float:
+        """Mean relative deviation of the prediction from the measurement."""
+        mask = ~np.isnan(self.predicted_seconds)
+        measured = self.measured_seconds[mask]
+        predicted = self.predicted_seconds[mask]
+        if measured.size == 0:
+            return 0.0
+        denominator = np.maximum(measured, 1e-12)
+        return float(np.mean(np.abs(predicted - measured) / denominator))
+
+
+@dataclass
+class CostModelValidationResult:
+    """Series of every algorithm for one budget flavour."""
+
+    budget: str
+    series: Dict[str, CostModelSeries] = field(default_factory=dict)
+
+    def algorithms(self) -> List[str]:
+        """Algorithms present in the result."""
+        return sorted(self.series)
+
+
+def _series_from_execution(execution: ExecutionResult, budget: str) -> CostModelSeries:
+    return CostModelSeries(
+        algorithm=execution.index_name,
+        budget=budget,
+        measured_seconds=execution.times(),
+        predicted_seconds=execution.predicted_times(),
+        phases=[record.phase.value for record in execution.records],
+    )
+
+
+def run_cost_model_validation(
+    config: ExperimentConfig | None = None,
+    adaptive: bool = False,
+    algorithms: Sequence[str] | None = None,
+    fixed_delta: float = FIXED_DELTA,
+) -> CostModelValidationResult:
+    """Run the Figure 8 (``adaptive=False``) or Figure 9 (``adaptive=True``) experiment."""
+    config = config or ExperimentConfig()
+    algorithms = list(algorithms or PROGRESSIVE_ALGORITHMS)
+    rng = config.rng(salt=13)
+    data = skyserver_data(config.n_elements, rng=rng)
+    workload = skyserver_workload(config.n_queries, rng=rng)
+    constants = config.constants()
+    executor = WorkloadExecutor()
+    budget_label = "adaptive" if adaptive else f"fixed(delta={fixed_delta})"
+
+    result = CostModelValidationResult(budget=budget_label)
+    for algorithm in algorithms:
+        index_class = PROGRESSIVE_ALGORITHMS[algorithm]
+        column = Column(data, name="ra")
+        if adaptive:
+            budget = AdaptiveBudget(scan_fraction=config.budget_fraction)
+        else:
+            budget = FixedBudget(fixed_delta)
+        index = index_class(column, budget=budget, constants=constants)
+        execution = executor.run(index, workload)
+        result.series[algorithm] = _series_from_execution(execution, budget_label)
+    return result

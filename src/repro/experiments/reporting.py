@@ -1,0 +1,168 @@
+"""Plain-text and CSV report writers for the experiment drivers.
+
+The original paper renders its results as LaTeX tables and R plots; the
+reproduction prints aligned text tables (one per paper artefact) and can dump
+the underlying rows as CSV so they can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_seconds(value: float | None) -> str:
+    """Render a duration with a precision that matches its magnitude."""
+    if value is None:
+        return "x"
+    if value == 0:
+        return "0"
+    if value < 1e-4:
+        return f"{value:.2e}"
+    if value < 1:
+        return f"{value:.4f}"
+    return f"{value:.2f}"
+
+
+def format_count(value) -> str:
+    """Render a query count (``None`` becomes the paper's "x")."""
+    return "x" if value is None else str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Serialise rows to a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Per-artefact renderers
+# ----------------------------------------------------------------------
+def render_table2(result) -> str:
+    """Render Table 2 (SkyServer comparison)."""
+    headers = ["Index", "First Q (s)", "First Q / scan", "Convergence", "Robustness", "Cumulative (s)"]
+    rows = []
+    for name in result.algorithms():
+        row = result.row(name)
+        rows.append(
+            [
+                name,
+                format_seconds(row.first_query_seconds),
+                f"{row.first_query_scan_ratio:.1f}x",
+                format_count(row.convergence_query),
+                format_seconds(row.robustness_variance),
+                format_seconds(row.cumulative_seconds),
+            ]
+        )
+    return render_table(headers, rows, title="Table 2: SkyServer workload")
+
+
+def render_synthetic_table(result, metric: str, title: str) -> str:
+    """Render one of Tables 3-5 from a synthetic comparison result."""
+    sections = []
+    for block in result.blocks():
+        table = result.table(metric, block)
+        if not table:
+            continue
+        algorithms: List[str] = sorted({a for row in table.values() for a in row})
+        headers = ["Workload"] + algorithms
+        rows = []
+        for pattern, values in table.items():
+            rows.append(
+                [pattern] + [format_seconds(values.get(algorithm)) for algorithm in algorithms]
+            )
+        sections.append(render_table(headers, rows, title=f"{title} — {block}"))
+    return "\n\n".join(sections)
+
+
+def render_delta_impact(result) -> str:
+    """Render the Figure 7 sweep as four text tables."""
+    metrics = [
+        ("first_query_seconds", "Figure 7a: first query time (s)"),
+        ("payoff_query", "Figure 7b: queries until pay-off"),
+        ("convergence_query", "Figure 7c: queries until convergence"),
+        ("cumulative_seconds", "Figure 7d: cumulative time (s)"),
+    ]
+    sections = []
+    algorithms = result.algorithms()
+    for metric, title in metrics:
+        deltas = sorted({row.delta for row in result.rows})
+        headers = ["delta"] + algorithms
+        table_rows = []
+        for delta in deltas:
+            row = [f"{delta:g}"]
+            for algorithm in algorithms:
+                match = [
+                    r for r in result.for_algorithm(algorithm) if r.delta == delta
+                ]
+                if not match:
+                    row.append("-")
+                    continue
+                value = getattr(match[0], metric)
+                if metric.endswith("seconds"):
+                    row.append(format_seconds(value))
+                else:
+                    row.append(format_count(value))
+            table_rows.append(row)
+        sections.append(render_table(headers, table_rows, title=title))
+    return "\n\n".join(sections)
+
+
+def render_cost_model_validation(result) -> str:
+    """Render the Figure 8/9 summary (correlation and relative error)."""
+    headers = ["Index", "Budget", "Queries", "Correlation", "Mean rel. error"]
+    rows = []
+    for algorithm in result.algorithms():
+        series = result.series[algorithm]
+        rows.append(
+            [
+                algorithm,
+                series.budget,
+                str(series.n_queries),
+                f"{series.correlation():.3f}",
+                f"{series.mean_relative_error():.2f}",
+            ]
+        )
+    return render_table(
+        headers, rows, title="Figures 8/9: cost model vs. measured time"
+    )
+
+
+def render_figure10(executions: Dict[str, object], head: int = 20) -> str:
+    """Render the first ``head`` per-query times of the Figure 10 series."""
+    headers = ["Query"] + list(executions)
+    rows = []
+    n_queries = min(head, min(execution.n_queries for execution in executions.values()))
+    for query_index in range(n_queries):
+        row = [str(query_index + 1)]
+        for execution in executions.values():
+            row.append(format_seconds(execution.records[query_index].elapsed_seconds))
+        rows.append(row)
+    return render_table(headers, rows, title="Figure 10: per-query time (s), first queries")

@@ -1,0 +1,98 @@
+"""Run the full experiment suite: ``python -m repro.experiments.runner``.
+
+Executes every experiment driver (Figures 5-10, Tables 2-5, the decision-tree
+consistency check) with a configurable scale and prints the rendered report.
+This is the command used to produce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine.decision_tree import recommend_index
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.cost_model_validation import run_cost_model_validation
+from repro.experiments.delta_impact import run_delta_impact
+from repro.experiments.reporting import (
+    render_cost_model_validation,
+    render_delta_impact,
+    render_figure10,
+    render_synthetic_table,
+    render_table2,
+)
+from repro.experiments.skyserver_comparison import run_figure10, run_skyserver_comparison
+from repro.experiments.synthetic_comparison import run_synthetic_comparison
+from repro.experiments.workload_figures import figure5_summary
+
+
+def build_config(arguments: argparse.Namespace) -> ExperimentConfig:
+    """Translate CLI arguments into an :class:`ExperimentConfig`."""
+    if arguments.quick:
+        return ExperimentConfig.quick()
+    return ExperimentConfig(
+        n_elements=arguments.elements,
+        n_elements_large=arguments.large_elements,
+        n_queries=arguments.queries,
+        calibrate_constants=not arguments.no_calibration,
+    )
+
+
+def run_all(config: ExperimentConfig, output=sys.stdout) -> None:
+    """Run every experiment and print the rendered sections."""
+    sections = []
+    started = time.perf_counter()
+
+    figure5 = figure5_summary(config)
+    sections.append(
+        "Figure 5: SkyServer-like inputs — distribution skew "
+        f"{figure5.distribution_skew():.1f}x, workload drift "
+        f"{figure5.workload_drift() * 100:.2f}% of the domain per query"
+    )
+
+    sections.append(render_delta_impact(run_delta_impact(config)))
+    sections.append(render_cost_model_validation(run_cost_model_validation(config, adaptive=False)))
+    sections.append(render_cost_model_validation(run_cost_model_validation(config, adaptive=True)))
+    sections.append(render_table2(run_skyserver_comparison(config)))
+    sections.append(render_figure10(run_figure10(config)))
+
+    synthetic = run_synthetic_comparison(config)
+    sections.append(render_synthetic_table(synthetic, "first_query_seconds", "Table 3: first query cost (s)"))
+    sections.append(render_synthetic_table(synthetic, "cumulative_seconds", "Table 4: cumulative time (s)"))
+    sections.append(render_synthetic_table(synthetic, "robustness_variance", "Table 5: robustness (variance)"))
+
+    recommendation = recommend_index(point_query_workload=False, skewed_data=False)
+    sections.append(
+        "Figure 11: decision tree — uniform range workload recommendation: "
+        f"{recommendation.acronym} ({recommendation.reason})"
+    )
+
+    elapsed = time.perf_counter() - started
+    sections.append(f"Total experiment time: {elapsed:.1f}s")
+    print("\n\n".join(sections), file=output)
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--elements", type=int, default=1_000_000, help="column size")
+    parser.add_argument(
+        "--large-elements", type=int, default=4_000_000, help="column size of the large block"
+    )
+    parser.add_argument("--queries", type=int, default=300, help="queries per workload")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny configuration for a fast smoke run"
+    )
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="use the deterministic simulated cost constants",
+    )
+    arguments = parser.parse_args(argv)
+    run_all(build_config(arguments))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

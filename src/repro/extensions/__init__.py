@@ -1,0 +1,19 @@
+"""Extensions from the paper's future-work section (Section 6).
+
+The paper sketches how other index structures can be made progressive.  Two
+of them are cheap to express on top of this library's machinery and are
+provided here:
+
+* :class:`~repro.extensions.progressive_hash.ProgressiveHashIndex` — "instead
+  of constructing the complete hash table, we only insert ``n * delta``
+  elements and scan the remainder of the column.  The partial hash table can
+  be used to answer point queries on the indexed part of the data."
+* :class:`~repro.extensions.column_imprints.ProgressiveColumnImprints` —
+  "column imprints, where instead of immediately building imprints for the
+  entire column, only build them for the first fraction delta of the data."
+"""
+
+from repro.extensions.column_imprints import ProgressiveColumnImprints
+from repro.extensions.progressive_hash import ProgressiveHashIndex
+
+__all__ = ["ProgressiveColumnImprints", "ProgressiveHashIndex"]

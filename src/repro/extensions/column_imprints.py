@@ -1,0 +1,174 @@
+"""Progressive column imprints (future work, Section 6 of the paper).
+
+Column imprints (Sidirourgos & Kersten, SIGMOD 2013) are a secondary index
+that stores, per cache-line-sized block of the column, a small bitmap of the
+value ranges (bins) occurring in that block.  A range query only scans the
+blocks whose bitmap intersects the query's bins.
+
+The progressive variant builds the imprints ``delta * N`` elements per query:
+blocks that already have an imprint are pruned with it, the not-yet-imprinted
+tail of the column is scanned unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.storage.column import Column
+
+#: Number of value bins per imprint bitmap (the original paper uses up to 64,
+#: one bit per bin, so a bitmap fits a machine word).
+DEFAULT_BINS = 64
+
+#: Number of column elements summarised by one imprint bitmap.
+DEFAULT_BLOCK_ELEMENTS = 64
+
+
+class ProgressiveColumnImprints(BaseIndex):
+    """Progressively built column imprints for range-query pruning.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Indexing-budget controller.
+    constants:
+        Cost-model constants.
+    n_bins:
+        Number of equi-width value bins per bitmap.
+    block_elements:
+        Number of consecutive column elements covered by one bitmap.
+    """
+
+    name = "PIMP"
+    description = "Progressive column imprints (future-work extension)"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        n_bins: int = DEFAULT_BINS,
+        block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be at least 2, got {n_bins}")
+        if block_elements < 1:
+            raise ValueError(f"block_elements must be positive, got {block_elements}")
+        self.n_bins = int(n_bins)
+        self.block_elements = int(block_elements)
+        self._phase = IndexPhase.INACTIVE
+        self._bin_edges: np.ndarray | None = None
+        self._imprints: np.ndarray | None = None     # (n_blocks,) uint64 bitmaps
+        self._blocks_imprinted = 0
+        self._n_blocks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    @property
+    def blocks_imprinted(self) -> int:
+        """Number of blocks whose imprint bitmap has been built."""
+        return self._blocks_imprinted
+
+    def memory_footprint(self) -> int:
+        if self._imprints is None:
+            return 0
+        return int(self._imprints.nbytes) + int(self._bin_edges.nbytes)
+
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        n = len(self._column)
+        low = float(self._column.min())
+        high = float(self._column.max())
+        if high <= low:
+            high = low + 1.0
+        self._bin_edges = np.linspace(low, high, self.n_bins + 1)[1:-1]
+        self._n_blocks = int(np.ceil(n / self.block_elements))
+        self._imprints = np.zeros(self._n_blocks, dtype=np.uint64)
+        self._blocks_imprinted = 0
+        self._budget.register_scan_time(self._cost_model.scan_time(n))
+        self._phase = IndexPhase.CREATION
+
+    def _bins_of(self, values: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._bin_edges, values, side="right")
+
+    def _imprint_blocks(self, block_budget: int) -> int:
+        built = 0
+        data = self._column.data
+        while built < block_budget and self._blocks_imprinted < self._n_blocks:
+            block = self._blocks_imprinted
+            start = block * self.block_elements
+            stop = min(len(self._column), start + self.block_elements)
+            bins = self._bins_of(data[start:stop])
+            bitmap = np.bitwise_or.reduce(np.left_shift(np.uint64(1), bins.astype(np.uint64)))
+            self._imprints[block] = bitmap
+            self._blocks_imprinted += 1
+            built += 1
+        return built
+
+    def _query_bitmap(self, predicate: Predicate) -> np.uint64:
+        low_bin = int(self._bins_of(np.asarray([predicate.low]))[0])
+        high_bin = int(self._bins_of(np.asarray([predicate.high]))[0])
+        bitmap = np.uint64(0)
+        for bin_number in range(low_bin, high_bin + 1):
+            bitmap |= np.uint64(1) << np.uint64(bin_number)
+        return bitmap
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._phase is IndexPhase.INACTIVE:
+            self._initialize()
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        build_time = self._cost_model.write_time(n)
+        rho = self._blocks_imprinted / max(1, self._n_blocks)
+        base_cost = scan_time  # pessimistic: pruning factor is data dependent
+        delta = self._budget.next_delta(build_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        block_budget = int(np.ceil(delta * self._n_blocks)) if delta > 0 else 0
+        built = self._imprint_blocks(block_budget) if block_budget > 0 else 0
+
+        result = self._answer(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = built * self.block_elements
+        self.last_stats.predicted_cost = base_cost + delta * build_time
+
+        if self._blocks_imprinted >= self._n_blocks and self._phase is IndexPhase.CREATION:
+            self._phase = IndexPhase.CONVERGED
+        return result
+
+    def _answer(self, predicate: Predicate) -> QueryResult:
+        data = self._column.data
+        query_bitmap = self._query_bitmap(predicate)
+        result = QueryResult.empty()
+        if self._blocks_imprinted > 0:
+            bitmaps = self._imprints[: self._blocks_imprinted]
+            candidates = np.nonzero(bitmaps & query_bitmap)[0]
+            for block in candidates:
+                start = int(block) * self.block_elements
+                stop = min(len(self._column), start + self.block_elements)
+                segment = data[start:stop]
+                result += QueryResult.from_masked(segment, predicate.mask(segment))
+        tail_start = self._blocks_imprinted * self.block_elements
+        if tail_start < len(self._column):
+            result += self._scan_column(predicate, start=tail_start)
+        return result
+
+    def pruning_fraction(self, predicate: Predicate) -> float:
+        """Fraction of imprinted blocks a query can skip (1.0 = skip all)."""
+        if self._blocks_imprinted == 0:
+            return 0.0
+        bitmaps = self._imprints[: self._blocks_imprinted]
+        candidates = int(np.count_nonzero(bitmaps & self._query_bitmap(predicate)))
+        return 1.0 - candidates / self._blocks_imprinted

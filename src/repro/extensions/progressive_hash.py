@@ -1,0 +1,125 @@
+"""Progressive hash index (future work, Section 6 of the paper).
+
+A hash table over the column values is built ``delta * N`` elements per
+query.  Point queries use the hash table for the already-inserted prefix of
+the column and scan the remaining tail; range queries always scan (a hash
+table cannot prune ranges), so this extension only pays off for point-query
+workloads — which is exactly the trade-off the paper's future-work section
+describes.
+
+The "hash table" maps a value to the aggregate of its occurrences in the
+indexed prefix (sum and count), which is all the paper's ``SUM``/``COUNT``
+queries need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.storage.column import Column
+
+
+class ProgressiveHashIndex(BaseIndex):
+    """A progressively built hash index accelerating point queries.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Indexing-budget controller; the full phase work is one pass that
+        hashes every element of the column.
+    constants:
+        Cost-model constants.
+    """
+
+    name = "PHASH"
+    description = "Progressive hash index (future-work extension)"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        self._phase = IndexPhase.INACTIVE
+        self._table: Dict[int, tuple] = {}
+        self._elements_inserted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    @property
+    def elements_inserted(self) -> int:
+        """Number of column elements already present in the hash table."""
+        return self._elements_inserted
+
+    def memory_footprint(self) -> int:
+        # Rough estimate: one dict slot (key + sum + count) per distinct value.
+        return len(self._table) * 3 * 8
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        if self._phase is IndexPhase.INACTIVE:
+            self._budget.register_scan_time(self._cost_model.scan_time(n))
+            self._phase = IndexPhase.CREATION
+
+        scan_time = self._cost_model.scan_time(n)
+        build_time = self._cost_model.write_time(n) + n * self._cost_model.constants.phi
+        rho = self._elements_inserted / n
+        if predicate.is_point:
+            base_cost = (1.0 - rho) * scan_time + self._cost_model.constants.phi
+        else:
+            base_cost = scan_time
+        delta = self._budget.next_delta(build_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        to_insert = min(n - self._elements_inserted, int(np.ceil(delta * n))) if delta > 0 else 0
+
+        if to_insert > 0:
+            self._insert_chunk(to_insert)
+
+        if predicate.is_point and self._elements_inserted > 0:
+            aggregate = self._table.get(int(predicate.low), (0, 0))
+            result = QueryResult(aggregate[0], aggregate[1])
+            result += self._scan_column(predicate, start=self._elements_inserted)
+        else:
+            result = self._scan_column(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = to_insert
+        self.last_stats.predicted_cost = base_cost + delta * build_time
+
+        if self._elements_inserted >= n and self._phase is IndexPhase.CREATION:
+            self._phase = IndexPhase.CONVERGED
+        return result
+
+    def _insert_chunk(self, count: int) -> None:
+        start = self._elements_inserted
+        stop = min(len(self._column), start + count)
+        chunk = self._column.data[start:stop]
+        values, sums, counts = _aggregate_chunk(chunk)
+        for value, value_sum, value_count in zip(values, sums, counts):
+            previous = self._table.get(int(value), (0, 0))
+            self._table[int(value)] = (previous[0] + value_sum, previous[1] + int(value_count))
+        self._elements_inserted = stop
+
+
+def _aggregate_chunk(chunk: np.ndarray):
+    """Group a chunk by value, returning (values, per-value sums, counts)."""
+    values, inverse, counts = np.unique(chunk, return_inverse=True, return_counts=True)
+    sums = np.bincount(inverse, weights=chunk.astype(np.float64))
+    # Integer columns should keep exact integer sums.
+    if np.issubdtype(chunk.dtype, np.integer):
+        sums = values.astype(np.int64) * counts
+    return values, sums, counts

@@ -1,0 +1,30 @@
+"""Progressive indexing algorithms (the paper's core contribution).
+
+The four algorithms of Section 3 are implemented here, together with the
+shared machinery they are built from:
+
+* :mod:`repro.progressive.blocks` — linked lists of fixed-size blocks used by
+  the bucket-based algorithms.
+* :mod:`repro.progressive.pivot_tree` — the binary tree of pivots tracking
+  partially partitioned ranges during Quicksort-style refinement.
+* :mod:`repro.progressive.sorter` — a reusable, budget-bounded progressive
+  range sorter (creation-phase mechanics applied to refinement).
+* :mod:`repro.progressive.consolidation` — progressive construction of the
+  B+-tree cascade from a sorted array.
+* :mod:`repro.progressive.quicksort` — Progressive Quicksort.
+* :mod:`repro.progressive.radixsort_msd` — Progressive Radixsort (MSD).
+* :mod:`repro.progressive.radixsort_lsd` — Progressive Radixsort (LSD).
+* :mod:`repro.progressive.bucketsort` — Progressive Bucketsort (Equi-Height).
+"""
+
+from repro.progressive.bucketsort import ProgressiveBucketsort
+from repro.progressive.quicksort import ProgressiveQuicksort
+from repro.progressive.radixsort_lsd import ProgressiveRadixsortLSD
+from repro.progressive.radixsort_msd import ProgressiveRadixsortMSD
+
+__all__ = [
+    "ProgressiveBucketsort",
+    "ProgressiveQuicksort",
+    "ProgressiveRadixsortLSD",
+    "ProgressiveRadixsortMSD",
+]

@@ -1,0 +1,203 @@
+"""Linked lists of fixed-size blocks backing the bucket-based algorithms.
+
+Section 3.2 of the paper: "To avoid having to allocate large regions of
+sequential data for every bucket, the buckets are implemented as a linked
+list of blocks of memory that each hold up to ``sb`` elements."
+
+:class:`BlockList` reproduces that layout: appending allocates a new block
+whenever the current one is full, scans touch one block at a time (which is
+what the ``t_bscan = t_scan + phi * N / sb`` cost term models), and the list
+can be materialised into a contiguous array when a bucket is merged into the
+final sorted index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_BLOCK_SIZE
+from repro.core.query import QueryResult
+
+
+class BlockList:
+    """An append-only list of values stored in fixed-size blocks.
+
+    Parameters
+    ----------
+    block_size:
+        Maximum number of elements per block (paper: ``sb``).
+    dtype:
+        Element dtype; defaults to ``int64`` to match the paper's 8-byte
+        integers.
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE, dtype=np.int64) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = int(block_size)
+        self.dtype = np.dtype(dtype)
+        self._blocks: List[np.ndarray] = []
+        self._last_fill = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of allocated blocks."""
+        return len(self._blocks)
+
+    @property
+    def n_allocations(self) -> int:
+        """Alias of :attr:`n_blocks`; each block is one allocation (cost τ)."""
+        return len(self._blocks)
+
+    def memory_footprint(self) -> int:
+        """Bytes allocated by the block list."""
+        return self.n_blocks * self.block_size * self.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    def append_array(self, values: np.ndarray) -> None:
+        """Append ``values`` (in order), allocating blocks as needed."""
+        values = np.asarray(values, dtype=self.dtype)
+        offset = 0
+        remaining = values.size
+        while remaining > 0:
+            if not self._blocks or self._last_fill == self.block_size:
+                self._blocks.append(np.empty(self.block_size, dtype=self.dtype))
+                self._last_fill = 0
+            space = self.block_size - self._last_fill
+            take = min(space, remaining)
+            block = self._blocks[-1]
+            block[self._last_fill : self._last_fill + take] = values[offset : offset + take]
+            self._last_fill += take
+            offset += take
+            remaining -= take
+        self._size += values.size
+
+    def append(self, value) -> None:
+        """Append a single value (convenience wrapper for tests)."""
+        self.append_array(np.asarray([value], dtype=self.dtype))
+
+    # ------------------------------------------------------------------
+    def iter_filled(self) -> Iterator[np.ndarray]:
+        """Iterate over the filled portion of every block, in append order."""
+        for index, block in enumerate(self._blocks):
+            if index == len(self._blocks) - 1:
+                yield block[: self._last_fill]
+            else:
+                yield block
+
+    def scan(self, low, high) -> QueryResult:
+        """Predicated scan of all stored values against ``[low, high]``."""
+        total = QueryResult.empty()
+        for chunk in self.iter_filled():
+            mask = (chunk >= low) & (chunk <= high)
+            total += QueryResult.from_masked(chunk, mask)
+        return total
+
+    def to_array(self) -> np.ndarray:
+        """Concatenate the stored values into a single contiguous array."""
+        if not self._blocks:
+            return np.empty(0, dtype=self.dtype)
+        return np.concatenate(list(self.iter_filled()))
+
+    def slice_array(self, start: int, count: int) -> np.ndarray:
+        """Return ``count`` elements starting at logical offset ``start``.
+
+        Used by the progressive merge step, which drains a bucket a bounded
+        number of elements at a time.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=self.dtype)
+        start = max(0, start)
+        stop = min(self._size, start + count)
+        if start >= stop:
+            return np.empty(0, dtype=self.dtype)
+        pieces = []
+        block_start = 0
+        for chunk in self.iter_filled():
+            block_stop = block_start + chunk.size
+            if block_stop > start and block_start < stop:
+                lo = max(0, start - block_start)
+                hi = min(chunk.size, stop - block_start)
+                pieces.append(chunk[lo:hi])
+            block_start = block_stop
+            if block_start >= stop:
+                break
+        if not pieces:
+            return np.empty(0, dtype=self.dtype)
+        return np.concatenate(pieces)
+
+    def clear(self) -> None:
+        """Release all blocks."""
+        self._blocks = []
+        self._last_fill = 0
+        self._size = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BlockList(size={self._size}, blocks={self.n_blocks}, "
+            f"block_size={self.block_size})"
+        )
+
+
+class BucketSet:
+    """A fixed number of :class:`BlockList` buckets addressed by bucket id."""
+
+    def __init__(self, n_buckets: int, block_size: int = DEFAULT_BLOCK_SIZE, dtype=np.int64) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+        self.n_buckets = int(n_buckets)
+        self.block_size = int(block_size)
+        self.dtype = np.dtype(dtype)
+        self.buckets: List[BlockList] = [
+            BlockList(block_size=block_size, dtype=dtype) for _ in range(n_buckets)
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets)
+
+    def __getitem__(self, bucket_id: int) -> BlockList:
+        return self.buckets[bucket_id]
+
+    def scatter(self, values: np.ndarray, bucket_ids: np.ndarray) -> None:
+        """Append each value to the bucket named by ``bucket_ids`` (stable).
+
+        The scatter iterates over the (small, fixed) number of buckets rather
+        than over elements, so the per-element work stays vectorised.
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        bucket_ids = np.asarray(bucket_ids)
+        for bucket_id in np.unique(bucket_ids):
+            mask = bucket_ids == bucket_id
+            self.buckets[int(bucket_id)].append_array(values[mask])
+
+    def scan(self, low, high, bucket_range: range | None = None) -> QueryResult:
+        """Scan the given buckets (all by default) for values in ``[low, high]``."""
+        total = QueryResult.empty()
+        indices = bucket_range if bucket_range is not None else range(self.n_buckets)
+        for bucket_id in indices:
+            total += self.buckets[bucket_id].scan(low, high)
+        return total
+
+    def sizes(self) -> np.ndarray:
+        """Array of bucket sizes."""
+        return np.array([len(bucket) for bucket in self.buckets], dtype=np.int64)
+
+    def total_allocations(self) -> int:
+        """Total number of block allocations across all buckets."""
+        return sum(bucket.n_allocations for bucket in self.buckets)
+
+    def memory_footprint(self) -> int:
+        """Bytes allocated across all buckets."""
+        return sum(bucket.memory_footprint() for bucket in self.buckets)
+
+    def clear(self) -> None:
+        """Release every bucket's blocks."""
+        for bucket in self.buckets:
+            bucket.clear()

@@ -1,0 +1,399 @@
+"""Progressive Bucketsort, equi-height partitions (Section 3.3).
+
+Progressive Bucketsort is structurally identical to Progressive Radixsort
+(MSD) but chooses buckets by *value-based* range partitioning instead of
+radix clustering: a set of bucket boundaries that split the data into
+(approximately) equally sized buckets, which keeps the partitioning balanced
+also for skewed data distributions.  Locating the bucket of an element costs
+an extra binary search over the boundaries (``log2(b)`` per element), which
+is exactly the extra term in the creation-phase cost model.
+
+Creation
+    Every query moves ``delta * N`` elements of the base column into the
+    equi-height buckets; queries scan the buckets overlapping the predicate
+    plus the not-yet-bucketed column tail.
+
+Refinement
+    The buckets are merged in value order into the final sorted array.  Each
+    bucket is first drained into its (pre-computed) segment of the array and
+    then sorted progressively with the shared
+    :class:`~repro.progressive.sorter.ProgressiveSorter` — the paper's
+    "sort the individual buckets into the final sorted list using Progressive
+    Quicksort", which avoids a latency spike when a large bucket is merged.
+
+Consolidation
+    Identical to the other algorithms: a B+-tree cascade over the sorted
+    array.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.btree.cascade import DEFAULT_FANOUT
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.progressive.blocks import BucketSet
+from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD, ProgressiveSorter
+from repro.storage.column import Column
+
+#: Default number of equi-height buckets (matches the radix variants).
+DEFAULT_BUCKET_COUNT = 64
+
+#: Number of elements sampled to estimate the equi-height bucket boundaries.
+#: The paper obtains the bounds "in the scan to answer the first query or
+#: from existing statistics"; a fixed-size sample keeps the first-query
+#: overhead bounded while producing near-equal bucket sizes.
+DEFAULT_BOUNDS_SAMPLE = 65536
+
+
+class _BucketState(enum.Enum):
+    WAITING = "waiting"    # data lives in the bucket's block list
+    COPYING = "copying"    # draining the block list into the final array
+    SORTING = "sorting"    # progressive quicksort of the array segment
+    DONE = "done"
+
+
+class _MergeBucket:
+    """Per-bucket refinement state."""
+
+    __slots__ = ("bucket_id", "offset", "size", "state", "copied", "sorter")
+
+    def __init__(self, bucket_id: int, offset: int, size: int) -> None:
+        self.bucket_id = bucket_id
+        self.offset = int(offset)
+        self.size = int(size)
+        self.state = _BucketState.WAITING if size else _BucketState.DONE
+        self.copied = 0
+        self.sorter: Optional[ProgressiveSorter] = None
+
+
+class ProgressiveBucketsort(BaseIndex):
+    """Progressive Bucketsort (Equi-Height) index over a single column.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Indexing-budget controller.
+    constants:
+        Cost-model constants.
+    n_buckets:
+        Number of equi-height buckets.
+    block_size:
+        Elements per linked block (paper: ``sb``).
+    sort_threshold:
+        Segment size below which the per-bucket progressive sort finishes a
+        piece outright.
+    bounds_sample:
+        Number of elements sampled to estimate the bucket boundaries.
+    fanout:
+        β of the consolidation-phase B+-tree cascade.
+    """
+
+    name = "PB"
+    description = "Progressive Bucketsort (Equi-Height)"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        n_buckets: int = DEFAULT_BUCKET_COUNT,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sort_threshold: int = DEFAULT_SORT_THRESHOLD,
+        bounds_sample: int = DEFAULT_BOUNDS_SAMPLE,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        if n_buckets < 2:
+            raise ValueError(f"n_buckets must be at least 2, got {n_buckets}")
+        self.n_buckets = int(n_buckets)
+        self.block_size = int(block_size)
+        self.sort_threshold = int(sort_threshold)
+        self.bounds_sample = int(bounds_sample)
+        self.fanout = int(fanout)
+        self._cost_model.block_size = self.block_size
+        self._phase = IndexPhase.INACTIVE
+        # Creation state --------------------------------------------------
+        self._bounds: np.ndarray | None = None
+        self._buckets: BucketSet | None = None
+        self._elements_bucketed = 0
+        # Refinement state ------------------------------------------------
+        self._final_array: np.ndarray | None = None
+        self._merge_buckets: List[_MergeBucket] | None = None
+        self._worklist: Deque[_MergeBucket] = deque()
+        self._unfinished = 0
+        # Consolidation state ---------------------------------------------
+        self._consolidator: ProgressiveConsolidator | None = None
+        self._cascade = None
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    @property
+    def bounds(self) -> np.ndarray | None:
+        """The equi-height bucket boundaries (``n_buckets - 1`` values)."""
+        return self._bounds
+
+    def memory_footprint(self) -> int:
+        total = 0
+        if self._buckets is not None:
+            total += self._buckets.memory_footprint()
+        if self._final_array is not None:
+            total += self._final_array.nbytes
+        if self._cascade is not None:
+            total += self._cascade.memory_footprint()
+        return total
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._phase is IndexPhase.INACTIVE:
+            self._initialize()
+        if self._phase is IndexPhase.CREATION:
+            return self._execute_creation(predicate)
+        if self._phase is IndexPhase.REFINEMENT:
+            return self._execute_refinement(predicate)
+        if self._phase is IndexPhase.CONSOLIDATION:
+            return self._execute_consolidation(predicate)
+        return self._execute_converged(predicate)
+
+    # ------------------------------------------------------------------
+    # Creation phase
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        n = len(self._column)
+        data = self._column.data
+        if n > self.bounds_sample:
+            step = max(1, n // self.bounds_sample)
+            sample = data[::step]
+        else:
+            sample = data
+        quantiles = np.linspace(0.0, 1.0, self.n_buckets + 1)[1:-1]
+        self._bounds = np.quantile(sample, quantiles)
+        self._buckets = BucketSet(
+            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+        )
+        self._elements_bucketed = 0
+        self._budget.register_scan_time(self._cost_model.scan_time(n))
+        self._phase = IndexPhase.CREATION
+
+    def _bucket_id(self, values: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._bounds, values, side="right")
+
+    def _relevant_bucket_range(self, predicate: Predicate) -> range:
+        low_id = int(np.searchsorted(self._bounds, predicate.low, side="right"))
+        high_id = int(np.searchsorted(self._bounds, predicate.high, side="right"))
+        return range(low_id, high_id + 1)
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        bucket_range = self._relevant_bucket_range(predicate)
+        indexed_relevant = sum(len(self._buckets[i]) for i in bucket_range)
+        alpha = indexed_relevant / n if n else 0.0
+
+        scan_time = self._cost_model.scan_time(n)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        bucket_write_time = self._cost_model.equiheight_bucket_write_time(n, self.n_buckets)
+        base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
+        delta = self._budget.next_delta(bucket_write_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
+
+        if to_bucket > 0:
+            start = self._elements_bucketed
+            chunk = self._column.data[start : start + to_bucket]
+            self._buckets.scatter(chunk, self._bucket_id(chunk))
+            self._elements_bucketed += chunk.size
+
+        result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
+        result += self._scan_column(predicate, start=self._elements_bucketed)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = to_bucket
+        self.last_stats.predicted_cost = (
+            max(0.0, 1.0 - rho - delta) * scan_time
+            + alpha * bucket_scan_time
+            + delta * bucket_write_time
+        )
+
+        if self._elements_bucketed >= n:
+            self._enter_refinement()
+        return result
+
+    # ------------------------------------------------------------------
+    # Refinement phase
+    # ------------------------------------------------------------------
+    def _enter_refinement(self) -> None:
+        n = len(self._column)
+        self._final_array = np.empty(n, dtype=self._column.dtype)
+        sizes = self._buckets.sizes()
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self._merge_buckets = []
+        self._unfinished = 0
+        for bucket_id in range(self.n_buckets):
+            merge = _MergeBucket(bucket_id, int(offsets[bucket_id]), int(sizes[bucket_id]))
+            self._merge_buckets.append(merge)
+            if merge.state is not _BucketState.DONE:
+                self._unfinished += 1
+                self._worklist.append(merge)
+        self._phase = IndexPhase.REFINEMENT
+        if self._unfinished == 0:
+            self._enter_consolidation()
+
+    def _bucket_value_bounds(self, bucket_id: int) -> tuple:
+        low = float(self._column.min()) if bucket_id == 0 else float(self._bounds[bucket_id - 1])
+        high = (
+            float(self._column.max())
+            if bucket_id == self.n_buckets - 1
+            else float(self._bounds[bucket_id])
+        )
+        return low, high
+
+    def _refine_step(self, element_budget: int) -> int:
+        processed = 0
+        budget = int(element_budget)
+        while budget > 0 and self._worklist:
+            merge = self._worklist[0]
+            if merge.state is _BucketState.WAITING:
+                merge.state = _BucketState.COPYING
+            if merge.state is _BucketState.COPYING:
+                take = min(budget, merge.size - merge.copied)
+                if take > 0:
+                    chunk = self._buckets[merge.bucket_id].slice_array(merge.copied, take)
+                    start = merge.offset + merge.copied
+                    self._final_array[start : start + chunk.size] = chunk
+                    merge.copied += chunk.size
+                    processed += chunk.size
+                    budget -= chunk.size
+                if merge.copied >= merge.size:
+                    self._buckets[merge.bucket_id].clear()
+                    value_low, value_high = self._bucket_value_bounds(merge.bucket_id)
+                    merge.sorter = ProgressiveSorter(
+                        self._final_array,
+                        start=merge.offset,
+                        end=merge.offset + merge.size,
+                        value_low=value_low,
+                        value_high=value_high,
+                        sort_threshold=self.sort_threshold,
+                    )
+                    merge.state = _BucketState.SORTING
+            elif merge.state is _BucketState.SORTING:
+                done = merge.sorter.refine(budget)
+                processed += done
+                budget -= done
+                if merge.sorter.is_sorted:
+                    merge.state = _BucketState.DONE
+                    self._unfinished -= 1
+                    self._worklist.popleft()
+                elif done == 0:  # pragma: no cover - defensive
+                    break
+            else:  # pragma: no cover - defensive
+                self._worklist.popleft()
+        return processed
+
+    def _query_merge_bucket(self, merge: _MergeBucket, predicate: Predicate) -> QueryResult:
+        if merge.size == 0:
+            return QueryResult.empty()
+        if merge.state in (_BucketState.WAITING, _BucketState.COPYING):
+            # The block list still holds the bucket's complete data.
+            return self._buckets[merge.bucket_id].scan(predicate.low, predicate.high)
+        if merge.state is _BucketState.SORTING:
+            return merge.sorter.query(predicate)
+        segment = self._final_array[merge.offset : merge.offset + merge.size]
+        lo = np.searchsorted(segment, predicate.low, side="left")
+        hi = np.searchsorted(segment, predicate.high, side="right")
+        if hi <= lo:
+            return QueryResult.empty()
+        matched = segment[lo:hi]
+        return QueryResult(matched.sum(), int(matched.size))
+
+    def _relevant_refinement_size(self, merge: _MergeBucket, predicate: Predicate) -> int:
+        if merge.size == 0 or merge.state is _BucketState.DONE:
+            return 0
+        if merge.state is _BucketState.SORTING:
+            return int(merge.sorter.scanned_fraction(predicate) * merge.size)
+        return merge.size
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        swap_time = self._cost_model.swap_time(n)
+        bucket_range = self._relevant_bucket_range(predicate)
+        relevant = sum(
+            self._relevant_refinement_size(self._merge_buckets[i], predicate)
+            for i in bucket_range
+        )
+        alpha = relevant / n if n else 0.0
+        base_cost = alpha * bucket_scan_time
+        delta = self._budget.next_delta(swap_time, base_cost)
+        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+
+        refined = self._refine_step(element_budget) if element_budget > 0 else 0
+
+        result = QueryResult.empty()
+        for bucket_id in bucket_range:
+            result += self._query_merge_bucket(self._merge_buckets[bucket_id], predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = refined
+        self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * swap_time
+
+        if self._unfinished == 0:
+            self._enter_consolidation()
+        return result
+
+    # ------------------------------------------------------------------
+    # Consolidation phase
+    # ------------------------------------------------------------------
+    def _enter_consolidation(self) -> None:
+        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
+        self._buckets = None
+        self._merge_buckets = None
+        self._phase = IndexPhase.CONSOLIDATION
+        if self._consolidator.done:
+            self._enter_converged()
+
+    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        total_copy = max(1, self._consolidator.total_elements)
+        copy_time = self._cost_model.consolidation_copy_time(total_copy)
+        alpha = self._consolidator.matching_fraction(predicate)
+        lookup_time = self._cost_model.binary_search_time(n)
+        base_cost = lookup_time + alpha * scan_time
+        delta = self._budget.next_delta(copy_time, base_cost)
+        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
+
+        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
+        result = self._consolidator.query(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = copied
+        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
+
+        if self._consolidator.done:
+            self._enter_converged()
+        return result
+
+    def _enter_converged(self) -> None:
+        self._cascade = self._consolidator.result()
+        self._phase = IndexPhase.CONVERGED
+
+    def _execute_converged(self, predicate: Predicate) -> QueryResult:
+        result = self._cascade.query(predicate)
+        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
+        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
+        return result

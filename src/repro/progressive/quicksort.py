@@ -1,0 +1,294 @@
+"""Progressive Quicksort (Section 3.1 of the paper).
+
+The algorithm progresses through the three canonical phases:
+
+Creation
+    An uninitialised array of the column's size is allocated on the first
+    query and a pivot is chosen as the average of the column's smallest and
+    largest value.  Every query copies another ``delta * N`` elements of the
+    base column into the array — values below the pivot fill the array from
+    the top, values at or above the pivot fill it from the bottom — and
+    answers the query from the already-copied pieces plus a scan of the
+    not-yet-copied tail of the base column.
+
+Refinement
+    The two initial pieces are recursively partitioned in place around new
+    pivots (midpoints of the piece's value bounds), a bounded number of
+    elements per query, driven by the shared
+    :class:`~repro.progressive.sorter.ProgressiveSorter`.  A binary tree of
+    pivots routes lookups to the pieces that can contain matching values.
+
+Consolidation
+    Once the array is fully sorted, a B+-tree cascade is built on top of it,
+    ``delta`` of the copy work per query
+    (:class:`~repro.progressive.consolidation.ProgressiveConsolidator`).
+
+The per-phase cost models implement the formulas of Section 3.1 and drive the
+adaptive indexing budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.btree.cascade import DEFAULT_FANOUT
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD, ProgressiveSorter
+from repro.storage.column import Column
+
+
+class ProgressiveQuicksort(BaseIndex):
+    """Progressive Quicksort index over a single column.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Indexing-budget controller (fixed delta, fixed time or adaptive).
+    constants:
+        Cost-model constants; defaults to the deterministic simulated set.
+    sort_threshold:
+        Pieces of at most this many elements are sorted outright during
+        refinement (the paper's L1-cache-sized pieces).
+    fanout:
+        β of the consolidation-phase B+-tree cascade.
+    """
+
+    name = "PQ"
+    description = "Progressive Quicksort"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        sort_threshold: int = DEFAULT_SORT_THRESHOLD,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        self.sort_threshold = int(sort_threshold)
+        self.fanout = int(fanout)
+        self._phase = IndexPhase.INACTIVE
+        # Creation-phase state -------------------------------------------------
+        self._index_array: np.ndarray | None = None
+        self._pivot: float | None = None
+        self._low_fill = 0          # next free slot at the top of the array
+        self._high_fill = 0         # one past the last free slot at the bottom
+        self._elements_copied = 0   # how much of the base column has been copied
+        # Refinement / consolidation state -------------------------------------
+        self._sorter: ProgressiveSorter | None = None
+        self._consolidator: ProgressiveConsolidator | None = None
+        self._cascade = None
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    @property
+    def pivot(self) -> float | None:
+        """The creation-phase pivot (average of the column's min and max)."""
+        return self._pivot
+
+    def memory_footprint(self) -> int:
+        total = 0
+        if self._index_array is not None:
+            total += self._index_array.nbytes
+        if self._cascade is not None:
+            total += self._cascade.memory_footprint()
+        elif self._consolidator is not None:
+            total += sum(level.nbytes for level in self._consolidator.levels)
+        return total
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._phase is IndexPhase.INACTIVE:
+            self._initialize()
+        if self._phase is IndexPhase.CREATION:
+            return self._execute_creation(predicate)
+        if self._phase is IndexPhase.REFINEMENT:
+            return self._execute_refinement(predicate)
+        if self._phase is IndexPhase.CONSOLIDATION:
+            return self._execute_consolidation(predicate)
+        return self._execute_converged(predicate)
+
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """Allocate the index array and choose the pivot (first query only)."""
+        n = len(self._column)
+        column_min = float(self._column.min())
+        column_max = float(self._column.max())
+        self._pivot = column_min + (column_max - column_min) / 2.0
+        self._index_array = np.empty(n, dtype=self._column.dtype)
+        self._low_fill = 0
+        self._high_fill = n
+        self._elements_copied = 0
+        self._budget.register_scan_time(self._cost_model.scan_time(n))
+        self._phase = IndexPhase.CREATION
+
+    # ------------------------------------------------------------------
+    # Creation phase
+    # ------------------------------------------------------------------
+    def _creation_alpha(self, predicate: Predicate) -> float:
+        """Fraction of the partial index scanned for ``predicate``."""
+        n = len(self._column)
+        if n == 0 or self._elements_copied == 0:
+            return 0.0
+        low_part = self._low_fill
+        high_part = n - self._high_fill
+        touched = 0
+        if predicate.low < self._pivot:
+            touched += low_part
+        if predicate.high >= self._pivot:
+            touched += high_part
+        return touched / n
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_copied / n
+        alpha = self._creation_alpha(predicate)
+        scan_time = self._cost_model.scan_time(n)
+        pivot_time = self._cost_model.pivot_time(n)
+        base_cost = (1.0 - rho) * scan_time + alpha * scan_time
+        delta = self._budget.next_delta(pivot_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        to_copy = min(n - self._elements_copied, int(np.ceil(delta * n))) if delta > 0 else 0
+
+        if to_copy > 0:
+            self._copy_into_index(to_copy)
+
+        # Answer the query: indexed pieces + not-yet-copied tail of the column.
+        result = self._query_creation_pieces(predicate)
+        result += self._scan_column(predicate, start=self._elements_copied)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = to_copy
+        self.last_stats.predicted_cost = (
+            max(0.0, 1.0 - rho - delta) * scan_time + alpha * scan_time + delta * pivot_time
+        )
+
+        if self._elements_copied >= n:
+            self._enter_refinement()
+        return result
+
+    def _copy_into_index(self, count: int) -> None:
+        """Copy the next ``count`` base-column elements around the pivot."""
+        start = self._elements_copied
+        stop = min(len(self._column), start + count)
+        chunk = self._column.data[start:stop]
+        mask = chunk < self._pivot
+        lows = chunk[mask]
+        highs = chunk[~mask]
+        self._index_array[self._low_fill : self._low_fill + lows.size] = lows
+        self._low_fill += lows.size
+        self._index_array[self._high_fill - highs.size : self._high_fill] = highs
+        self._high_fill -= highs.size
+        self._elements_copied = stop
+
+    def _query_creation_pieces(self, predicate: Predicate) -> QueryResult:
+        """Scan the low and/or high piece of the partial index."""
+        result = QueryResult.empty()
+        if self._elements_copied == 0:
+            return result
+        if predicate.low < self._pivot and self._low_fill > 0:
+            segment = self._index_array[: self._low_fill]
+            result += QueryResult.from_masked(segment, predicate.mask(segment))
+        if predicate.high >= self._pivot and self._high_fill < self._index_array.size:
+            segment = self._index_array[self._high_fill :]
+            result += QueryResult.from_masked(segment, predicate.mask(segment))
+        return result
+
+    def _enter_refinement(self) -> None:
+        self._sorter = ProgressiveSorter.from_partitioned(
+            self._index_array,
+            boundary=self._low_fill,
+            pivot=self._pivot,
+            value_low=float(self._column.min()),
+            value_high=float(self._column.max()),
+            sort_threshold=self.sort_threshold,
+        )
+        self._phase = IndexPhase.REFINEMENT
+        if self._sorter.is_sorted:
+            self._enter_consolidation()
+
+    # ------------------------------------------------------------------
+    # Refinement phase
+    # ------------------------------------------------------------------
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        swap_time = self._cost_model.swap_time(n)
+        alpha = self._sorter.scanned_fraction(predicate)
+        lookup_time = self._cost_model.tree_lookup_time(self._sorter.height)
+        base_cost = lookup_time + alpha * scan_time
+        delta = self._budget.next_delta(swap_time, base_cost)
+        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+
+        refined = 0
+        if element_budget > 0:
+            self._sorter.prioritize(predicate)
+            refined = self._sorter.refine(element_budget)
+
+        result = self._sorter.query(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = refined
+        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * swap_time
+
+        if self._sorter.is_sorted:
+            self._enter_consolidation()
+        return result
+
+    def _enter_consolidation(self) -> None:
+        self._consolidator = ProgressiveConsolidator(self._index_array, fanout=self.fanout)
+        self._phase = IndexPhase.CONSOLIDATION
+        if self._consolidator.done:
+            self._enter_converged()
+
+    # ------------------------------------------------------------------
+    # Consolidation phase
+    # ------------------------------------------------------------------
+    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        total_copy = max(1, self._consolidator.total_elements)
+        copy_time = self._cost_model.consolidation_copy_time(total_copy)
+        alpha = self._consolidator.matching_fraction(predicate)
+        lookup_time = self._cost_model.binary_search_time(n)
+        base_cost = lookup_time + alpha * scan_time
+        delta = self._budget.next_delta(copy_time, base_cost)
+        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
+
+        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
+        result = self._consolidator.query(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = copied
+        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
+
+        if self._consolidator.done:
+            self._enter_converged()
+        return result
+
+    def _enter_converged(self) -> None:
+        self._cascade = self._consolidator.result()
+        self._phase = IndexPhase.CONVERGED
+
+    # ------------------------------------------------------------------
+    # Converged
+    # ------------------------------------------------------------------
+    def _execute_converged(self, predicate: Predicate) -> QueryResult:
+        result = self._cascade.query(predicate)
+        n = len(self._column)
+        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
+        match_time = self._cost_model.scan_time(result.count)
+        self.last_stats.predicted_cost = lookup_time + match_time
+        return result

@@ -1,0 +1,426 @@
+"""Progressive Radixsort, least-significant digits first (Section 3.4).
+
+Creation
+    Every query moves ``delta * N`` elements of the base column into ``b``
+    buckets keyed by the *least* significant ``log2(b)`` bits of
+    ``value - min``.  These buckets are not a value-range partitioning, so
+    they only accelerate point queries; range queries fall back to scanning
+    the original column (the paper: "when α == ρ we scan the original column
+    instead of using the buckets").
+
+Refinement
+    The elements are repeatedly moved to a fresh set of buckets keyed by the
+    next ``log2(b)`` bits — a classic out-of-place LSD radix sort performed a
+    bounded number of elements per query.  The number of passes is
+    ``ceil(log2(max - min) / log2(b))`` (paper's formula).  After the final
+    pass the buckets are drained, in order, into the fully sorted index
+    array.
+
+Consolidation
+    A B+-tree cascade is built over the sorted array, as with the other
+    progressive indexes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.btree.cascade import DEFAULT_FANOUT
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.progressive.blocks import BucketSet
+from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.storage.column import Column
+
+#: Default number of radix buckets (paper: 64).
+DEFAULT_BUCKET_COUNT = 64
+
+
+class _RefinementStage(enum.Enum):
+    """Sub-stage of the LSD refinement phase."""
+
+    PASSES = "passes"   # moving elements between bucket generations
+    MERGE = "merge"     # draining the final bucket generation into the array
+
+
+class ProgressiveRadixsortLSD(BaseIndex):
+    """Progressive Radixsort (LSD) index over a single column.
+
+    Parameters
+    ----------
+    column:
+        Column to index (integer data).
+    budget:
+        Indexing-budget controller.
+    constants:
+        Cost-model constants.
+    n_buckets:
+        Radix fan-out ``b`` (a power of two).
+    block_size:
+        Elements per linked block (paper: ``sb``).
+    fanout:
+        β of the consolidation-phase B+-tree cascade.
+    """
+
+    name = "PLSD"
+    description = "Progressive Radixsort (LSD)"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        n_buckets: int = DEFAULT_BUCKET_COUNT,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        if n_buckets < 2 or (n_buckets & (n_buckets - 1)) != 0:
+            raise ValueError(f"n_buckets must be a power of two >= 2, got {n_buckets}")
+        self.n_buckets = int(n_buckets)
+        self.bits_per_pass = int(np.log2(self.n_buckets))
+        self.block_size = int(block_size)
+        self.fanout = int(fanout)
+        self._cost_model.block_size = self.block_size
+        self._phase = IndexPhase.INACTIVE
+        # Radix bookkeeping ------------------------------------------------
+        self._value_min = 0
+        self._total_passes = 1
+        self._current_pass = 0
+        self._mask = self.n_buckets - 1
+        # Creation state ----------------------------------------------------
+        self._current_set: BucketSet | None = None
+        self._elements_bucketed = 0
+        # Refinement state --------------------------------------------------
+        self._stage = _RefinementStage.PASSES
+        self._next_set: BucketSet | None = None
+        self._pass_bucket_cursor = 0
+        self._pass_offset_cursor = 0
+        self._pass_moved = 0
+        self._final_array: np.ndarray | None = None
+        self._merge_bucket_cursor = 0
+        self._merge_offset_cursor = 0
+        self._merge_position = 0
+        # Consolidation state -----------------------------------------------
+        self._consolidator: ProgressiveConsolidator | None = None
+        self._cascade = None
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    @property
+    def total_passes(self) -> int:
+        """Total number of radix passes required for convergence."""
+        return self._total_passes
+
+    @property
+    def current_pass(self) -> int:
+        """Zero-based index of the pass currently in progress."""
+        return self._current_pass
+
+    def memory_footprint(self) -> int:
+        total = 0
+        for bucket_set in (self._current_set, self._next_set):
+            if bucket_set is not None:
+                total += bucket_set.memory_footprint()
+        if self._final_array is not None:
+            total += self._final_array.nbytes
+        if self._cascade is not None:
+            total += self._cascade.memory_footprint()
+        return total
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._phase is IndexPhase.INACTIVE:
+            self._initialize()
+        if self._phase is IndexPhase.CREATION:
+            return self._execute_creation(predicate)
+        if self._phase is IndexPhase.REFINEMENT:
+            return self._execute_refinement(predicate)
+        if self._phase is IndexPhase.CONSOLIDATION:
+            return self._execute_consolidation(predicate)
+        return self._execute_converged(predicate)
+
+    # ------------------------------------------------------------------
+    # Radix helpers
+    # ------------------------------------------------------------------
+    def _pass_bucket_ids(self, values: np.ndarray, pass_number: int) -> np.ndarray:
+        shifted = (values.astype(np.int64) - self._value_min) >> (
+            pass_number * self.bits_per_pass
+        )
+        return shifted & self._mask
+
+    def _point_bucket_id(self, value, pass_number: int) -> int:
+        shifted = (int(value) - self._value_min) >> (pass_number * self.bits_per_pass)
+        return int(shifted & self._mask)
+
+    # ------------------------------------------------------------------
+    # Creation phase (pass 0)
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        n = len(self._column)
+        self._value_min = int(self._column.min())
+        domain = int(self._column.max()) - self._value_min
+        total_bits = max(1, int(domain).bit_length())
+        self._total_passes = max(1, int(np.ceil(total_bits / self.bits_per_pass)))
+        self._current_set = BucketSet(
+            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+        )
+        self._current_pass = 0
+        self._elements_bucketed = 0
+        self._budget.register_scan_time(self._cost_model.scan_time(n))
+        self._phase = IndexPhase.CREATION
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        scan_time = self._cost_model.scan_time(n)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        bucket_write_time = self._cost_model.bucket_write_time(n)
+
+        if predicate.is_point:
+            bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
+            alpha = len(bucket) / n if n else 0.0
+            base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
+        else:
+            # Range queries cannot use the LSD buckets: fall back to a full
+            # column scan (alpha == rho case in the paper).
+            alpha = rho
+            base_cost = scan_time
+
+        delta = self._budget.next_delta(bucket_write_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
+
+        if to_bucket > 0:
+            start = self._elements_bucketed
+            chunk = self._column.data[start : start + to_bucket]
+            self._current_set.scatter(chunk, self._pass_bucket_ids(chunk, 0))
+            self._elements_bucketed += chunk.size
+
+        if predicate.is_point:
+            bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
+            result = bucket.scan(predicate.low, predicate.high)
+            result += self._scan_column(predicate, start=self._elements_bucketed)
+            predicted_scan = alpha * bucket_scan_time + max(0.0, 1.0 - rho - delta) * scan_time
+        else:
+            result = self._scan_column(predicate)
+            predicted_scan = scan_time
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = to_bucket
+        self.last_stats.predicted_cost = predicted_scan + delta * bucket_write_time
+
+        if self._elements_bucketed >= n:
+            self._enter_refinement()
+        return result
+
+    # ------------------------------------------------------------------
+    # Refinement phase (passes 1 .. total_passes-1, then the merge)
+    # ------------------------------------------------------------------
+    def _enter_refinement(self) -> None:
+        self._phase = IndexPhase.REFINEMENT
+        if self._total_passes == 1:
+            self._start_merge()
+        else:
+            self._start_pass(1)
+
+    def _start_pass(self, pass_number: int) -> None:
+        self._current_pass = pass_number
+        self._stage = _RefinementStage.PASSES
+        self._next_set = BucketSet(
+            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+        )
+        self._pass_bucket_cursor = 0
+        self._pass_offset_cursor = 0
+        self._pass_moved = 0
+
+    def _start_merge(self) -> None:
+        self._stage = _RefinementStage.MERGE
+        self._final_array = np.empty(len(self._column), dtype=self._column.dtype)
+        self._merge_bucket_cursor = 0
+        self._merge_offset_cursor = 0
+        self._merge_position = 0
+
+    def _advance_pass(self, element_budget: int) -> int:
+        """Move up to ``element_budget`` elements into the next bucket set."""
+        moved = 0
+        budget = int(element_budget)
+        n = len(self._column)
+        while budget > 0 and self._pass_moved < n:
+            bucket = self._current_set[self._pass_bucket_cursor]
+            remaining = len(bucket) - self._pass_offset_cursor
+            if remaining <= 0:
+                self._pass_bucket_cursor += 1
+                self._pass_offset_cursor = 0
+                continue
+            take = min(budget, remaining)
+            chunk = bucket.slice_array(self._pass_offset_cursor, take)
+            ids = self._pass_bucket_ids(chunk, self._current_pass)
+            self._next_set.scatter(chunk, ids)
+            self._pass_offset_cursor += chunk.size
+            self._pass_moved += chunk.size
+            moved += chunk.size
+            budget -= chunk.size
+        if self._pass_moved >= n:
+            self._current_set.clear()
+            self._current_set = self._next_set
+            self._next_set = None
+            if self._current_pass + 1 < self._total_passes:
+                self._start_pass(self._current_pass + 1)
+            else:
+                self._start_merge()
+        return moved
+
+    def _advance_merge(self, element_budget: int) -> int:
+        """Drain the final bucket generation into the sorted index array."""
+        moved = 0
+        budget = int(element_budget)
+        n = len(self._column)
+        while budget > 0 and self._merge_position < n:
+            bucket = self._current_set[self._merge_bucket_cursor]
+            remaining = len(bucket) - self._merge_offset_cursor
+            if remaining <= 0:
+                self._merge_bucket_cursor += 1
+                self._merge_offset_cursor = 0
+                continue
+            take = min(budget, remaining)
+            chunk = bucket.slice_array(self._merge_offset_cursor, take)
+            self._final_array[self._merge_position : self._merge_position + chunk.size] = chunk
+            self._merge_offset_cursor += chunk.size
+            self._merge_position += chunk.size
+            moved += chunk.size
+            budget -= chunk.size
+        if self._merge_position >= n:
+            self._current_set.clear()
+            self._current_set = None
+            self._enter_consolidation()
+        return moved
+
+    def _point_query_during_refinement(self, predicate: Predicate) -> QueryResult:
+        """Answer a point query from the (partially migrated) bucket sets."""
+        result = QueryResult.empty()
+        if self._stage is _RefinementStage.PASSES:
+            old_pass = self._current_pass - 1
+            old_id = self._point_bucket_id(predicate.low, old_pass)
+            new_id = self._point_bucket_id(predicate.low, self._current_pass)
+            # Elements already moved live in the new set.
+            result += self._next_set[new_id].scan(predicate.low, predicate.high)
+            # Elements not yet moved live in the old set, beyond the cursor.
+            if old_id > self._pass_bucket_cursor:
+                result += self._current_set[old_id].scan(predicate.low, predicate.high)
+            elif old_id == self._pass_bucket_cursor:
+                bucket = self._current_set[old_id]
+                remaining = bucket.slice_array(
+                    self._pass_offset_cursor, len(bucket) - self._pass_offset_cursor
+                )
+                result += QueryResult.from_masked(remaining, predicate.mask(remaining))
+        else:  # MERGE stage
+            last_pass = self._total_passes - 1
+            bucket_id = self._point_bucket_id(predicate.low, last_pass)
+            # Already merged elements live in the sorted prefix of the array.
+            prefix = self._final_array[: self._merge_position]
+            result += QueryResult.from_masked(prefix, predicate.mask(prefix))
+            if bucket_id > self._merge_bucket_cursor:
+                result += self._current_set[bucket_id].scan(predicate.low, predicate.high)
+            elif bucket_id == self._merge_bucket_cursor:
+                bucket = self._current_set[bucket_id]
+                remaining = bucket.slice_array(
+                    self._merge_offset_cursor, len(bucket) - self._merge_offset_cursor
+                )
+                result += QueryResult.from_masked(remaining, predicate.mask(remaining))
+        return result
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        if self._stage is _RefinementStage.PASSES:
+            full_work = self._cost_model.bucket_write_time(n)
+        else:
+            full_work = self._cost_model.write_time(n)
+
+        if predicate.is_point:
+            alpha = 1.0 / self.n_buckets
+            base_cost = alpha * bucket_scan_time
+        else:
+            alpha = 1.0
+            base_cost = scan_time
+
+        delta = self._budget.next_delta(full_work, base_cost)
+        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+
+        moved = 0
+        if element_budget > 0:
+            if self._stage is _RefinementStage.PASSES:
+                moved = self._advance_pass(element_budget)
+            else:
+                moved = self._advance_merge(element_budget)
+
+        # Answer the query.  The phase may have advanced to consolidation
+        # while performing the work; re-dispatch in that case.
+        if self._phase is not IndexPhase.REFINEMENT:
+            if self._phase is IndexPhase.CONSOLIDATION:
+                result = self._consolidator.query(predicate)
+            else:
+                result = self._cascade.query(predicate)
+        elif predicate.is_point:
+            result = self._point_query_during_refinement(predicate)
+        else:
+            result = self._scan_column(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = moved
+        if predicate.is_point:
+            self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * full_work
+        else:
+            self.last_stats.predicted_cost = scan_time + delta * full_work
+        return result
+
+    # ------------------------------------------------------------------
+    # Consolidation phase
+    # ------------------------------------------------------------------
+    def _enter_consolidation(self) -> None:
+        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
+        self._phase = IndexPhase.CONSOLIDATION
+        if self._consolidator.done:
+            self._enter_converged()
+
+    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        total_copy = max(1, self._consolidator.total_elements)
+        copy_time = self._cost_model.consolidation_copy_time(total_copy)
+        alpha = self._consolidator.matching_fraction(predicate)
+        lookup_time = self._cost_model.binary_search_time(n)
+        base_cost = lookup_time + alpha * scan_time
+        delta = self._budget.next_delta(copy_time, base_cost)
+        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
+
+        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
+        result = self._consolidator.query(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = copied
+        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
+
+        if self._consolidator.done:
+            self._enter_converged()
+        return result
+
+    def _enter_converged(self) -> None:
+        self._cascade = self._consolidator.result()
+        self._phase = IndexPhase.CONVERGED
+
+    def _execute_converged(self, predicate: Predicate) -> QueryResult:
+        result = self._cascade.query(predicate)
+        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
+        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
+        return result

@@ -1,0 +1,460 @@
+"""Progressive Radixsort, most-significant digits first (Section 3.2).
+
+Creation
+    ``b`` empty buckets (linked lists of fixed-size blocks) are allocated on
+    the first query.  Every query moves another ``delta * N`` elements of the
+    base column into the buckets, choosing the bucket by the most significant
+    ``log2(b)`` bits of ``value - min`` (a single shift).  Because the most
+    significant bits are used, the buckets form a value-range partitioning,
+    so range queries only scan the buckets overlapping the predicate plus the
+    not-yet-bucketed tail of the column.
+
+Refinement
+    Each bucket is recursively re-partitioned by the next ``log2(b)`` bits.
+    Buckets that fit the cache threshold are instead sorted outright and
+    written into their final position of the sorted index array (their
+    position is known because the buckets are value-ordered).  A small tree
+    of radix nodes routes queries to the right buckets / final-array
+    segments while the refinement is in progress.
+
+Consolidation
+    Identical to Progressive Quicksort: a B+-tree cascade is built over the
+    final sorted array.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.btree.cascade import DEFAULT_FANOUT
+from repro.core.budget import IndexingBudget
+from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate, QueryResult
+from repro.progressive.blocks import BlockList, BucketSet
+from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD
+from repro.storage.column import Column
+
+#: Default number of radix buckets.  The paper uses 64 so that all bucket
+#: write positions fit the L1 cache lines / TLB entries of their machine.
+DEFAULT_BUCKET_COUNT = 64
+
+
+class _NodeState(enum.Enum):
+    """Refinement state of a radix node."""
+
+    WAITING = "waiting"          # data still in the node's source block list
+    COPYING = "copying"          # small node: moving data into the final array
+    PARTITIONING = "partitioning"  # large node: scattering into child buckets
+    EXPANDED = "expanded"        # children created; node itself holds no data
+    DONE = "done"                # final array segment sorted
+
+
+class _RadixNode:
+    """One bucket of the (recursive) MSD radix partitioning.
+
+    A node owns a contiguous segment ``[offset, offset + size)`` of the final
+    sorted array and the block list holding its (unsorted) values.  It covers
+    the value range ``[value_low, value_low + 2^(shift + bits_per_level))``.
+    """
+
+    __slots__ = (
+        "source",
+        "offset",
+        "size",
+        "value_low",
+        "shift",
+        "state",
+        "copied",
+        "moved",
+        "children",
+        "child_set",
+    )
+
+    def __init__(self, source: BlockList, offset: int, size: int, value_low: int, shift: int) -> None:
+        self.source = source
+        self.offset = int(offset)
+        self.size = int(size)
+        self.value_low = int(value_low)
+        self.shift = int(shift)
+        self.state = _NodeState.WAITING
+        self.copied = 0
+        self.moved = 0
+        self.children: Optional[List["_RadixNode"]] = None
+        self.child_set: Optional[BucketSet] = None
+
+
+class ProgressiveRadixsortMSD(BaseIndex):
+    """Progressive Radixsort (MSD) index over a single column.
+
+    Parameters
+    ----------
+    column:
+        Column to index (integer data; float columns fall back to bucket 0
+        splitting by quantiles is provided by Progressive Bucketsort).
+    budget:
+        Indexing-budget controller.
+    constants:
+        Cost-model constants.
+    n_buckets:
+        Radix fan-out ``b`` (a power of two).
+    block_size:
+        Elements per linked block (paper: ``sb``).
+    sort_threshold:
+        Buckets of at most this many elements are sorted outright instead of
+        being re-partitioned (the paper's L1-cache rule).
+    fanout:
+        β of the consolidation-phase B+-tree cascade.
+    """
+
+    name = "PMSD"
+    description = "Progressive Radixsort (MSD)"
+
+    def __init__(
+        self,
+        column: Column,
+        budget: IndexingBudget | None = None,
+        constants: CostConstants | None = None,
+        n_buckets: int = DEFAULT_BUCKET_COUNT,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sort_threshold: int = DEFAULT_SORT_THRESHOLD,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        if n_buckets < 2 or (n_buckets & (n_buckets - 1)) != 0:
+            raise ValueError(f"n_buckets must be a power of two >= 2, got {n_buckets}")
+        self.n_buckets = int(n_buckets)
+        self.bits_per_level = int(np.log2(self.n_buckets))
+        self.block_size = int(block_size)
+        self.sort_threshold = int(sort_threshold)
+        self.fanout = int(fanout)
+        self._cost_model.block_size = self.block_size
+        self._phase = IndexPhase.INACTIVE
+        # Creation state --------------------------------------------------
+        self._buckets: BucketSet | None = None
+        self._value_min = 0
+        self._shift = 0
+        self._elements_bucketed = 0
+        # Refinement state ------------------------------------------------
+        self._final_array: np.ndarray | None = None
+        self._roots: List[_RadixNode] | None = None
+        self._worklist: Deque[_RadixNode] = deque()
+        self._unfinished_nodes = 0
+        # Consolidation state ---------------------------------------------
+        self._consolidator: ProgressiveConsolidator | None = None
+        self._cascade = None
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        return self._phase
+
+    def memory_footprint(self) -> int:
+        total = 0
+        if self._buckets is not None:
+            total += self._buckets.memory_footprint()
+        if self._final_array is not None:
+            total += self._final_array.nbytes
+        if self._cascade is not None:
+            total += self._cascade.memory_footprint()
+        return total
+
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self._phase is IndexPhase.INACTIVE:
+            self._initialize()
+        if self._phase is IndexPhase.CREATION:
+            return self._execute_creation(predicate)
+        if self._phase is IndexPhase.REFINEMENT:
+            return self._execute_refinement(predicate)
+        if self._phase is IndexPhase.CONSOLIDATION:
+            return self._execute_consolidation(predicate)
+        return self._execute_converged(predicate)
+
+    # ------------------------------------------------------------------
+    # Creation phase
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        n = len(self._column)
+        self._value_min = int(self._column.min())
+        domain = int(self._column.max()) - self._value_min
+        total_bits = max(1, int(domain).bit_length())
+        self._shift = max(0, total_bits - self.bits_per_level)
+        self._buckets = BucketSet(
+            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+        )
+        self._elements_bucketed = 0
+        self._budget.register_scan_time(self._cost_model.scan_time(n))
+        self._phase = IndexPhase.CREATION
+
+    def _bucket_id(self, values: np.ndarray) -> np.ndarray:
+        shifted = (values.astype(np.int64) - self._value_min) >> self._shift
+        return np.clip(shifted, 0, self.n_buckets - 1)
+
+    def _relevant_bucket_range(self, predicate: Predicate) -> range:
+        low_id = int(self._bucket_id(np.asarray([max(predicate.low, self._value_min)]))[0])
+        high_id = int(self._bucket_id(np.asarray([predicate.high]))[0])
+        if predicate.high < self._value_min:
+            return range(0)
+        return range(low_id, high_id + 1)
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        bucket_range = self._relevant_bucket_range(predicate)
+        indexed_relevant = sum(len(self._buckets[i]) for i in bucket_range)
+        alpha = indexed_relevant / n if n else 0.0
+
+        scan_time = self._cost_model.scan_time(n)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        bucket_write_time = self._cost_model.bucket_write_time(n)
+        base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
+        delta = self._budget.next_delta(bucket_write_time, base_cost)
+        delta = min(delta, 1.0 - rho)
+        to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
+
+        if to_bucket > 0:
+            start = self._elements_bucketed
+            chunk = self._column.data[start : start + to_bucket]
+            self._buckets.scatter(chunk, self._bucket_id(chunk))
+            self._elements_bucketed += chunk.size
+
+        result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
+        result += self._scan_column(predicate, start=self._elements_bucketed)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = to_bucket
+        self.last_stats.predicted_cost = (
+            max(0.0, 1.0 - rho - delta) * scan_time
+            + alpha * bucket_scan_time
+            + delta * bucket_write_time
+        )
+
+        if self._elements_bucketed >= n:
+            self._enter_refinement()
+        return result
+
+    # ------------------------------------------------------------------
+    # Refinement phase
+    # ------------------------------------------------------------------
+    def _enter_refinement(self) -> None:
+        n = len(self._column)
+        self._final_array = np.empty(n, dtype=self._column.dtype)
+        sizes = self._buckets.sizes()
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        bucket_span = 1 << self._shift
+        self._roots = []
+        self._unfinished_nodes = 0
+        for bucket_id in range(self.n_buckets):
+            size = int(sizes[bucket_id])
+            node = _RadixNode(
+                source=self._buckets[bucket_id],
+                offset=int(offsets[bucket_id]),
+                size=size,
+                value_low=self._value_min + bucket_id * bucket_span,
+                shift=max(0, self._shift - self.bits_per_level),
+            )
+            self._roots.append(node)
+            if size == 0:
+                node.state = _NodeState.DONE
+            else:
+                self._unfinished_nodes += 1
+                self._worklist.append(node)
+        self._phase = IndexPhase.REFINEMENT
+        if self._unfinished_nodes == 0:
+            self._enter_consolidation()
+
+    def _node_must_copy(self, node: _RadixNode) -> bool:
+        """Small (or unsplittable) nodes are sorted outright into the array."""
+        return node.size <= self.sort_threshold or node.shift <= 0 or self._shift == 0
+
+    def _refine_step(self, element_budget: int) -> int:
+        processed = 0
+        budget = int(element_budget)
+        while budget > 0 and self._worklist:
+            node = self._worklist[0]
+            if node.state is _NodeState.WAITING:
+                if self._node_must_copy(node):
+                    node.state = _NodeState.COPYING
+                else:
+                    node.state = _NodeState.PARTITIONING
+                    node.child_set = BucketSet(
+                        self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+                    )
+            if node.state is _NodeState.COPYING:
+                take = min(budget, node.size - node.copied)
+                if take > 0:
+                    chunk = node.source.slice_array(node.copied, take)
+                    start = node.offset + node.copied
+                    self._final_array[start : start + chunk.size] = chunk
+                    node.copied += chunk.size
+                    processed += chunk.size
+                    budget -= chunk.size
+                if node.copied >= node.size:
+                    segment = self._final_array[node.offset : node.offset + node.size]
+                    segment.sort()
+                    node.source.clear()
+                    node.state = _NodeState.DONE
+                    self._unfinished_nodes -= 1
+                    self._worklist.popleft()
+            elif node.state is _NodeState.PARTITIONING:
+                take = min(budget, node.size - node.moved)
+                if take > 0:
+                    chunk = node.source.slice_array(node.moved, take)
+                    child_ids = np.clip(
+                        (chunk.astype(np.int64) - node.value_low) >> node.shift,
+                        0,
+                        self.n_buckets - 1,
+                    )
+                    node.child_set.scatter(chunk, child_ids)
+                    node.moved += chunk.size
+                    processed += chunk.size
+                    budget -= chunk.size
+                if node.moved >= node.size:
+                    self._expand_node(node)
+                    self._worklist.popleft()
+            else:  # pragma: no cover - defensive
+                self._worklist.popleft()
+        return processed
+
+    def _expand_node(self, node: _RadixNode) -> None:
+        """Create child nodes once the re-partition of ``node`` completed."""
+        node.source.clear()
+        sizes = node.child_set.sizes()
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]]) + node.offset
+        child_span = 1 << node.shift
+        node.children = []
+        new_children = 0
+        for child_id in range(self.n_buckets):
+            size = int(sizes[child_id])
+            child = _RadixNode(
+                source=node.child_set[child_id],
+                offset=int(offsets[child_id]),
+                size=size,
+                value_low=node.value_low + child_id * child_span,
+                shift=max(0, node.shift - self.bits_per_level),
+            )
+            node.children.append(child)
+            if size == 0:
+                child.state = _NodeState.DONE
+            else:
+                new_children += 1
+                self._worklist.append(child)
+        node.state = _NodeState.EXPANDED
+        node.child_set = None
+        self._unfinished_nodes += new_children - 1
+
+    def _query_node(self, node: _RadixNode, predicate: Predicate) -> QueryResult:
+        if node.size == 0:
+            return QueryResult.empty()
+        if node.state is _NodeState.DONE:
+            segment = self._final_array[node.offset : node.offset + node.size]
+            lo = np.searchsorted(segment, predicate.low, side="left")
+            hi = np.searchsorted(segment, predicate.high, side="right")
+            if hi <= lo:
+                return QueryResult.empty()
+            matched = segment[lo:hi]
+            return QueryResult(matched.sum(), int(matched.size))
+        if node.state is _NodeState.EXPANDED:
+            result = QueryResult.empty()
+            child_span = 1 << node.shift
+            for child_id, child in enumerate(node.children):
+                child_low = node.value_low + child_id * child_span
+                child_high = child_low + child_span - 1
+                if predicate.high >= child_low and predicate.low <= child_high:
+                    result += self._query_node(child, predicate)
+            return result
+        # WAITING / COPYING / PARTITIONING: the source block list still holds
+        # the complete data of this node.
+        return node.source.scan(predicate.low, predicate.high)
+
+    def _relevant_node_size(self, node: _RadixNode, predicate: Predicate) -> int:
+        """Number of elements a query would scan below ``node`` (for α)."""
+        if node.size == 0:
+            return 0
+        if node.state is _NodeState.DONE:
+            return 0
+        if node.state is _NodeState.EXPANDED:
+            total = 0
+            child_span = 1 << node.shift
+            for child_id, child in enumerate(node.children):
+                child_low = node.value_low + child_id * child_span
+                child_high = child_low + child_span - 1
+                if predicate.high >= child_low and predicate.low <= child_high:
+                    total += self._relevant_node_size(child, predicate)
+            return total
+        return node.size
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+        bucket_write_time = self._cost_model.bucket_write_time(n)
+        bucket_range = self._relevant_bucket_range(predicate)
+        relevant = sum(self._relevant_node_size(self._roots[i], predicate) for i in bucket_range)
+        alpha = relevant / n if n else 0.0
+        base_cost = alpha * bucket_scan_time
+        delta = self._budget.next_delta(bucket_write_time, base_cost)
+        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+
+        refined = self._refine_step(element_budget) if element_budget > 0 else 0
+
+        result = QueryResult.empty()
+        for bucket_id in bucket_range:
+            result += self._query_node(self._roots[bucket_id], predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = refined
+        self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * bucket_write_time
+
+        if self._unfinished_nodes == 0:
+            self._enter_consolidation()
+        return result
+
+    # ------------------------------------------------------------------
+    # Consolidation phase
+    # ------------------------------------------------------------------
+    def _enter_consolidation(self) -> None:
+        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
+        self._buckets = None
+        self._roots = None
+        self._phase = IndexPhase.CONSOLIDATION
+        if self._consolidator.done:
+            self._enter_converged()
+
+    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        scan_time = self._cost_model.scan_time(n)
+        total_copy = max(1, self._consolidator.total_elements)
+        copy_time = self._cost_model.consolidation_copy_time(total_copy)
+        alpha = self._consolidator.matching_fraction(predicate)
+        lookup_time = self._cost_model.binary_search_time(n)
+        base_cost = lookup_time + alpha * scan_time
+        delta = self._budget.next_delta(copy_time, base_cost)
+        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
+
+        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
+        result = self._consolidator.query(predicate)
+
+        self.last_stats.delta = delta
+        self.last_stats.elements_indexed = copied
+        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
+
+        if self._consolidator.done:
+            self._enter_converged()
+        return result
+
+    def _enter_converged(self) -> None:
+        self._cascade = self._consolidator.result()
+        self._phase = IndexPhase.CONVERGED
+
+    def _execute_converged(self, predicate: Predicate) -> QueryResult:
+        result = self._cascade.query(predicate)
+        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
+        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
+        return result

@@ -1,0 +1,13 @@
+"""Columnar storage substrate.
+
+The paper operates on a single integer attribute of a large table (e.g. the
+Right Ascension column of SkyServer's ``PhotoObjAll``).  This package provides
+the minimal columnar storage layer the indexes are built on: an immutable
+:class:`~repro.storage.column.Column` plus a simple named-column
+:class:`~repro.storage.table.Table`.
+"""
+
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+__all__ = ["Column", "Table"]

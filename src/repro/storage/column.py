@@ -1,0 +1,164 @@
+"""Immutable column of numeric values.
+
+A :class:`Column` is the unit every index in this library operates on.  It is
+a thin wrapper around a contiguous one-dimensional NumPy array that
+
+* validates the input (non-empty, one-dimensional, numeric),
+* exposes cached ``min``/``max`` statistics (used for pivot selection and
+  radix domain computation, mirroring the paper's use of ``[min, max]``),
+* provides the vectorised scan primitives shared by all indexes
+  (:meth:`scan_range` and :meth:`scan_count`), which implement the paper's
+  predicated full-scan baseline.
+
+The column is treated as immutable: indexes copy data out of it but never
+write back into it.  The underlying array is flagged read-only to make
+accidental mutation an error rather than a silent bug.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.errors import InvalidColumnError
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+
+class Column:
+    """An immutable, contiguous column of numeric values.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional numeric data.  Integer data is stored as ``int64``
+        (the paper uses 8-byte integers); floating point data is stored as
+        ``float64``.
+    name:
+        Optional attribute name, used only for display purposes.
+    """
+
+    def __init__(self, values: ArrayLike, name: str = "value") -> None:
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise InvalidColumnError(
+                f"column data must be one-dimensional, got shape {array.shape}"
+            )
+        if array.size == 0:
+            raise InvalidColumnError("column data must not be empty")
+        if array.dtype.kind in ("i", "u", "b"):
+            array = array.astype(np.int64, copy=False)
+        elif array.dtype.kind == "f":
+            array = array.astype(np.float64, copy=False)
+        else:
+            raise InvalidColumnError(
+                f"column data must be numeric, got dtype {array.dtype}"
+            )
+        self._data = np.ascontiguousarray(array)
+        self._data.setflags(write=False)
+        self._name = str(name)
+        self._min = None
+        self._max = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Attribute name of the column."""
+        return self._name
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only view of the underlying array."""
+        return self._data
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype of the stored values (``int64`` or ``float64``)."""
+        return self._data.dtype
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __getitem__(self, item):
+        return self._data[item]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Column(name={self._name!r}, size={len(self)}, dtype={self.dtype})"
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def min(self):
+        """Smallest value in the column (cached after the first call)."""
+        if self._min is None:
+            self._min = self._data.min()
+        return self._min
+
+    def max(self):
+        """Largest value in the column (cached after the first call)."""
+        if self._max is None:
+            self._max = self._data.max()
+        return self._max
+
+    def value_range(self):
+        """Return ``(min, max)`` of the column."""
+        return self.min(), self.max()
+
+    # ------------------------------------------------------------------
+    # Scan primitives
+    # ------------------------------------------------------------------
+    def scan_range(self, low, high, start: int = 0, stop: int | None = None):
+        """Predicated scan: sum and count of values in ``[low, high]``.
+
+        Mirrors the paper's ``SELECT SUM(R.A) WHERE R.A BETWEEN low AND high``
+        executed with predication (no data-dependent branches): a boolean mask
+        is materialised and reduced regardless of selectivity.
+
+        Parameters
+        ----------
+        low, high:
+            Inclusive range bounds.
+        start, stop:
+            Optional element offsets restricting the scan to
+            ``data[start:stop]``; used by partial indexes that only need to
+            scan the not-yet-indexed tail of the column.
+
+        Returns
+        -------
+        tuple
+            ``(matching_sum, matching_count)``.
+        """
+        segment = self._data[start:stop]
+        mask = (segment >= low) & (segment <= high)
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            return segment.dtype.type(0), 0
+        return segment[mask].sum(), count
+
+    def scan_count(self, low, high, start: int = 0, stop: int | None = None) -> int:
+        """Count of values in ``[low, high]`` within ``data[start:stop]``."""
+        segment = self._data[start:stop]
+        mask = (segment >= low) & (segment <= high)
+        return int(np.count_nonzero(mask))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, name: str = "value") -> "Column":
+        """Build a column that wraps ``array`` (copying only when required)."""
+        return cls(array, name=name)
+
+    def copy_data(self) -> np.ndarray:
+        """Return a writable copy of the column data.
+
+        Indexes that physically reorganise data (cracking, progressive
+        quicksort) call this to obtain their private working array.
+        """
+        return self._data.copy()

@@ -1,0 +1,85 @@
+"""A minimal named-column table.
+
+The paper's experiments only touch a single attribute, but a downstream user
+of the library typically starts from a table.  :class:`Table` groups columns
+by name and is the entry point used by the high-level
+:class:`repro.engine.session.IndexingSession` API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidColumnError
+from repro.storage.column import Column
+
+
+class Table:
+    """A collection of equally sized named columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to column data (NumPy arrays, lists or
+        :class:`Column` instances).  All columns must have the same length.
+    name:
+        Optional table name for display purposes.
+    """
+
+    def __init__(self, columns: Mapping[str, object], name: str = "table") -> None:
+        if not columns:
+            raise InvalidColumnError("a table requires at least one column")
+        self._name = str(name)
+        self._columns: Dict[str, Column] = {}
+        length = None
+        for col_name, values in columns.items():
+            column = values if isinstance(values, Column) else Column(values, name=col_name)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise InvalidColumnError(
+                    f"column {col_name!r} has length {len(column)}, expected {length}"
+                )
+            self._columns[str(col_name)] = column
+        self._length = int(length)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self._name
+
+    @property
+    def column_names(self) -> Iterable[str]:
+        """Names of the columns in insertion order."""
+        return tuple(self._columns.keys())
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, column_name: str) -> Column:
+        """Return the column registered under ``column_name``."""
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            raise InvalidColumnError(
+                f"table {self._name!r} has no column {column_name!r}; "
+                f"available columns: {sorted(self._columns)}"
+            ) from None
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self.column(column_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table(name={self._name!r}, rows={self._length}, columns={list(self._columns)})"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, name: str = "table", **columns: np.ndarray) -> "Table":
+        """Convenience constructor: ``Table.from_arrays(a=array1, b=array2)``."""
+        return cls(columns, name=name)

@@ -1,0 +1,47 @@
+"""Workload and data-set generators used by the paper's evaluation.
+
+* :mod:`repro.workloads.distributions` — the synthetic data distributions
+  (uniform random unique integers, and the skewed distribution with 90% of
+  the data concentrated in the middle of the domain).
+* :mod:`repro.workloads.patterns` — the eight synthetic query patterns of
+  Figure 6 (taken from Halim et al.) plus their point-query variants.
+* :mod:`repro.workloads.skyserver` — a SkyServer-like data set and query log
+  reproducing the *shape* of Figure 5 (multi-modal value distribution,
+  spatially clustered and drifting query ranges).
+* :mod:`repro.workloads.workload` — the :class:`Workload` container shared by
+  the execution engine and the benchmarks.
+"""
+
+from repro.workloads.distributions import skewed_data, uniform_data
+from repro.workloads.patterns import (
+    SYNTHETIC_PATTERNS,
+    generate_pattern,
+    periodic_workload,
+    random_workload,
+    seq_over_workload,
+    seq_zoom_in_workload,
+    skew_workload,
+    zoom_in_alternate_workload,
+    zoom_in_workload,
+    zoom_out_alternate_workload,
+)
+from repro.workloads.skyserver import skyserver_data, skyserver_workload
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "SYNTHETIC_PATTERNS",
+    "Workload",
+    "generate_pattern",
+    "periodic_workload",
+    "random_workload",
+    "seq_over_workload",
+    "seq_zoom_in_workload",
+    "skew_workload",
+    "skewed_data",
+    "skyserver_data",
+    "skyserver_workload",
+    "uniform_data",
+    "zoom_in_alternate_workload",
+    "zoom_in_workload",
+    "zoom_out_alternate_workload",
+]

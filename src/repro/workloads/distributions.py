@@ -1,0 +1,75 @@
+"""Synthetic data distributions (Section 4.1 of the paper).
+
+Two distributions are used by the synthetic evaluation:
+
+* a uniform distribution of **unique** integers covering the domain
+  ``[0, n)``;
+* a skewed distribution of non-unique integers where 90% of the data is
+  concentrated in the middle of the ``[0, n)`` domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Fraction of the skewed data set concentrated in the hot middle region.
+SKEW_HOT_FRACTION = 0.9
+
+#: Width of the hot middle region as a fraction of the domain.
+SKEW_HOT_WIDTH = 0.1
+
+
+def uniform_data(
+    n_elements: int,
+    domain: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Uniformly distributed integers over ``[0, domain)``.
+
+    When ``domain`` equals ``n_elements`` (the paper's setting) the values
+    are a random permutation of ``0 .. n-1`` — unique, uniformly distributed
+    integers.  With a larger domain the values are sampled with replacement.
+    """
+    if n_elements <= 0:
+        raise WorkloadError(f"n_elements must be positive, got {n_elements}")
+    rng = rng or np.random.default_rng(0)
+    domain = n_elements if domain is None else int(domain)
+    if domain <= 0:
+        raise WorkloadError(f"domain must be positive, got {domain}")
+    if domain == n_elements:
+        return rng.permutation(n_elements).astype(np.int64)
+    return rng.integers(0, domain, size=n_elements, dtype=np.int64)
+
+
+def skewed_data(
+    n_elements: int,
+    domain: int | None = None,
+    rng: np.random.Generator | None = None,
+    hot_fraction: float = SKEW_HOT_FRACTION,
+    hot_width: float = SKEW_HOT_WIDTH,
+) -> np.ndarray:
+    """Skewed integers: ``hot_fraction`` of the data in the middle of the domain.
+
+    Reproduces the paper's skewed data set, where 90% of the (non-unique)
+    values are concentrated in the middle of ``[0, domain)`` and the
+    remaining 10% are uniform over the whole domain.
+    """
+    if n_elements <= 0:
+        raise WorkloadError(f"n_elements must be positive, got {n_elements}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise WorkloadError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0.0 < hot_width <= 1.0:
+        raise WorkloadError(f"hot_width must be in (0, 1], got {hot_width}")
+    rng = rng or np.random.default_rng(0)
+    domain = n_elements if domain is None else int(domain)
+    n_hot = int(round(n_elements * hot_fraction))
+    n_cold = n_elements - n_hot
+    hot_low = int(domain * (0.5 - hot_width / 2.0))
+    hot_high = max(hot_low + 1, int(domain * (0.5 + hot_width / 2.0)))
+    hot = rng.integers(hot_low, hot_high, size=n_hot, dtype=np.int64)
+    cold = rng.integers(0, domain, size=n_cold, dtype=np.int64)
+    data = np.concatenate([hot, cold])
+    rng.shuffle(data)
+    return data

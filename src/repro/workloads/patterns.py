@@ -1,0 +1,356 @@
+"""The synthetic query patterns of Figure 6 (Halim et al. / the paper).
+
+Every generator produces a :class:`~repro.workloads.workload.Workload` of
+range queries over the domain ``[domain_low, domain_high]``.  Unless the
+pattern dictates otherwise (ZoomIn and SeqZoomIn shrink their ranges by
+construction), the query width is ``selectivity * domain`` — the paper uses
+``selectivity = 0.1`` for the synthetic experiments.
+
+The patterns:
+
+``Random``
+    Query positions drawn uniformly at random.
+``SeqOver``
+    The query range sweeps the domain from left to right in equal steps,
+    wrapping around when it reaches the end (the pattern standard cracking
+    struggles with).
+``Skew``
+    Query positions concentrated on a small hot region of the domain.
+``Periodic``
+    The query position advances by a large fixed stride, revisiting the same
+    few regions periodically.
+``ZoomIn``
+    The first query covers (almost) the whole domain; every subsequent query
+    shrinks both bounds towards the centre.
+``ZoomInAlt``
+    Alternates between zooming into the first and the second half of the
+    domain.
+``ZoomOutAlt``
+    Starts from two narrow ranges near the centre of each half and widens
+    them alternately.
+``SeqZoomIn``
+    Splits the domain into consecutive sections and performs a short zoom-in
+    inside each section before moving to the next.
+
+Point-query variants replace each range with its centre value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.workload import Workload
+
+#: Default selectivity of the synthetic range queries (paper: 0.1).
+DEFAULT_SELECTIVITY = 0.1
+
+#: Fraction of the domain covered by the hot region of the Skew pattern.
+SKEW_HOT_REGION = 0.2
+
+#: Fraction of queries that fall into the hot region of the Skew pattern.
+SKEW_HOT_PROBABILITY = 0.9
+
+
+def _validate(domain_low: float, domain_high: float, n_queries: int, selectivity: float) -> None:
+    if domain_high <= domain_low:
+        raise WorkloadError(
+            f"domain_high ({domain_high}) must exceed domain_low ({domain_low})"
+        )
+    if n_queries <= 0:
+        raise WorkloadError(f"n_queries must be positive, got {n_queries}")
+    if not 0.0 < selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+
+
+def _clamp_ranges(
+    lows: np.ndarray, width: float, domain_low: float, domain_high: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    lows = np.clip(lows, domain_low, domain_high - width)
+    return lows, lows + width
+
+
+def _workload(
+    name: str,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    domain_low: float,
+    domain_high: float,
+    **metadata,
+) -> Workload:
+    return Workload.from_bounds(
+        name, lows, highs, domain_low, domain_high, metadata=metadata
+    )
+
+
+# ----------------------------------------------------------------------
+# Individual patterns
+# ----------------------------------------------------------------------
+def random_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Uniformly random query positions (pattern ``Random``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    rng = rng or np.random.default_rng(0)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    lows = domain_low + rng.uniform(0.0, domain - width, size=n_queries)
+    lows, highs = _clamp_ranges(lows, width, domain_low, domain_high)
+    return _workload("Random", lows, highs, domain_low, domain_high)
+
+
+def seq_over_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Left-to-right sweep over the domain (pattern ``SeqOver``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    span = max(domain - width, 1e-12)
+    # Advance by half a query width per query so consecutive queries overlap,
+    # wrapping around once the end of the domain is reached.
+    step = width / 2.0 if width > 0 else span / n_queries
+    positions = (np.arange(n_queries) * step) % span
+    lows, highs = _clamp_ranges(domain_low + positions, width, domain_low, domain_high)
+    return _workload("SeqOver", lows, highs, domain_low, domain_high)
+
+
+def skew_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+    hot_region: float = SKEW_HOT_REGION,
+    hot_probability: float = SKEW_HOT_PROBABILITY,
+) -> Workload:
+    """Queries concentrated on a hot region of the domain (pattern ``Skew``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    rng = rng or np.random.default_rng(0)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    hot_width = hot_region * domain
+    hot_start = domain_low + (domain - hot_width) / 2.0
+    in_hot = rng.random(n_queries) < hot_probability
+    hot_positions = hot_start + rng.uniform(0.0, max(hot_width - width, 1e-12), size=n_queries)
+    cold_positions = domain_low + rng.uniform(0.0, max(domain - width, 1e-12), size=n_queries)
+    lows = np.where(in_hot, hot_positions, cold_positions)
+    lows, highs = _clamp_ranges(lows, width, domain_low, domain_high)
+    return _workload(
+        "Skew", lows, highs, domain_low, domain_high, hot_region=hot_region
+    )
+
+
+def periodic_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+    period: int = 10,
+) -> Workload:
+    """Query position advances by ``domain / period`` each query (``Periodic``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    span = max(domain - width, 1e-12)
+    stride = span / period
+    positions = (np.arange(n_queries) * stride) % span
+    lows, highs = _clamp_ranges(domain_low + positions, width, domain_low, domain_high)
+    return _workload("Periodic", lows, highs, domain_low, domain_high, period=period)
+
+
+def zoom_in_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Progressively narrowing queries towards the domain centre (``ZoomIn``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    centre = domain_low + domain / 2.0
+    # Shrink the half-width geometrically from the full domain down to the
+    # target selectivity width.
+    start_half = domain / 2.0
+    end_half = max(selectivity * domain / 2.0, domain * 1e-6)
+    factors = np.linspace(0.0, 1.0, n_queries)
+    half_widths = start_half * (end_half / start_half) ** factors
+    lows = centre - half_widths
+    highs = centre + half_widths
+    return _workload("ZoomIn", lows, highs, domain_low, domain_high)
+
+
+def zoom_in_alternate_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Alternate zooming into the two halves of the domain (``ZoomInAlt``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    centres = (
+        domain_low + domain * 0.25,
+        domain_low + domain * 0.75,
+    )
+    lows: List[float] = []
+    highs: List[float] = []
+    n_steps = (n_queries + 1) // 2
+    start_half = domain / 4.0
+    end_half = max(width / 2.0, domain * 1e-6)
+    factors = np.linspace(0.0, 1.0, max(n_steps, 2))
+    half_widths = start_half * (end_half / start_half) ** factors
+    for step in range(n_queries):
+        centre = centres[step % 2]
+        half = half_widths[min(step // 2, len(half_widths) - 1)]
+        lows.append(max(domain_low, centre - half))
+        highs.append(min(domain_high, centre + half))
+    return _workload("ZoomInAlt", np.array(lows), np.array(highs), domain_low, domain_high)
+
+
+def zoom_out_alternate_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Alternate widening queries in the two halves of the domain (``ZoomOutAlt``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    centres = (
+        domain_low + domain * 0.25,
+        domain_low + domain * 0.75,
+    )
+    lows: List[float] = []
+    highs: List[float] = []
+    n_steps = (n_queries + 1) // 2
+    start_half = max(width / 2.0, domain * 1e-6)
+    end_half = domain / 4.0
+    factors = np.linspace(0.0, 1.0, max(n_steps, 2))
+    half_widths = start_half * (end_half / start_half) ** factors
+    for step in range(n_queries):
+        centre = centres[step % 2]
+        half = half_widths[min(step // 2, len(half_widths) - 1)]
+        lows.append(max(domain_low, centre - half))
+        highs.append(min(domain_high, centre + half))
+    return _workload("ZoomOutAlt", np.array(lows), np.array(highs), domain_low, domain_high)
+
+
+def seq_zoom_in_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+    n_sections: int = 10,
+) -> Workload:
+    """Short zoom-ins performed section by section (``SeqZoomIn``)."""
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    domain = domain_high - domain_low
+    width = selectivity * domain
+    section_width = domain / n_sections
+    queries_per_section = max(1, n_queries // n_sections)
+    lows: List[float] = []
+    highs: List[float] = []
+    for query_number in range(n_queries):
+        section = (query_number // queries_per_section) % n_sections
+        step = query_number % queries_per_section
+        section_low = domain_low + section * section_width
+        centre = section_low + section_width / 2.0
+        start_half = section_width / 2.0
+        end_half = max(width / 2.0, domain * 1e-6)
+        if queries_per_section > 1:
+            factor = step / (queries_per_section - 1)
+        else:
+            factor = 1.0
+        half = start_half * (end_half / start_half) ** factor if end_half < start_half else start_half
+        lows.append(max(domain_low, centre - half))
+        highs.append(min(domain_high, centre + half))
+    return _workload(
+        "SeqZoomIn", np.array(lows), np.array(highs), domain_low, domain_high,
+        n_sections=n_sections,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry and helpers
+# ----------------------------------------------------------------------
+PatternGenerator = Callable[..., Workload]
+
+#: All synthetic range-query patterns by name, in the order used by the
+#: paper's result tables.
+SYNTHETIC_PATTERNS: Dict[str, PatternGenerator] = {
+    "SeqOver": seq_over_workload,
+    "ZoomOutAlt": zoom_out_alternate_workload,
+    "Skew": skew_workload,
+    "Random": random_workload,
+    "SeqZoomIn": seq_zoom_in_workload,
+    "Periodic": periodic_workload,
+    "ZoomInAlt": zoom_in_alternate_workload,
+    "ZoomIn": zoom_in_workload,
+}
+
+#: Patterns used for the point-query experiments (the paper omits the
+#: zoom-in patterns whose ranges shrink by construction).
+POINT_QUERY_PATTERNS = (
+    "SeqOver",
+    "ZoomOutAlt",
+    "Skew",
+    "Random",
+    "Periodic",
+    "ZoomInAlt",
+)
+
+
+def generate_pattern(
+    name: str,
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+    point_queries: bool = False,
+) -> Workload:
+    """Generate a named pattern, optionally converted to point queries."""
+    try:
+        generator = SYNTHETIC_PATTERNS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload pattern {name!r}; available: {sorted(SYNTHETIC_PATTERNS)}"
+        ) from None
+    workload = generator(domain_low, domain_high, n_queries, selectivity, rng)
+    if point_queries:
+        workload = to_point_queries(workload)
+    return workload
+
+
+def to_point_queries(workload: Workload) -> Workload:
+    """Replace every range with a point query at its centre."""
+    centres = [
+        round((predicate.low + predicate.high) / 2.0) for predicate in workload.predicates
+    ]
+    return Workload.from_bounds(
+        workload.name,
+        centres,
+        centres,
+        workload.domain_low,
+        workload.domain_high,
+        point_queries=True,
+        metadata=dict(workload.metadata),
+    )

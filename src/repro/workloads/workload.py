@@ -1,0 +1,100 @@
+"""The :class:`Workload` container: an ordered sequence of predicates.
+
+A workload couples the query sequence with the metadata the experiment
+drivers need (its name, the domain it was generated for, and whether it
+consists of point queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.query import Predicate
+from repro.errors import WorkloadError
+
+
+@dataclass
+class Workload:
+    """An ordered sequence of query predicates.
+
+    Attributes
+    ----------
+    name:
+        Pattern name (e.g. ``"SeqOver"``, ``"SkyServer"``).
+    predicates:
+        The queries, in execution order.
+    domain_low, domain_high:
+        Value domain the workload was generated against.
+    point_queries:
+        Whether every predicate is a point query.
+    """
+
+    name: str
+    predicates: List[Predicate]
+    domain_low: float = 0.0
+    domain_high: float = 1.0
+    point_queries: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise WorkloadError(f"workload {self.name!r} has no queries")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self.predicates)
+
+    def __getitem__(self, index: int) -> Predicate:
+        return self.predicates[index]
+
+    # ------------------------------------------------------------------
+    def selectivities(self) -> np.ndarray:
+        """Per-query selectivity estimates against the workload domain."""
+        return np.array(
+            [p.selectivity(self.domain_low, self.domain_high) for p in self.predicates]
+        )
+
+    def mean_selectivity(self) -> float:
+        """Average selectivity of the workload."""
+        return float(self.selectivities().mean())
+
+    def head(self, n_queries: int) -> "Workload":
+        """A new workload containing only the first ``n_queries`` queries."""
+        return Workload(
+            name=self.name,
+            predicates=list(self.predicates[:n_queries]),
+            domain_low=self.domain_low,
+            domain_high=self.domain_high,
+            point_queries=self.point_queries,
+            metadata=dict(self.metadata),
+        )
+
+    @classmethod
+    def from_bounds(
+        cls,
+        name: str,
+        lows: Sequence[float],
+        highs: Sequence[float],
+        domain_low: float,
+        domain_high: float,
+        point_queries: bool = False,
+        metadata: dict | None = None,
+    ) -> "Workload":
+        """Build a workload from parallel sequences of bounds."""
+        if len(lows) != len(highs):
+            raise WorkloadError("lows and highs must have the same length")
+        predicates = [Predicate(float(lo), float(hi)) for lo, hi in zip(lows, highs)]
+        return cls(
+            name=name,
+            predicates=predicates,
+            domain_low=domain_low,
+            domain_high=domain_high,
+            point_queries=point_queries,
+            metadata=metadata or {},
+        )

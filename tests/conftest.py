@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import Predicate, QueryResult
+from repro.storage.column import Column
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def uniform_data(rng) -> np.ndarray:
+    """Uniform integers with duplicates over a domain of 50_000."""
+    return rng.integers(0, 50_000, size=20_000, dtype=np.int64)
+
+
+@pytest.fixture
+def skewed_data(rng) -> np.ndarray:
+    """Skewed integers: 90% concentrated in the middle tenth of the domain."""
+    hot = rng.integers(22_500, 27_500, size=18_000, dtype=np.int64)
+    cold = rng.integers(0, 50_000, size=2_000, dtype=np.int64)
+    data = np.concatenate([hot, cold])
+    rng.shuffle(data)
+    return data
+
+
+@pytest.fixture
+def uniform_column(uniform_data) -> Column:
+    """A column over the uniform test data."""
+    return Column(uniform_data, name="value")
+
+
+@pytest.fixture
+def skewed_column(skewed_data) -> Column:
+    """A column over the skewed test data."""
+    return Column(skewed_data, name="value")
+
+
+def brute_force(data: np.ndarray, predicate: Predicate) -> QueryResult:
+    """Reference answer computed with a plain NumPy filter."""
+    mask = (data >= predicate.low) & (data <= predicate.high)
+    count = int(mask.sum())
+    if count == 0:
+        return QueryResult(0, 0)
+    return QueryResult(data[mask].sum(), count)
+
+
+def random_range_predicates(data: np.ndarray, n_queries: int, rng, selectivity: float = 0.1):
+    """Random range predicates over the data's domain."""
+    low, high = int(data.min()), int(data.max())
+    width = max(1, int((high - low) * selectivity))
+    predicates = []
+    for _ in range(n_queries):
+        start = int(rng.integers(low, max(low + 1, high - width)))
+        predicates.append(Predicate(start, start + width))
+    return predicates
+
+
+def random_point_predicates(data: np.ndarray, n_queries: int, rng):
+    """Random point predicates on existing values."""
+    return [
+        Predicate(int(value), int(value))
+        for value in data[rng.integers(0, data.size, size=n_queries)]
+    ]
+
+
+def assert_matches_brute_force(index, data: np.ndarray, predicates) -> None:
+    """Every predicate must be answered exactly like the reference scan."""
+    for query_number, predicate in enumerate(predicates):
+        result = index.query(predicate)
+        expected = brute_force(data, predicate)
+        assert result.count == expected.count, (
+            f"query {query_number} ({predicate}): count {result.count} != {expected.count} "
+            f"in phase {index.phase}"
+        )
+        assert result.value_sum == expected.value_sum, (
+            f"query {query_number} ({predicate}): sum mismatch in phase {index.phase}"
+        )

@@ -1,0 +1,114 @@
+"""Tests for the AVL tree backing the cracker index."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.avl import AVLTree
+
+
+class TestAVLBasics:
+    def test_empty_tree(self):
+        tree = AVLTree()
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.get(1) is None
+        assert tree.floor_item(1) is None
+        assert tree.higher_item(1) is None
+        assert tree.min_item() is None
+        assert tree.max_item() is None
+
+    def test_insert_and_get(self):
+        tree = AVLTree()
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        tree.insert(8, "eight")
+        assert len(tree) == 3
+        assert tree.get(3) == "three"
+        assert tree.get(42, default="missing") == "missing"
+
+    def test_insert_replaces_existing_key(self):
+        tree = AVLTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_items_in_order(self):
+        tree = AVLTree()
+        for key in (5, 1, 9, 3, 7):
+            tree.insert(key, key * 10)
+        assert [key for key, _ in tree.items()] == [1, 3, 5, 7, 9]
+        assert list(tree.keys()) == [1, 3, 5, 7, 9]
+        assert list(tree.values()) == [10, 30, 50, 70, 90]
+
+    def test_floor_and_higher(self):
+        tree = AVLTree()
+        for key in (10, 20, 30):
+            tree.insert(key, key)
+        assert tree.floor_item(25) == (20, 20)
+        assert tree.floor_item(20) == (20, 20)
+        assert tree.floor_item(5) is None
+        assert tree.higher_item(20) == (30, 30)
+        assert tree.higher_item(30) is None
+        assert tree.higher_item(5) == (10, 10)
+
+    def test_min_max(self):
+        tree = AVLTree()
+        for key in (4, 2, 8):
+            tree.insert(key, str(key))
+        assert tree.min_item() == (2, "2")
+        assert tree.max_item() == (8, "8")
+
+    def test_contains(self):
+        tree = AVLTree()
+        tree.insert(1, None)
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_height_stays_logarithmic_for_sequential_inserts(self):
+        tree = AVLTree()
+        n = 1024
+        for key in range(n):
+            tree.insert(key, key)
+        # A perfectly balanced tree would have height 10; AVL guarantees
+        # height <= 1.44 * log2(n + 2).
+        assert tree.height <= int(1.44 * np.log2(n + 2)) + 1
+
+
+class TestAVLProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=300))
+    def test_inorder_matches_sorted_unique(self, keys):
+        tree = AVLTree()
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(set(keys))
+        assert [key for key, _ in tree.items()] == expected
+        assert len(tree) == len(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200),
+        st.integers(min_value=-10, max_value=1010),
+    )
+    def test_floor_and_higher_match_reference(self, keys, probe):
+        tree = AVLTree()
+        for key in keys:
+            tree.insert(key, key)
+        unique = sorted(set(keys))
+        floor_expected = max((k for k in unique if k <= probe), default=None)
+        higher_expected = min((k for k in unique if k > probe), default=None)
+        floor_item = tree.floor_item(probe)
+        higher_item = tree.higher_item(probe)
+        assert (floor_item[0] if floor_item else None) == floor_expected
+        assert (higher_item[0] if higher_item else None) == higher_expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=400))
+    def test_balance_invariant(self, keys):
+        tree = AVLTree()
+        for key in keys:
+            tree.insert(key, key)
+        n_unique = len(set(keys))
+        assert tree.height <= 1.44 * np.log2(n_unique + 2) + 1

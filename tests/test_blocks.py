@@ -1,0 +1,122 @@
+"""Tests for the linked block lists and bucket sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import QueryResult
+from repro.progressive.blocks import BlockList, BucketSet
+
+
+class TestBlockList:
+    def test_append_and_length(self):
+        blocks = BlockList(block_size=4)
+        blocks.append_array(np.array([1, 2, 3, 4, 5]))
+        assert len(blocks) == 5
+        assert blocks.n_blocks == 2
+
+    def test_single_appends(self):
+        blocks = BlockList(block_size=2)
+        for value in (1, 2, 3):
+            blocks.append(value)
+        assert blocks.to_array().tolist() == [1, 2, 3]
+
+    def test_block_allocation_counts(self):
+        blocks = BlockList(block_size=10)
+        blocks.append_array(np.arange(25))
+        assert blocks.n_allocations == 3
+        assert blocks.memory_footprint() == 3 * 10 * 8
+
+    def test_to_array_preserves_order(self):
+        blocks = BlockList(block_size=3)
+        blocks.append_array(np.array([5, 1, 4]))
+        blocks.append_array(np.array([2, 9]))
+        assert blocks.to_array().tolist() == [5, 1, 4, 2, 9]
+
+    def test_to_array_empty(self):
+        assert BlockList().to_array().size == 0
+
+    def test_scan(self):
+        blocks = BlockList(block_size=4)
+        blocks.append_array(np.array([1, 5, 10, 15, 20]))
+        result = blocks.scan(5, 15)
+        assert isinstance(result, QueryResult)
+        assert result.count == 3 and result.value_sum == 30
+
+    def test_scan_empty_result(self):
+        blocks = BlockList(block_size=4)
+        blocks.append_array(np.array([1, 2]))
+        assert blocks.scan(100, 200).count == 0
+
+    def test_slice_array(self):
+        blocks = BlockList(block_size=3)
+        blocks.append_array(np.arange(10))
+        assert blocks.slice_array(2, 5).tolist() == [2, 3, 4, 5, 6]
+        assert blocks.slice_array(8, 10).tolist() == [8, 9]
+        assert blocks.slice_array(0, 0).size == 0
+        assert blocks.slice_array(20, 5).size == 0
+
+    def test_clear(self):
+        blocks = BlockList(block_size=4)
+        blocks.append_array(np.arange(10))
+        blocks.clear()
+        assert len(blocks) == 0 and blocks.n_blocks == 0
+
+    def test_rejects_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockList(block_size=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=200))
+    def test_roundtrip_property(self, values):
+        blocks = BlockList(block_size=7)
+        blocks.append_array(np.array(values, dtype=np.int64))
+        assert blocks.to_array().tolist() == values
+
+
+class TestBucketSet:
+    def test_scatter_routes_by_bucket_id(self):
+        buckets = BucketSet(4, block_size=8)
+        values = np.array([10, 20, 30, 40])
+        ids = np.array([0, 1, 1, 3])
+        buckets.scatter(values, ids)
+        assert buckets[0].to_array().tolist() == [10]
+        assert buckets[1].to_array().tolist() == [20, 30]
+        assert buckets[2].to_array().tolist() == []
+        assert buckets[3].to_array().tolist() == [40]
+        assert len(buckets) == 4
+
+    def test_scatter_is_stable_within_bucket(self):
+        buckets = BucketSet(2, block_size=4)
+        buckets.scatter(np.array([5, 3, 9]), np.array([1, 1, 1]))
+        buckets.scatter(np.array([7]), np.array([1]))
+        assert buckets[1].to_array().tolist() == [5, 3, 9, 7]
+
+    def test_scan_selected_buckets(self):
+        buckets = BucketSet(3, block_size=4)
+        buckets.scatter(np.array([1, 100, 200]), np.array([0, 1, 2]))
+        result = buckets.scan(0, 1000, bucket_range=range(1, 3))
+        assert result.count == 2 and result.value_sum == 300
+
+    def test_scan_all_buckets(self):
+        buckets = BucketSet(3, block_size=4)
+        buckets.scatter(np.array([1, 2, 3]), np.array([0, 1, 2]))
+        assert buckets.scan(0, 10).count == 3
+
+    def test_sizes_and_footprint(self):
+        buckets = BucketSet(2, block_size=4)
+        buckets.scatter(np.arange(6), np.array([0, 0, 0, 1, 1, 1]))
+        assert buckets.sizes().tolist() == [3, 3]
+        assert buckets.total_allocations() == 2
+        assert buckets.memory_footprint() == 2 * 4 * 8
+
+    def test_clear(self):
+        buckets = BucketSet(2, block_size=4)
+        buckets.scatter(np.array([1]), np.array([0]))
+        buckets.clear()
+        assert len(buckets) == 0
+
+    def test_rejects_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            BucketSet(0)

@@ -1,0 +1,113 @@
+"""Tests for the fixed and adaptive indexing budgets."""
+
+import pytest
+
+from repro.core.budget import AdaptiveBudget, FixedBudget, FixedTimeBudget, MINIMUM_DELTA
+from repro.errors import InvalidBudgetError
+
+
+class TestFixedBudget:
+    def test_returns_constant_delta(self):
+        budget = FixedBudget(0.25)
+        assert budget.next_delta(1.0) == 0.25
+        assert budget.next_delta(100.0) == 0.25
+
+    def test_zero_delta_allowed(self):
+        assert FixedBudget(0.0).next_delta(1.0) == 0.0
+
+    def test_full_delta_allowed(self):
+        assert FixedBudget(1.0).next_delta(1.0) == 1.0
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.5])
+    def test_rejects_out_of_range(self, delta):
+        with pytest.raises(InvalidBudgetError):
+            FixedBudget(delta)
+
+    def test_not_adaptive(self):
+        assert FixedBudget(0.5).adaptive is False
+
+    def test_describe(self):
+        assert "0.5" in FixedBudget(0.5).describe()
+
+
+class TestFixedTimeBudget:
+    def test_delta_computed_once(self):
+        budget = FixedTimeBudget(budget_seconds=0.5)
+        first = budget.next_delta(full_work_time=2.0)
+        assert first == pytest.approx(0.25)
+        # Later calls keep the same delta even when the work estimate changes.
+        assert budget.next_delta(full_work_time=100.0) == pytest.approx(0.25)
+
+    def test_caps_at_one(self):
+        budget = FixedTimeBudget(budget_seconds=10.0)
+        assert budget.next_delta(full_work_time=1.0) == 1.0
+
+    def test_zero_work_means_full_delta(self):
+        assert FixedTimeBudget(1.0).next_delta(0.0) == 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidBudgetError):
+            FixedTimeBudget(0.0)
+
+
+class TestAdaptiveBudget:
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget()
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget(budget_seconds=1.0, scan_fraction=0.2)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget(budget_seconds=-1.0)
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget(scan_fraction=0.0)
+
+    def test_scan_fraction_requires_registration(self):
+        budget = AdaptiveBudget(scan_fraction=0.2)
+        with pytest.raises(InvalidBudgetError):
+            budget.next_delta(1.0)
+
+    def test_scan_fraction_resolution(self):
+        budget = AdaptiveBudget(scan_fraction=0.2)
+        budget.register_scan_time(1.0)
+        assert budget.budget_seconds == pytest.approx(0.2)
+        assert budget.target_query_cost == pytest.approx(1.2)
+
+    def test_first_query_uses_raw_budget(self):
+        budget = AdaptiveBudget(budget_seconds=0.2)
+        # Without a registered scan time the slack is the raw budget.
+        assert budget.next_delta(full_work_time=1.0) == pytest.approx(0.2)
+
+    def test_keeps_total_cost_constant(self):
+        budget = AdaptiveBudget(scan_fraction=0.2)
+        budget.register_scan_time(1.0)
+        # Query that would cost 0.4 on its own leaves 0.8 of slack.
+        delta = budget.next_delta(full_work_time=2.0, query_base_cost=0.4)
+        assert delta == pytest.approx(0.4)
+
+    def test_cheap_queries_get_more_indexing(self):
+        budget = AdaptiveBudget(scan_fraction=0.2)
+        budget.register_scan_time(1.0)
+        expensive = budget.next_delta(2.0, query_base_cost=1.0)
+        cheap = budget.next_delta(2.0, query_base_cost=0.1)
+        assert cheap > expensive
+
+    def test_minimum_delta_floor(self):
+        budget = AdaptiveBudget(scan_fraction=0.2)
+        budget.register_scan_time(1.0)
+        # The query alone already exceeds the target: fall back to the floor.
+        delta = budget.next_delta(full_work_time=10.0, query_base_cost=5.0)
+        assert delta == pytest.approx(MINIMUM_DELTA)
+
+    def test_delta_capped_at_one(self):
+        budget = AdaptiveBudget(budget_seconds=100.0)
+        budget.register_scan_time(1.0)
+        assert budget.next_delta(full_work_time=1.0, query_base_cost=0.0) == 1.0
+
+    def test_is_adaptive(self):
+        assert AdaptiveBudget(scan_fraction=0.2).adaptive is True
+
+    def test_describe(self):
+        assert "0.2" in AdaptiveBudget(scan_fraction=0.2).describe()
+        assert "s" in AdaptiveBudget(budget_seconds=0.25).describe()

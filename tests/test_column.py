@@ -1,0 +1,124 @@
+"""Tests for the column and table storage layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidColumnError
+from repro.storage import Column, Table
+
+
+class TestColumnConstruction:
+    def test_from_list(self):
+        column = Column([3, 1, 2])
+        assert len(column) == 3
+        assert column.dtype == np.int64
+
+    def test_from_numpy_int(self):
+        column = Column(np.array([1, 2, 3], dtype=np.int32))
+        assert column.dtype == np.int64
+
+    def test_from_numpy_float(self):
+        column = Column(np.array([1.5, 2.5]))
+        assert column.dtype == np.float64
+
+    def test_name(self):
+        assert Column([1], name="ra").name == "ra"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidColumnError):
+            Column([])
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(InvalidColumnError):
+            Column(np.zeros((2, 2)))
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(InvalidColumnError):
+            Column(np.array(["a", "b"]))
+
+    def test_data_is_read_only(self):
+        column = Column([1, 2, 3])
+        with pytest.raises(ValueError):
+            column.data[0] = 99
+
+    def test_copy_data_is_writable(self):
+        column = Column([1, 2, 3])
+        copy = column.copy_data()
+        copy[0] = 99
+        assert column.data[0] == 1
+
+    def test_getitem_and_iter(self):
+        column = Column([5, 6, 7])
+        assert column[1] == 6
+        assert list(column) == [5, 6, 7]
+
+
+class TestColumnStatistics:
+    def test_min_max(self):
+        column = Column([5, 3, 9, 1])
+        assert column.min() == 1
+        assert column.max() == 9
+        assert column.value_range() == (1, 9)
+
+    def test_min_max_cached(self):
+        column = Column([2, 4])
+        assert column.min() == column.min()
+
+
+class TestColumnScans:
+    def test_scan_range_inclusive(self):
+        column = Column([1, 2, 3, 4, 5])
+        total, count = column.scan_range(2, 4)
+        assert (total, count) == (9, 3)
+
+    def test_scan_range_empty(self):
+        column = Column([1, 2, 3])
+        total, count = column.scan_range(10, 20)
+        assert (total, count) == (0, 0)
+
+    def test_scan_range_partial_window(self):
+        column = Column([1, 2, 3, 4, 5])
+        total, count = column.scan_range(0, 10, start=2, stop=4)
+        assert (total, count) == (7, 2)
+
+    def test_scan_count(self):
+        column = Column([1, 1, 2, 3])
+        assert column.scan_count(1, 1) == 2
+
+    def test_scan_matches_numpy(self, uniform_data):
+        column = Column(uniform_data)
+        total, count = column.scan_range(1000, 4000)
+        mask = (uniform_data >= 1000) & (uniform_data <= 4000)
+        assert count == mask.sum()
+        assert total == uniform_data[mask].sum()
+
+
+class TestTable:
+    def test_basic_access(self):
+        table = Table({"a": [1, 2, 3], "b": [4, 5, 6]}, name="t")
+        assert len(table) == 3
+        assert set(table.column_names) == {"a", "b"}
+        assert table["a"][0] == 1
+        assert "a" in table and "c" not in table
+
+    def test_accepts_column_instances(self):
+        column = Column([1, 2], name="x")
+        table = Table({"x": column})
+        assert table.column("x") is column
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidColumnError):
+            Table({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InvalidColumnError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_unknown_column(self):
+        table = Table({"a": [1]})
+        with pytest.raises(InvalidColumnError):
+            table.column("missing")
+
+    def test_from_arrays(self):
+        table = Table.from_arrays(a=np.array([1, 2]), b=np.array([3, 4]))
+        assert len(table) == 2

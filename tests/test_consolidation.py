@@ -1,0 +1,89 @@
+"""Tests for the progressive B+-tree consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Predicate
+from repro.progressive.consolidation import ProgressiveConsolidator
+
+
+class TestProgressiveConsolidator:
+    def test_small_input_is_immediately_done(self):
+        consolidator = ProgressiveConsolidator(np.arange(10), fanout=64)
+        assert consolidator.done
+        assert consolidator.total_elements == 0
+        assert consolidator.progress == 1.0
+
+    def test_total_elements_matches_level_plan(self):
+        n = 10_000
+        consolidator = ProgressiveConsolidator(np.arange(n), fanout=16)
+        expected = 0
+        size = n
+        while size > 16:
+            size = int(np.ceil(size / 16))
+            expected += size
+        assert consolidator.total_elements == expected
+
+    def test_step_respects_budget(self):
+        consolidator = ProgressiveConsolidator(np.arange(10_000), fanout=16)
+        copied = consolidator.step(100)
+        assert copied == 100
+        assert consolidator.copied_elements == 100
+        assert not consolidator.done
+
+    def test_progressive_completion(self):
+        values = np.sort(np.random.default_rng(0).integers(0, 100_000, size=20_000))
+        consolidator = ProgressiveConsolidator(values, fanout=32)
+        steps = 0
+        while not consolidator.done:
+            consolidator.step(64)
+            steps += 1
+            assert steps < 100_000
+        assert consolidator.remaining_elements == 0
+        assert consolidator.progress == 1.0
+        tree = consolidator.result()
+        assert tree.range_query(0, 100_000).count == 20_000
+
+    def test_levels_match_eager_construction(self):
+        values = np.arange(5_000)
+        consolidator = ProgressiveConsolidator(values, fanout=16)
+        consolidator.step(consolidator.total_elements)
+        from repro.btree.cascade import CascadeTree
+
+        eager = CascadeTree(values, fanout=16)
+        assert len(consolidator.levels) == len(eager.levels)
+        for built, expected in zip(consolidator.levels, eager.levels):
+            assert built.tolist() == expected.tolist()
+
+    def test_queries_exact_during_consolidation(self):
+        rng = np.random.default_rng(1)
+        values = np.sort(rng.integers(0, 50_000, size=10_000))
+        consolidator = ProgressiveConsolidator(values, fanout=16)
+        while not consolidator.done:
+            consolidator.step(50)
+            low = int(rng.integers(0, 45_000))
+            predicate = Predicate(low, low + 5_000)
+            result = consolidator.query(predicate)
+            mask = (values >= predicate.low) & (values <= predicate.high)
+            assert result.count == mask.sum()
+            assert result.value_sum == values[mask].sum()
+
+    def test_matching_fraction(self):
+        values = np.arange(1_000)
+        consolidator = ProgressiveConsolidator(values, fanout=16)
+        assert consolidator.matching_fraction(Predicate(0, 99)) == pytest.approx(0.1)
+        assert consolidator.matching_fraction(Predicate(5_000, 6_000)) == 0.0
+
+    def test_result_finishes_eagerly_when_requested(self):
+        consolidator = ProgressiveConsolidator(np.arange(5_000), fanout=16)
+        tree = consolidator.result()
+        assert consolidator.done
+        assert tree.range_query(10, 19).count == 10
+
+    def test_step_after_done_is_noop(self):
+        consolidator = ProgressiveConsolidator(np.arange(10), fanout=64)
+        assert consolidator.step(100) == 0
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            ProgressiveConsolidator(np.arange(10), fanout=1)

@@ -1,0 +1,182 @@
+"""Tests for the cracking substrate: cracker index, cracker column, kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.cracker_column import CrackerColumn, upper_exclusive
+from repro.cracking.cracker_index import CrackerIndex
+from repro.cracking.kernels import (
+    choose_kernel,
+    partition_branched,
+    partition_predicated,
+    partition_two_sided,
+)
+from repro.storage.column import Column
+
+
+class TestCrackerIndex:
+    def test_initial_single_piece(self):
+        index = CrackerIndex(100, 0, 1_000)
+        piece = index.piece_for(500)
+        assert (piece.start, piece.end) == (0, 100)
+        assert index.n_pieces == 1
+
+    def test_piece_lookup_after_cracks(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(300, 30)
+        index.add(700, 70)
+        assert index.n_pieces == 3
+        assert (index.piece_for(100).start, index.piece_for(100).end) == (0, 30)
+        assert (index.piece_for(300).start, index.piece_for(300).end) == (30, 70)
+        assert (index.piece_for(999).start, index.piece_for(999).end) == (70, 100)
+
+    def test_piece_value_bounds(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(300, 30)
+        piece = index.piece_for(100)
+        assert piece.value_low == 0 and piece.value_high == 300
+
+    def test_position_of(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(300, 30)
+        assert index.position_of(300) == 30
+        assert index.position_of(299) is None
+
+    def test_largest_piece(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(100, 10)
+        index.add(900, 90)
+        largest = index.largest_piece()
+        assert (largest.start, largest.end) == (10, 90)
+
+    def test_piece_sizes(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(500, 40)
+        assert index.piece_sizes() == [40, 60]
+
+
+class TestUpperExclusive:
+    def test_integer(self):
+        assert upper_exclusive(10, np.dtype(np.int64)) == 11
+
+    def test_float(self):
+        bumped = upper_exclusive(10.0, np.dtype(np.float64))
+        assert bumped > 10.0
+        assert np.nextafter(10.0, np.inf) == bumped
+
+
+class TestCrackerColumn:
+    def make(self, data):
+        return CrackerColumn(Column(np.asarray(data, dtype=np.int64)))
+
+    def test_crack_partitions_around_value(self, rng):
+        data = rng.integers(0, 1_000, size=2_000)
+        cracker = self.make(data)
+        position = cracker.crack(500)
+        assert np.all(cracker.values[:position] < 500)
+        assert np.all(cracker.values[position:] >= 500)
+        assert cracker.n_pieces == 2
+
+    def test_crack_is_idempotent(self, rng):
+        data = rng.integers(0, 1_000, size=500)
+        cracker = self.make(data)
+        first = cracker.crack(300)
+        swaps_after_first = cracker.swaps_performed
+        second = cracker.crack(300)
+        assert first == second
+        assert cracker.swaps_performed == swaps_after_first
+
+    def test_values_remain_a_permutation(self, rng):
+        data = rng.integers(0, 10_000, size=3_000)
+        cracker = self.make(data)
+        for pivot in rng.integers(0, 10_000, size=20):
+            cracker.crack(int(pivot))
+        assert np.array_equal(np.sort(cracker.values), np.sort(data))
+
+    def test_range_query_matches_reference(self, rng):
+        data = rng.integers(0, 10_000, size=5_000)
+        cracker = self.make(data)
+        for _ in range(50):
+            low = int(rng.integers(0, 9_000))
+            high = low + 500
+            result = cracker.range_query(low, high)
+            mask = (data >= low) & (data <= high)
+            assert result.count == mask.sum()
+            assert result.value_sum == data[mask].sum()
+
+    def test_range_query_without_cracking_matches_reference(self, rng):
+        data = rng.integers(0, 10_000, size=5_000)
+        cracker = self.make(data)
+        # Crack a few arbitrary pivots so that queries span several pieces.
+        for pivot in (1_000, 4_000, 8_000):
+            cracker.crack(pivot)
+        pieces_before = cracker.n_pieces
+        for _ in range(50):
+            low = int(rng.integers(0, 9_000))
+            high = low + int(rng.integers(0, 2_000))
+            result = cracker.range_query_without_cracking(low, high)
+            mask = (data >= low) & (data <= high)
+            assert result.count == mask.sum()
+            assert result.value_sum == data[mask].sum()
+        assert cracker.n_pieces == pieces_before  # no reorganisation happened
+
+    def test_is_fully_sorted_detects_sorted_state(self):
+        cracker = self.make(np.arange(100))
+        assert cracker.is_fully_sorted()
+        cracker = self.make([3, 1, 2])
+        assert not cracker.is_fully_sorted()
+
+    def test_memory_footprint(self):
+        cracker = self.make(np.arange(1_000))
+        assert cracker.memory_footprint() == 1_000 * 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=300),
+        pivots=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=20),
+        low=st.integers(min_value=0, max_value=500),
+        width=st.integers(min_value=0, max_value=200),
+    )
+    def test_property_queries_exact_after_arbitrary_cracks(self, data, pivots, low, width):
+        array = np.array(data, dtype=np.int64)
+        cracker = CrackerColumn(Column(array))
+        for pivot in pivots:
+            cracker.crack(pivot)
+        high = low + width
+        result = cracker.range_query(low, high)
+        mask = (array >= low) & (array <= high)
+        assert result.count == mask.sum()
+        assert result.value_sum == array[mask].sum()
+
+
+class TestKernels:
+    @pytest.mark.parametrize(
+        "kernel", [partition_branched, partition_predicated, partition_two_sided]
+    )
+    def test_kernels_partition_correctly(self, kernel, rng):
+        values = rng.integers(0, 100, size=200)
+        pivot = 50
+        expected_low = np.sort(values[values < pivot])
+        working = values.copy()
+        boundary = kernel(working, pivot)
+        assert boundary == expected_low.size
+        assert np.all(working[:boundary] < pivot)
+        assert np.all(working[boundary:] >= pivot)
+        assert np.array_equal(np.sort(working), np.sort(values))
+
+    def test_kernels_agree_with_each_other(self, rng):
+        values = rng.integers(0, 1_000, size=500)
+        pivot = 321
+        results = []
+        for kernel in (partition_branched, partition_predicated, partition_two_sided):
+            working = values.copy()
+            results.append(kernel(working, pivot))
+        assert len(set(results)) == 1
+
+    def test_choose_kernel_decision_tree(self):
+        assert choose_kernel(10, 0.5) is partition_branched
+        assert choose_kernel(10, 0.01) is partition_predicated
+        assert choose_kernel(10_000, 0.5) is partition_predicated
+        assert choose_kernel(10_000_000, 0.5) is partition_two_sided

@@ -1,0 +1,127 @@
+"""Edge cases shared across the whole index zoo.
+
+Small columns, single elements, constant columns, queries outside the domain,
+inverted predicates and repeated identical queries — every index has to cope
+with all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import FixedBudget
+from repro.core.query import Predicate
+from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS
+from repro.errors import InvalidPredicateError
+from repro.storage.column import Column
+
+ALL_NAMES = sorted(ALGORITHMS)
+
+
+def build(name: str, data: np.ndarray):
+    column = Column(data)
+    if name in PROGRESSIVE_ALGORITHMS:
+        return ALGORITHMS[name](column, budget=FixedBudget(0.5))
+    return ALGORITHMS[name](column)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTinyColumns:
+    def test_single_element_column(self, name):
+        index = build(name, np.array([42]))
+        for _ in range(5):
+            assert index.query(Predicate(42, 42)).count == 1
+            assert index.query(Predicate(0, 41)).count == 0
+            assert index.query(Predicate(43, 100)).count == 0
+
+    def test_two_element_column(self, name):
+        index = build(name, np.array([7, 3]))
+        for _ in range(5):
+            result = index.query(Predicate(0, 10))
+            assert result.count == 2 and result.value_sum == 10
+
+    def test_tiny_constant_column(self, name):
+        index = build(name, np.full(17, 5))
+        for _ in range(5):
+            assert index.query(Predicate(5, 5)).count == 17
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestQueryShapes:
+    def test_query_covering_entire_domain(self, name, rng):
+        data = rng.integers(0, 1_000, size=3_000)
+        index = build(name, data)
+        for _ in range(5):
+            result = index.query(Predicate(-10, 2_000))
+            assert result.count == data.size
+            assert result.value_sum == data.sum()
+
+    def test_query_below_and_above_domain(self, name, rng):
+        data = rng.integers(100, 200, size=2_000)
+        index = build(name, data)
+        for _ in range(5):
+            assert index.query(Predicate(0, 50)).count == 0
+            assert index.query(Predicate(500, 600)).count == 0
+
+    def test_boundary_values_are_inclusive(self, name, rng):
+        data = rng.integers(0, 100, size=2_000)
+        index = build(name, data)
+        low, high = int(data.min()), int(data.max())
+        for _ in range(5):
+            result = index.query(Predicate(low, high))
+            assert result.count == data.size
+
+    def test_repeated_identical_query(self, name, rng):
+        data = rng.integers(0, 10_000, size=3_000)
+        index = build(name, data)
+        predicate = Predicate(2_000, 3_000)
+        expected = int(((data >= 2_000) & (data <= 3_000)).sum())
+        for _ in range(10):
+            assert index.query(predicate).count == expected
+
+    def test_alternating_extreme_queries(self, name, rng):
+        data = rng.integers(0, 10_000, size=3_000)
+        index = build(name, data)
+        narrow = Predicate(5_000, 5_001)
+        wide = Predicate(0, 10_000)
+        for _ in range(5):
+            assert index.query(wide).count == data.size
+            narrow_expected = int(((data >= 5_000) & (data <= 5_001)).sum())
+            assert index.query(narrow).count == narrow_expected
+
+
+class TestPredicateValidation:
+    def test_inverted_predicate_rejected_at_construction(self):
+        with pytest.raises(InvalidPredicateError):
+            Predicate(10, 5)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRESSIVE_ALGORITHMS))
+class TestProgressiveEdgeBehaviour:
+    def test_convergence_on_tiny_column(self, name):
+        data = np.arange(32)
+        index = build(name, data)
+        for _ in range(30):
+            index.query(Predicate(0, 31))
+            if index.converged:
+                break
+        assert index.converged
+
+    def test_already_sorted_input(self, name):
+        data = np.arange(5_000)
+        index = build(name, data)
+        for _ in range(40):
+            result = index.query(Predicate(1_000, 1_999))
+            assert result.count == 1_000
+            if index.converged:
+                break
+        assert index.converged
+
+    def test_reverse_sorted_input(self, name, rng):
+        data = np.arange(5_000)[::-1].copy()
+        index = build(name, data)
+        for _ in range(40):
+            result = index.query(Predicate(1_000, 1_999))
+            assert result.count == 1_000
+            if index.converged:
+                break
+        assert index.converged

@@ -1,0 +1,35 @@
+"""Tests for the index life-cycle phases."""
+
+from repro.core.phase import IndexPhase
+
+
+def test_phase_ordering_is_monotone():
+    ordered = [
+        IndexPhase.INACTIVE,
+        IndexPhase.CREATION,
+        IndexPhase.REFINEMENT,
+        IndexPhase.CONSOLIDATION,
+        IndexPhase.CONVERGED,
+    ]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert earlier < later
+        assert earlier <= later
+        assert not later < earlier
+
+
+def test_indexing_work_flags():
+    assert not IndexPhase.INACTIVE.does_indexing_work
+    assert IndexPhase.CREATION.does_indexing_work
+    assert IndexPhase.REFINEMENT.does_indexing_work
+    assert IndexPhase.CONSOLIDATION.does_indexing_work
+    assert not IndexPhase.CONVERGED.does_indexing_work
+
+
+def test_comparison_with_other_types_is_rejected():
+    assert IndexPhase.CREATION.__lt__(3) is NotImplemented
+    assert IndexPhase.CREATION.__le__("creation") is NotImplemented
+
+
+def test_order_values_are_unique():
+    orders = {phase.order for phase in IndexPhase}
+    assert len(orders) == len(list(IndexPhase))

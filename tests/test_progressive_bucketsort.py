@@ -1,0 +1,106 @@
+"""Tests for Progressive Bucketsort (Equi-Height)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import AdaptiveBudget, FixedBudget
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate
+from repro.progressive.bucketsort import ProgressiveBucketsort
+from repro.storage.column import Column
+
+from tests.conftest import assert_matches_brute_force, random_range_predicates
+
+
+class TestBucketsortLifecycle:
+    def test_rejects_too_few_buckets(self, uniform_column):
+        with pytest.raises(ValueError):
+            ProgressiveBucketsort(uniform_column, n_buckets=1)
+
+    def test_bounds_are_established_on_first_query(self, uniform_column):
+        index = ProgressiveBucketsort(uniform_column, budget=FixedBudget(0.25), n_buckets=16)
+        assert index.bounds is None
+        index.query(Predicate(0, 100))
+        assert index.bounds is not None
+        assert index.bounds.size == 15
+        assert np.all(np.diff(index.bounds) >= 0)
+
+    def test_equi_height_buckets_on_skewed_data(self, skewed_column, skewed_data):
+        # The defining property versus radix clustering: bucket sizes stay
+        # balanced even when the data is heavily skewed.
+        index = ProgressiveBucketsort(skewed_column, budget=FixedBudget(1.0), n_buckets=16)
+        index.query(Predicate(0, 100))  # finishes the creation phase (delta=1)
+        sizes = index._buckets.sizes() if index._buckets is not None else None
+        if sizes is None:
+            pytest.skip("creation already completed and buckets were released")
+        largest = sizes.max()
+        expected = skewed_data.size / 16
+        assert largest < 4 * expected
+
+    def test_phase_progression(self, uniform_column, uniform_data, rng):
+        index = ProgressiveBucketsort(uniform_column, budget=FixedBudget(0.5))
+        seen = []
+        for predicate in random_range_predicates(uniform_data, 80, rng):
+            index.query(predicate)
+            if not seen or seen[-1] is not index.phase:
+                seen.append(index.phase)
+        orders = [phase.order for phase in seen]
+        assert orders == sorted(orders)
+        assert index.converged
+
+    def test_final_array_sorted(self, skewed_column, skewed_data):
+        index = ProgressiveBucketsort(skewed_column, budget=FixedBudget(0.5))
+        iterations = 0
+        while not index.converged and iterations < 300:
+            index.query(Predicate(0, 1_000))
+            iterations += 1
+        assert index.converged
+        assert np.array_equal(index._cascade.leaf_values, np.sort(skewed_data))
+
+
+class TestBucketsortCorrectness:
+    def test_exact_answers_uniform(self, uniform_column, uniform_data, rng):
+        index = ProgressiveBucketsort(uniform_column, budget=FixedBudget(0.2))
+        predicates = random_range_predicates(uniform_data, 80, rng)
+        assert_matches_brute_force(index, uniform_data, predicates)
+        assert index.converged
+
+    def test_exact_answers_skewed(self, skewed_column, skewed_data, rng):
+        index = ProgressiveBucketsort(skewed_column, budget=FixedBudget(0.25))
+        predicates = random_range_predicates(skewed_data, 80, rng, selectivity=0.05)
+        assert_matches_brute_force(index, skewed_data, predicates)
+        assert index.converged
+
+    def test_adaptive_budget(self, skewed_column, skewed_data, rng):
+        index = ProgressiveBucketsort(
+            skewed_column, budget=AdaptiveBudget(scan_fraction=0.5)
+        )
+        predicates = random_range_predicates(skewed_data, 250, rng)
+        assert_matches_brute_force(index, skewed_data, predicates)
+        assert index.converged
+
+    def test_all_equal_values(self):
+        data = np.full(4_000, 5, dtype=np.int64)
+        index = ProgressiveBucketsort(Column(data), budget=FixedBudget(0.5))
+        for _ in range(30):
+            assert index.query(Predicate(5, 5)).count == 4_000
+            assert index.query(Predicate(6, 10)).count == 0
+        assert index.converged
+
+    def test_float_column(self, rng):
+        data = rng.uniform(0.0, 1_000.0, size=8_000)
+        index = ProgressiveBucketsort(Column(data), budget=FixedBudget(0.3))
+        for _ in range(40):
+            low = float(rng.uniform(0, 900))
+            predicate = Predicate(low, low + 100.0)
+            result = index.query(predicate)
+            mask = (data >= predicate.low) & (data <= predicate.high)
+            assert result.count == mask.sum()
+            assert result.value_sum == pytest.approx(float(data[mask].sum()))
+        assert index.converged
+
+    def test_stats_report_prediction(self, uniform_column):
+        index = ProgressiveBucketsort(uniform_column, budget=FixedBudget(0.25))
+        index.query(Predicate(0, 5_000))
+        assert index.last_stats.predicted_cost is not None
+        assert index.last_stats.delta == pytest.approx(0.25)

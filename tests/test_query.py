@@ -1,0 +1,71 @@
+"""Tests for predicates and query results."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Predicate, QueryResult, point, range_query
+from repro.errors import InvalidPredicateError
+
+
+class TestPredicate:
+    def test_range_construction(self):
+        predicate = range_query(2, 8)
+        assert predicate.low == 2 and predicate.high == 8
+        assert not predicate.is_point
+        assert predicate.width() == 6
+
+    def test_point_construction(self):
+        predicate = point(5)
+        assert predicate.is_point
+        assert predicate.width() == 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidPredicateError):
+            Predicate(10, 5)
+
+    def test_mask_is_inclusive(self):
+        values = np.array([1, 2, 3, 4, 5])
+        mask = Predicate(2, 4).mask(values)
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_selectivity(self):
+        assert Predicate(0, 10).selectivity(0, 100) == pytest.approx(0.1)
+        assert Predicate(0, 200).selectivity(0, 100) == 1.0
+        assert Predicate(5, 5).selectivity(0, 0) == 1.0
+
+    def test_repr(self):
+        assert "point" in repr(point(3))
+        assert "low" in repr(range_query(1, 2))
+
+
+class TestQueryResult:
+    def test_addition(self):
+        combined = QueryResult(10, 2) + QueryResult(5, 1)
+        assert combined.value_sum == 15 and combined.count == 3
+
+    def test_inplace_addition(self):
+        result = QueryResult(1, 1)
+        result += QueryResult(2, 2)
+        assert result.value_sum == 3 and result.count == 3
+
+    def test_empty(self):
+        empty = QueryResult.empty()
+        assert empty.count == 0 and empty.value_sum == 0
+
+    def test_from_values(self):
+        result = QueryResult.from_values(np.array([1, 2, 3]))
+        assert result.value_sum == 6 and result.count == 3
+        assert QueryResult.from_values(np.array([])).count == 0
+
+    def test_from_masked(self):
+        values = np.array([1, 2, 3, 4])
+        mask = values % 2 == 0
+        result = QueryResult.from_masked(values, mask)
+        assert result.value_sum == 6 and result.count == 2
+
+    def test_approximate_equality(self):
+        a = QueryResult(1000.0, 3)
+        b = QueryResult(1000.0 * (1 + 1e-12), 3)
+        assert a.approximately_equals(b)
+        assert not a.approximately_equals(QueryResult(1000.0, 4))
+        assert not a.approximately_equals(QueryResult(900.0, 3))

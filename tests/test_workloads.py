@@ -1,0 +1,177 @@
+"""Tests for the data distributions and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SYNTHETIC_PATTERNS,
+    Workload,
+    generate_pattern,
+    skewed_data,
+    skyserver_data,
+    skyserver_workload,
+    uniform_data,
+)
+from repro.workloads.patterns import POINT_QUERY_PATTERNS, to_point_queries
+from repro.workloads.skyserver import DEGREE_SCALE, skyserver_benchmark
+
+
+class TestDistributions:
+    def test_uniform_unique_permutation(self):
+        data = uniform_data(10_000, rng=np.random.default_rng(0))
+        assert data.size == 10_000
+        assert np.unique(data).size == 10_000
+        assert data.min() == 0 and data.max() == 9_999
+
+    def test_uniform_with_larger_domain(self):
+        data = uniform_data(1_000, domain=1_000_000, rng=np.random.default_rng(0))
+        assert data.max() < 1_000_000
+
+    def test_skewed_concentrates_in_middle(self):
+        n = 50_000
+        data = skewed_data(n, rng=np.random.default_rng(0))
+        middle = ((data >= 0.45 * n) & (data <= 0.55 * n)).mean()
+        assert middle > 0.85
+
+    def test_skewed_parameters_validated(self):
+        with pytest.raises(WorkloadError):
+            skewed_data(100, hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            skewed_data(0)
+
+    def test_uniform_parameters_validated(self):
+        with pytest.raises(WorkloadError):
+            uniform_data(0)
+        with pytest.raises(WorkloadError):
+            uniform_data(10, domain=-1)
+
+
+class TestWorkloadContainer:
+    def test_from_bounds(self):
+        workload = Workload.from_bounds("test", [0, 10], [5, 20], 0, 100)
+        assert len(workload) == 2
+        assert workload[0].low == 0 and workload[0].high == 5
+        assert workload.mean_selectivity() == pytest.approx(0.075)
+
+    def test_head(self):
+        workload = Workload.from_bounds("test", [0, 10, 20], [5, 15, 25], 0, 100)
+        assert len(workload.head(2)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("empty", [])
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload.from_bounds("bad", [0, 1], [2], 0, 10)
+
+
+class TestSyntheticPatterns:
+    @pytest.mark.parametrize("pattern", sorted(SYNTHETIC_PATTERNS))
+    def test_all_patterns_generate_valid_ranges(self, pattern):
+        workload = generate_pattern(pattern, 0, 100_000, 50, selectivity=0.1,
+                                    rng=np.random.default_rng(1))
+        assert len(workload) == 50
+        for predicate in workload:
+            assert 0 <= predicate.low <= predicate.high <= 100_000
+
+    @pytest.mark.parametrize("pattern", ["SeqOver", "Random", "Skew", "Periodic"])
+    def test_fixed_selectivity_patterns_have_constant_width(self, pattern):
+        workload = generate_pattern(pattern, 0, 10_000, 30, selectivity=0.1,
+                                    rng=np.random.default_rng(2))
+        widths = {round(p.width()) for p in workload}
+        assert len(widths) == 1
+        assert widths.pop() == pytest.approx(1_000, rel=0.01)
+
+    def test_seq_over_sweeps_forward(self):
+        workload = generate_pattern("SeqOver", 0, 10_000, 10, selectivity=0.05)
+        lows = [p.low for p in workload]
+        assert lows == sorted(lows)
+
+    def test_zoom_in_narrows(self):
+        workload = generate_pattern("ZoomIn", 0, 10_000, 20)
+        widths = [p.width() for p in workload]
+        assert widths[0] > widths[-1]
+        assert all(b <= a * 1.0001 for a, b in zip(widths, widths[1:]))
+
+    def test_zoom_out_alternate_widens(self):
+        workload = generate_pattern("ZoomOutAlt", 0, 10_000, 20)
+        widths = [p.width() for p in workload]
+        assert widths[-1] > widths[0]
+
+    def test_skew_concentrates_queries(self):
+        workload = generate_pattern("Skew", 0, 100_000, 200, rng=np.random.default_rng(3))
+        centres = np.array([(p.low + p.high) / 2 for p in workload])
+        hot = ((centres > 35_000) & (centres < 65_000)).mean()
+        assert hot > 0.8
+
+    def test_periodic_revisits_positions(self):
+        workload = generate_pattern("Periodic", 0, 10_000, 40, selectivity=0.05)
+        lows = [round(p.low) for p in workload]
+        assert lows[0] == lows[10] == lows[20]
+
+    def test_point_query_conversion(self):
+        workload = generate_pattern("Random", 0, 10_000, 20, point_queries=True)
+        assert workload.point_queries
+        assert all(p.is_point for p in workload)
+
+    def test_point_query_pattern_list(self):
+        assert set(POINT_QUERY_PATTERNS).issubset(SYNTHETIC_PATTERNS)
+
+    def test_to_point_queries_uses_range_centres(self):
+        workload = Workload.from_bounds("x", [0], [10], 0, 100)
+        points = to_point_queries(workload)
+        assert points[0].low == 5 and points[0].is_point
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_pattern("DoesNotExist", 0, 1, 10)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_pattern("Random", 10, 0, 5)
+        with pytest.raises(WorkloadError):
+            generate_pattern("Random", 0, 10, 0)
+        with pytest.raises(WorkloadError):
+            generate_pattern("Random", 0, 10, 5, selectivity=0.0)
+
+
+class TestSkyServer:
+    def test_data_domain_and_type(self):
+        data = skyserver_data(20_000, rng=np.random.default_rng(0))
+        assert data.dtype == np.int64
+        assert data.min() >= 0
+        assert data.max() < 360 * DEGREE_SCALE
+
+    def test_data_is_multimodal(self):
+        data = skyserver_data(50_000, rng=np.random.default_rng(0))
+        counts, _ = np.histogram(data, bins=50)
+        assert counts.max() > 3 * counts.mean()
+
+    def test_workload_ranges_within_domain(self):
+        workload = skyserver_workload(200, rng=np.random.default_rng(0))
+        for predicate in workload:
+            assert 0 <= predicate.low <= predicate.high <= 360 * DEGREE_SCALE
+
+    def test_workload_is_spatially_clustered(self):
+        workload = skyserver_workload(400, segment_length=50, rng=np.random.default_rng(0))
+        centres = np.array([(p.low + p.high) / 2 for p in workload])
+        jumps = np.abs(np.diff(centres))
+        domain = 360 * DEGREE_SCALE
+        # Within a segment the centre drifts slowly; the median jump must be
+        # far smaller than a random workload's expected jump (~domain / 3).
+        assert np.median(jumps) < domain * 0.05
+
+    def test_benchmark_helper(self):
+        data, workload = skyserver_benchmark(5_000, 50, rng=np.random.default_rng(1))
+        assert data.size == 5_000
+        assert len(workload) == 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            skyserver_data(0)
+        with pytest.raises(WorkloadError):
+            skyserver_workload(0)
+        with pytest.raises(WorkloadError):
+            skyserver_workload(10, segment_length=0)
