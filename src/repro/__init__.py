@@ -34,11 +34,14 @@ from repro.baselines import FullIndex, FullScan
 from repro.btree import BPlusTree, CascadeTree
 from repro.core import (
     AdaptiveBudget,
+    BatchBudget,
+    ConjunctionResult,
     CostConstants,
     CostModel,
     FixedBudget,
     IndexPhase,
     Predicate,
+    PredicateVector,
     QueryResult,
     calibrate,
     point,
@@ -54,6 +57,8 @@ from repro.cracking import (
 )
 from repro.engine import (
     ALGORITHMS,
+    BatchExecutor,
+    BatchResult,
     IndexingSession,
     WorkloadExecutor,
     create_index,
@@ -66,7 +71,15 @@ from repro.progressive import (
     ProgressiveRadixsortMSD,
 )
 from repro.storage import Column, Table
-from repro.workloads import Workload, generate_pattern, skyserver_data, skyserver_workload
+from repro.workloads import (
+    Workload,
+    conjunctive_queries,
+    generate_pattern,
+    iter_batches,
+    predicate_vector,
+    skyserver_data,
+    skyserver_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -75,9 +88,13 @@ __all__ = [
     "AdaptiveAdaptiveIndexing",
     "AdaptiveBudget",
     "BPlusTree",
+    "BatchBudget",
+    "BatchExecutor",
+    "BatchResult",
     "CascadeTree",
     "CoarseGranularIndex",
     "Column",
+    "ConjunctionResult",
     "CostConstants",
     "CostModel",
     "FixedBudget",
@@ -86,6 +103,7 @@ __all__ = [
     "IndexPhase",
     "IndexingSession",
     "Predicate",
+    "PredicateVector",
     "ProgressiveBucketsort",
     "ProgressiveQuicksort",
     "ProgressiveRadixsortLSD",
@@ -98,9 +116,12 @@ __all__ = [
     "Workload",
     "WorkloadExecutor",
     "calibrate",
+    "conjunctive_queries",
     "create_index",
     "generate_pattern",
+    "iter_batches",
     "point",
+    "predicate_vector",
     "range_query",
     "recommend_index",
     "simulated_constants",

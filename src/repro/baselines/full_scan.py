@@ -8,9 +8,11 @@ with the number of queries.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
-from repro.core.query import Predicate, QueryResult
+from repro.core.query import Predicate, QueryResult, search_sorted_many
 
 
 class FullScan(BaseIndex):
@@ -18,6 +20,12 @@ class FullScan(BaseIndex):
 
     name = "FS"
     description = "Predicated full scan (no index)"
+    eager_batch = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._sorted_values: np.ndarray | None = None
+        self._batch_prefix: np.ndarray | None = None
 
     @property
     def phase(self) -> IndexPhase:
@@ -28,3 +36,19 @@ class FullScan(BaseIndex):
     def _execute(self, predicate: Predicate) -> QueryResult:
         self.last_stats.predicted_cost = self._cost_model.scan_time(len(self._column))
         return self._scan_column(predicate)
+
+    def search_many(self, lows, highs):
+        """Batched scans: sort a scratch copy once, then binary-search all.
+
+        Per-query answering stays a predicated scan (the baseline's defining
+        property); batch answering is allowed one shared ``O(N log N)``
+        preparation pass because the batch itself is a single bulk operation.
+        The scratch copy never alters per-query behaviour or the base column.
+        """
+        if self._sorted_values is None:
+            self._sorted_values = self._column.copy_data()
+            self._sorted_values.sort()
+        sums, counts, self._batch_prefix = search_sorted_many(
+            self._sorted_values, lows, highs, self._batch_prefix
+        )
+        return sums, counts

@@ -15,7 +15,7 @@ from typing import List
 
 import numpy as np
 
-from repro.core.query import Predicate, QueryResult
+from repro.core.query import Predicate, QueryResult, search_sorted_many
 
 #: Default fanout β of the cascade.
 DEFAULT_FANOUT = 64
@@ -51,6 +51,8 @@ class CascadeTree:
             self.levels = self.build_levels(self.leaf_values, self.fanout)
         else:
             self.levels = list(levels)
+        self._prefix_sums: np.ndarray | None = None
+        self._leaves_sorted: bool | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -123,6 +125,31 @@ class CascadeTree:
     def point_query(self, value) -> QueryResult:
         """Aggregate of all occurrences of ``value``."""
         return self.range_query(value, value)
+
+    # ------------------------------------------------------------------
+    def search_many(self, lows, highs):
+        """Vectorized batch of range queries over the sorted leaf array.
+
+        Every query of the batch is answered with two ``np.searchsorted``
+        calls plus prefix-sum differences — no Python-level per-query work.
+        The prefix sums are cached on first use (the leaf array is immutable
+        once the cascade exists, so the cache never needs invalidation).
+
+        Returns ``(sums, counts)`` arrays aligned with the inputs, or
+        ``None`` if the leaf array turns out not to be sorted (a defect of
+        whatever built the cascade — vectorized binary search would silently
+        return garbage, so callers must fall back to per-query dispatch).
+        """
+        if self._leaves_sorted is None:
+            self._leaves_sorted = bool(
+                np.all(self.leaf_values[:-1] <= self.leaf_values[1:])
+            )
+        if not self._leaves_sorted:
+            return None
+        sums, counts, self._prefix_sums = search_sorted_many(
+            self.leaf_values, lows, highs, self._prefix_sums
+        )
+        return sums, counts
 
     def query(self, predicate: Predicate) -> QueryResult:
         """Answer a :class:`~repro.core.query.Predicate`."""

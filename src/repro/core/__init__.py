@@ -5,26 +5,38 @@ progressive index, the cost-model constants and formulas from Section 3 /
 Table 1 of the paper, and the fixed / adaptive indexing-budget controllers.
 """
 
-from repro.core.budget import AdaptiveBudget, FixedBudget, IndexingBudget
+from repro.core.budget import AdaptiveBudget, BatchBudget, FixedBudget, IndexingBudget
 from repro.core.calibration import CostConstants, calibrate, simulated_constants
 from repro.core.cost_model import CostModel
 from repro.core.index import BaseIndex, QueryStats
 from repro.core.phase import IndexPhase
-from repro.core.query import Predicate, QueryResult, point, range_query
+from repro.core.query import (
+    ConjunctionResult,
+    Predicate,
+    PredicateVector,
+    QueryResult,
+    point,
+    range_query,
+    search_sorted_many,
+)
 
 __all__ = [
     "AdaptiveBudget",
     "BaseIndex",
+    "BatchBudget",
+    "ConjunctionResult",
     "CostConstants",
     "CostModel",
     "FixedBudget",
     "IndexPhase",
     "IndexingBudget",
     "Predicate",
+    "PredicateVector",
     "QueryResult",
     "QueryStats",
     "calibrate",
     "point",
     "range_query",
+    "search_sorted_many",
     "simulated_constants",
 ]

@@ -47,6 +47,12 @@ class IndexingBudget(abc.ABC):
     #: Whether the budget recomputes delta for every query.
     adaptive: bool = False
 
+    #: Whether the budget pools many queries' worth of work (batch
+    #: execution).  Indexes may take whole-phase fast paths under a pooled
+    #: budget; under per-query budgets they must keep the paper's bounded
+    #: per-query work semantics.
+    pooled: bool = False
+
     def register_scan_time(self, scan_time: float) -> None:
         """Inform the budget of the measured/predicted full-scan time.
 
@@ -204,6 +210,140 @@ class AdaptiveBudget(IndexingBudget):
         if self.scan_fraction is not None:
             return f"AdaptiveBudget(scan_fraction={self.scan_fraction})"
         return f"AdaptiveBudget(budget={self.budget_seconds:.6f}s)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()
+
+
+class BatchBudget(IndexingBudget):
+    """Shared indexing-budget pool for a batch of queries.
+
+    The batch executor answers a whole workload at once, so instead of
+    granting every query its individual slice of indexing time, the
+    per-query budget of ``n_queries`` queries is pooled into one reservoir
+    that is drained greedily: the first queries of the batch may perform far
+    more than their per-query share of indexing work (front-loading
+    convergence so the rest of the batch can be answered with vectorized
+    lookups), but the batch as a whole never spends more indexing time than
+    the equivalent sequential execution would have.
+
+    Parameters
+    ----------
+    n_queries:
+        Number of queries whose budgets are pooled.
+    per_query_seconds:
+        Indexing budget of one query, in seconds.  Mutually exclusive with
+        ``scan_fraction``.
+    scan_fraction:
+        Per-query budget as a fraction of the full-scan cost (the paper's
+        default is ``0.2``); resolved to seconds by
+        :meth:`register_scan_time`.
+    """
+
+    adaptive = True
+    pooled = True
+
+    def __init__(
+        self,
+        n_queries: int,
+        per_query_seconds: float | None = None,
+        scan_fraction: float | None = None,
+    ) -> None:
+        if n_queries < 0:
+            raise InvalidBudgetError(f"n_queries must be non-negative, got {n_queries}")
+        if per_query_seconds is not None and scan_fraction is not None:
+            raise InvalidBudgetError(
+                "provide at most one of per_query_seconds or scan_fraction"
+            )
+        if per_query_seconds is not None and per_query_seconds < 0:
+            raise InvalidBudgetError(
+                f"per_query_seconds must be non-negative, got {per_query_seconds}"
+            )
+        if scan_fraction is not None and scan_fraction < 0:
+            raise InvalidBudgetError(
+                f"scan_fraction must be non-negative, got {scan_fraction}"
+            )
+        if per_query_seconds is None and scan_fraction is None:
+            scan_fraction = 0.2
+        self.n_queries = int(n_queries)
+        self.scan_fraction = scan_fraction
+        self.pool_seconds: float | None = (
+            None if per_query_seconds is None else per_query_seconds * self.n_queries
+        )
+        self.spent_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_index(cls, index, n_queries: int) -> "BatchBudget":
+        """A pool equivalent to ``n_queries`` queries of ``index``'s budget.
+
+        The mapping preserves the spirit of each per-query budget flavour:
+        time-based budgets pool their per-query seconds, fraction/delta-based
+        budgets pool the corresponding fraction of the scan cost.
+        """
+        budget = index.budget
+        if isinstance(budget, cls):
+            per_query = None
+            if budget.pool_seconds is not None and budget.n_queries > 0:
+                per_query = budget.pool_seconds / budget.n_queries
+            if per_query is not None:
+                return cls(n_queries, per_query_seconds=per_query)
+            return cls(n_queries, scan_fraction=budget.scan_fraction)
+        if isinstance(budget, AdaptiveBudget):
+            if budget.budget_seconds is not None:
+                return cls(n_queries, per_query_seconds=budget.budget_seconds)
+            return cls(n_queries, scan_fraction=budget.scan_fraction)
+        if isinstance(budget, FixedTimeBudget):
+            return cls(n_queries, per_query_seconds=budget.budget_seconds)
+        if isinstance(budget, FixedBudget):
+            # A fixed delta indexes `delta` of the phase work per query; one
+            # unit of phase work costs on the order of one scan, so the
+            # pooled equivalent is `delta` of the scan cost per query.
+            return cls(n_queries, scan_fraction=budget.delta)
+        return cls(n_queries)
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining_seconds(self) -> float:
+        """Indexing seconds left in the pool (``0`` when exhausted)."""
+        if self.pool_seconds is None:
+            return 0.0
+        return max(0.0, self.pool_seconds - self.spent_seconds)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the pool has been drained (or never held any budget)."""
+        return self.pool_seconds is not None and self.remaining_seconds <= 0.0
+
+    def register_scan_time(self, scan_time: float) -> None:
+        if self.pool_seconds is None:
+            self.pool_seconds = self.scan_fraction * scan_time * self.n_queries
+
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        if self.pool_seconds is None:
+            raise InvalidBudgetError(
+                "BatchBudget with scan_fraction requires register_scan_time() "
+                "before the first next_delta() call"
+            )
+        if full_work_time <= 0:
+            return 1.0
+        remaining = self.remaining_seconds
+        if remaining <= 0.0:
+            return 0.0
+        delta = min(1.0, remaining / full_work_time)
+        self.spent_seconds += delta * full_work_time
+        return delta
+
+    def describe(self) -> str:
+        if self.pool_seconds is not None:
+            return (
+                f"BatchBudget(n_queries={self.n_queries}, "
+                f"pool={self.pool_seconds:.6f}s)"
+            )
+        return (
+            f"BatchBudget(n_queries={self.n_queries}, "
+            f"scan_fraction={self.scan_fraction})"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return self.describe()

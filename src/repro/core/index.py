@@ -73,6 +73,11 @@ class BaseIndex(abc.ABC):
     name: str = "base"
     #: Longer human-readable description.
     description: str = ""
+    #: Whether the batch executor should call :meth:`search_many` right away
+    #: instead of first driving per-query progressive work.  True for
+    #: algorithms whose batched answering already performs (or needs) no
+    #: budgeted refinement: cracking variants and the non-adaptive baselines.
+    eager_batch: bool = False
 
     def __init__(
         self,
@@ -100,6 +105,21 @@ class BaseIndex(abc.ABC):
     def budget(self) -> IndexingBudget:
         """The indexing-budget controller in use."""
         return self._budget
+
+    def swap_budget(self, budget: IndexingBudget) -> IndexingBudget:
+        """Install ``budget`` and return the previously installed controller.
+
+        The batch executor uses this to temporarily replace a per-query
+        budget with a pooled :class:`~repro.core.budget.BatchBudget` for the
+        duration of one batch, restoring the original afterwards.
+        """
+        if not isinstance(budget, IndexingBudget):
+            raise IndexStateError(
+                f"swap_budget() expects an IndexingBudget, got {type(budget).__name__}"
+            )
+        previous = self._budget
+        self._budget = budget
+        return previous
 
     @property
     def cost_model(self) -> CostModel:
@@ -137,6 +157,30 @@ class BaseIndex(abc.ABC):
         )
         result = self._execute(predicate)
         return result
+
+    def search_many(self, lows, highs):
+        """Answer a batch of range predicates with vectorized lookups.
+
+        Parameters
+        ----------
+        lows, highs:
+            Parallel arrays of inclusive bounds, one entry per query.
+
+        Returns
+        -------
+        tuple or None
+            ``(sums, counts)`` arrays aligned with the input bounds, or
+            ``None`` when the index cannot (yet) answer batches vectorized —
+            e.g. a progressive index that is still mid-construction.  Callers
+            fall back to per-query :meth:`query` dispatch on ``None``.
+
+        Notes
+        -----
+        Unlike :meth:`query`, batched answering performs no budgeted
+        progressive refinement and does not advance ``queries_executed``;
+        the batch executor accounts for the batch as one bulk operation.
+        """
+        return None
 
     def predict_cost(self, predicate: Predicate) -> float | None:
         """Cost-model prediction of the next query's total time, if available.

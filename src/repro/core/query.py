@@ -12,7 +12,8 @@ implementations can be cross-checked for exactness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -130,3 +131,155 @@ class QueryResult:
         if count == 0:
             return cls.empty()
         return cls(values[mask].sum(), count)
+
+
+class PredicateVector:
+    """A batch of inclusive range predicates stored as parallel arrays.
+
+    The batch execution engine operates on whole workloads at once; storing
+    the bounds as two NumPy arrays lets an index answer every query of the
+    batch with a handful of vectorized calls (``np.searchsorted`` against a
+    sorted array plus prefix-sum differences) instead of Python-level
+    per-query dispatch.
+
+    Parameters
+    ----------
+    lows, highs:
+        Parallel sequences of inclusive bounds; every ``lows[i] <= highs[i]``.
+    """
+
+    def __init__(self, lows, highs) -> None:
+        lows = np.atleast_1d(np.asarray(lows))
+        highs = np.atleast_1d(np.asarray(highs))
+        if lows.shape != highs.shape or lows.ndim != 1:
+            raise InvalidPredicateError(
+                f"lows and highs must be parallel one-dimensional sequences, "
+                f"got shapes {lows.shape} and {highs.shape}"
+            )
+        if lows.size and bool(np.any(lows > highs)):
+            bad = int(np.argmax(lows > highs))
+            raise InvalidPredicateError(
+                f"predicate {bad} has lower bound {lows[bad]!r} above upper "
+                f"bound {highs[bad]!r}"
+            )
+        self.lows = lows
+        self.highs = highs
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.lows.size)
+
+    def __getitem__(self, index: int) -> Predicate:
+        return Predicate(self.lows[index], self.highs[index])
+
+    def __iter__(self) -> Iterator[Predicate]:
+        for low, high in zip(self.lows, self.highs):
+            yield Predicate(low, high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PredicateVector(n={len(self)})"
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "PredicateVector":
+        """The sub-batch ``[start:stop]`` (views, no copies)."""
+        return PredicateVector(self.lows[start:stop], self.highs[start:stop])
+
+    def predicates(self) -> List[Predicate]:
+        """The batch as a list of scalar :class:`Predicate` objects."""
+        return [Predicate(low, high) for low, high in zip(self.lows, self.highs)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_predicates(cls, predicates: Sequence[Predicate]) -> "PredicateVector":
+        """Build a vector from scalar predicates (or ``(low, high)`` pairs)."""
+        lows = []
+        highs = []
+        for predicate in predicates:
+            if isinstance(predicate, Predicate):
+                lows.append(predicate.low)
+                highs.append(predicate.high)
+            else:
+                low, high = predicate
+                lows.append(low)
+                highs.append(high)
+        return cls(np.asarray(lows), np.asarray(highs))
+
+    @classmethod
+    def coerce(cls, queries) -> "PredicateVector":
+        """Accept a :class:`PredicateVector`, a workload, or a sequence."""
+        if isinstance(queries, cls):
+            return queries
+        return cls.from_predicates(list(queries))
+
+
+def search_sorted_many(segment: np.ndarray, lows, highs, prefix: np.ndarray | None = None):
+    """Batched range aggregation over a sorted array.
+
+    The shared vectorized primitive behind every ``search_many`` entry point:
+    two ``np.searchsorted`` calls locate all query bounds at once and the
+    per-query sums fall out of exclusive prefix-sum differences.
+
+    Parameters
+    ----------
+    segment:
+        Sorted one-dimensional array of values.
+    lows, highs:
+        Parallel arrays of inclusive query bounds.
+    prefix:
+        Optional exclusive prefix-sum array from a previous call over the
+        same ``segment`` (``prefix[i] == segment[:i].sum()``); computed when
+        omitted.
+
+    Returns
+    -------
+    tuple
+        ``(sums, counts, prefix)`` — per-query aggregates plus the prefix
+        array, which callers cache to amortize across batches.
+    """
+    if prefix is None:
+        prefix = np.empty(segment.size + 1, dtype=segment.dtype)
+        prefix[0] = 0
+        np.cumsum(segment, out=prefix[1:])
+    lo = np.searchsorted(segment, np.asarray(lows), side="left")
+    hi = np.searchsorted(segment, np.asarray(highs), side="right")
+    hi = np.maximum(lo, hi)
+    return prefix[hi] - prefix[lo], (hi - lo).astype(np.int64), prefix
+
+
+@dataclass
+class ConjunctionResult:
+    """Answer to a multi-column conjunctive predicate (``session.where``).
+
+    Attributes
+    ----------
+    count:
+        Number of rows satisfying *all* column predicates.
+    value_sums:
+        Per-column sum of the matching rows, for every column referenced by
+        the conjunction.
+    driving_column:
+        The column whose (progressive) index was used to drive the query
+        plan, or ``None`` when the conjunction was answered by scans alone.
+    """
+
+    count: int
+    value_sums: Dict[str, float] = field(default_factory=dict)
+    driving_column: Optional[str] = None
+
+    def sum_of(self, column_name: str) -> float:
+        """Sum of ``column_name`` over the matching rows."""
+        try:
+            return self.value_sums[column_name]
+        except KeyError:
+            raise InvalidPredicateError(
+                f"column {column_name!r} was not part of the conjunction; "
+                f"available: {sorted(self.value_sums)}"
+            ) from None
+
+    def as_query_result(self, column_name: str) -> QueryResult:
+        """The matching rows viewed as a single-column :class:`QueryResult`."""
+        return QueryResult(self.sum_of(column_name), self.count)
+
+    @classmethod
+    def empty(cls, column_names: Sequence[str] = (), driving_column: Optional[str] = None) -> "ConjunctionResult":
+        """A conjunction matching no rows."""
+        return cls(0, {name: 0.0 for name in column_names}, driving_column)

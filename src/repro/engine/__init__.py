@@ -5,6 +5,9 @@
 * :mod:`repro.engine.executor` — executes a workload against an index,
   timing every query and recording the per-query statistics the experiments
   need.
+* :mod:`repro.engine.batch` — the batch query executor: answers a whole
+  vector of predicates at once, interleaving progressive refinement across
+  the batch under a pooled budget and finishing with vectorized lookups.
 * :mod:`repro.engine.metrics` — the paper's evaluation metrics (first-query
   cost, pay-off, convergence, robustness, cumulative time).
 * :mod:`repro.engine.decision_tree` — the algorithm recommendation of
@@ -13,9 +16,10 @@
   column and querying it progressively.
 """
 
+from repro.engine.batch import BatchExecutor, BatchResult, scan_many
 from repro.engine.decision_tree import Recommendation, recommend_index
 from repro.engine.executor import ExecutionResult, QueryRecord, WorkloadExecutor
-from repro.engine.metrics import WorkloadMetrics, compute_metrics
+from repro.engine.metrics import BatchMetrics, WorkloadMetrics, compute_metrics, throughput
 from repro.engine.registry import (
     ALGORITHMS,
     ADAPTIVE_ALGORITHMS,
@@ -29,6 +33,9 @@ __all__ = [
     "ADAPTIVE_ALGORITHMS",
     "ALGORITHMS",
     "BASELINE_ALGORITHMS",
+    "BatchExecutor",
+    "BatchMetrics",
+    "BatchResult",
     "ExecutionResult",
     "IndexingSession",
     "PROGRESSIVE_ALGORITHMS",
@@ -39,4 +46,6 @@ __all__ = [
     "compute_metrics",
     "create_index",
     "recommend_index",
+    "scan_many",
+    "throughput",
 ]

@@ -1,0 +1,235 @@
+"""Batch query executor: answer a whole workload of predicates at once.
+
+Sequential execution dispatches every predicate through Python
+(:meth:`~repro.core.index.BaseIndex.query`), which dominates the cost of
+short queries long before the hardware does.  :class:`BatchExecutor` instead
+treats the workload as the unit of execution:
+
+1. the per-query indexing budgets of the batch are pooled into one
+   :class:`~repro.core.budget.BatchBudget`, which is drained greedily — the
+   first queries of the batch front-load the progressive construction the
+   whole batch is entitled to;
+2. queries are dispatched per-query only while the index still has budgeted
+   progressive work to do; as soon as the index converges (or the pool is
+   exhausted and the index can answer batches read-only), the **entire
+   remainder of the batch** is answered by one vectorized
+   ``search_many`` call — NumPy binary searches plus prefix-sum differences
+   instead of Python-level dispatch;
+3. answers are exact at every point of the interleaving, so the batch
+   returns results identical to issuing the same queries sequentially.
+
+Multi-column batches (sequences of ``(column_name, predicate)`` pairs) are
+grouped per column/index first, executed group by group, and reassembled in
+the original submission order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.budget import BatchBudget
+from repro.core.index import BaseIndex
+from repro.core.query import PredicateVector, QueryResult, search_sorted_many
+from repro.errors import ExperimentError
+from repro.storage.column import Column
+
+
+@dataclass
+class BatchResult:
+    """The outcome of executing one batch of predicates against one index.
+
+    Attributes
+    ----------
+    index_name:
+        Name of the index (or ``"scan"`` for unindexed columns).
+    results:
+        Per-query answers, aligned with the submitted batch.
+    driven_queries:
+        Queries dispatched per-query to drive progressive construction.
+    vectorized_queries:
+        Queries answered by the vectorized ``search_many`` tail.
+    elapsed_seconds:
+        Wall-clock time of the batch execution.
+    """
+
+    index_name: str
+    results: List[QueryResult] = field(default_factory=list)
+    driven_queries: int = 0
+    vectorized_queries: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def counts(self) -> np.ndarray:
+        """Per-query match counts."""
+        return np.array([result.count for result in self.results], dtype=np.int64)
+
+    def sums(self) -> np.ndarray:
+        """Per-query value sums."""
+        return np.array([float(result.value_sum) for result in self.results])
+
+    def throughput(self) -> float:
+        """Queries answered per second (``inf`` for a zero-length timing)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.elapsed_seconds
+
+
+def scan_many(column: Column, lows, highs) -> List[QueryResult]:
+    """Batched predicated scans of an unindexed column.
+
+    One shared sort of a scratch copy turns the whole batch into binary
+    searches plus prefix-sum differences; answers are identical to per-query
+    :meth:`~repro.storage.column.Column.scan_range` calls.  The sort only
+    pays off when the batch amortizes its ``O(N log N)`` cost, so batches
+    smaller than roughly ``log2(N)`` queries use plain predicated scans.
+    """
+    lows = np.asarray(lows)
+    highs = np.asarray(highs)
+    if lows.size < max(4, int(np.log2(max(len(column), 2)))):
+        return [
+            QueryResult(*column.scan_range(low, high))
+            for low, high in zip(lows.tolist(), highs.tolist())
+        ]
+    scratch = column.copy_data()
+    scratch.sort()
+    sums, counts, _ = search_sorted_many(scratch, lows, highs)
+    return [QueryResult(value_sum, int(count)) for value_sum, count in zip(sums, counts)]
+
+
+class BatchExecutor:
+    """Executes batches of range predicates against progressive indexes.
+
+    Parameters
+    ----------
+    per_query_seconds, scan_fraction:
+        Sizing of the pooled :class:`~repro.core.budget.BatchBudget` (one
+        query's worth of indexing budget).  When both are omitted the pool is
+        derived from the index's own per-query budget via
+        :meth:`BatchBudget.for_index`, so batch execution spends the same
+        total indexing time the sequential loop would have.
+    verify:
+        Cross-check every answer against a predicated scan of the base
+        column (slow; intended for tests).
+    """
+
+    def __init__(
+        self,
+        per_query_seconds: Optional[float] = None,
+        scan_fraction: Optional[float] = None,
+        verify: bool = False,
+    ) -> None:
+        if per_query_seconds is not None and scan_fraction is not None:
+            raise ExperimentError(
+                "provide at most one of per_query_seconds or scan_fraction"
+            )
+        self.per_query_seconds = per_query_seconds
+        self.scan_fraction = scan_fraction
+        self.verify = bool(verify)
+
+    # ------------------------------------------------------------------
+    def _batch_budget(self, index: BaseIndex, n_queries: int) -> BatchBudget:
+        if self.per_query_seconds is not None:
+            budget = BatchBudget(n_queries, per_query_seconds=self.per_query_seconds)
+        elif self.scan_fraction is not None:
+            budget = BatchBudget(n_queries, scan_fraction=self.scan_fraction)
+        else:
+            budget = BatchBudget.for_index(index, n_queries)
+        # Resolve fraction-based pools immediately: indexes only call
+        # register_scan_time() on their very first query, which may long have
+        # passed when a batch arrives mid-workload.
+        budget.register_scan_time(index.cost_model.scan_time(len(index.column)))
+        return budget
+
+    def execute(self, index: BaseIndex, queries) -> BatchResult:
+        """Execute ``queries`` (a workload, sequence, or vector) against ``index``.
+
+        Returns a :class:`BatchResult` whose ``results`` are identical to the
+        answers a sequential per-query loop would have produced.
+        """
+        vector = PredicateVector.coerce(queries)
+        n_queries = len(vector)
+        batch = BatchResult(index_name=index.name, results=[None] * n_queries)
+        if n_queries == 0:
+            return batch
+        pool = self._batch_budget(index, n_queries)
+        previous_budget = index.swap_budget(pool)
+        # An index calls register_scan_time() only on its very first query.
+        # If that first query happens under the pooled budget, the original
+        # controller would stay unresolved after restoration and fail on the
+        # next sequential query — resolve it now (a no-op when already done).
+        previous_budget.register_scan_time(index.cost_model.scan_time(len(index.column)))
+        started = time.perf_counter()
+        try:
+            position = 0
+            while position < n_queries:
+                if index.eager_batch or index.converged or pool.exhausted:
+                    answered = index.search_many(
+                        vector.lows[position:], vector.highs[position:]
+                    )
+                    if answered is not None:
+                        sums, counts = answered
+                        for offset in range(n_queries - position):
+                            batch.results[position + offset] = QueryResult(
+                                sums[offset], int(counts[offset])
+                            )
+                        batch.vectorized_queries = n_queries - position
+                        position = n_queries
+                        break
+                batch.results[position] = index.query(vector[position])
+                batch.driven_queries += 1
+                position += 1
+        finally:
+            index.swap_budget(previous_budget)
+        batch.elapsed_seconds = time.perf_counter() - started
+        if self.verify:
+            self._verify(index, vector, batch.results)
+        return batch
+
+    def execute_grouped(
+        self,
+        indexes: Dict[str, Optional[BaseIndex]],
+        queries: Sequence[Tuple[str, object]],
+        columns: Dict[str, Column],
+    ) -> List[QueryResult]:
+        """Execute ``(column_name, predicate)`` pairs grouped per column.
+
+        Queries are grouped by column (preserving submission order inside
+        each group), each group runs through :meth:`execute` against the
+        column's index — or a batched scan when the column is unindexed —
+        and the answers are reassembled in the original order.
+        """
+        groups: Dict[str, List[int]] = {}
+        for query_number, (column_name, _) in enumerate(queries):
+            groups.setdefault(column_name, []).append(query_number)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        for column_name, query_numbers in groups.items():
+            predicates = [queries[number][1] for number in query_numbers]
+            index = indexes.get(column_name)
+            if index is not None:
+                answers = self.execute(index, predicates).results
+            else:
+                vector = PredicateVector.from_predicates(predicates)
+                answers = scan_many(columns[column_name], vector.lows, vector.highs)
+            for number, answer in zip(query_numbers, answers):
+                results[number] = answer
+        return results
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _verify(index: BaseIndex, vector: PredicateVector, results: Sequence[QueryResult]) -> None:
+        column = index.column
+        for query_number, (predicate, answer) in enumerate(zip(vector, results), start=1):
+            expected_sum, expected_count = column.scan_range(predicate.low, predicate.high)
+            reference = QueryResult(expected_sum, expected_count)
+            if not reference.approximately_equals(answer):
+                raise ExperimentError(
+                    f"{index.name} returned an incorrect batch answer for query "
+                    f"{query_number}: got (sum={answer.value_sum}, count={answer.count}), "
+                    f"expected (sum={reference.value_sum}, count={reference.count})"
+                )

@@ -90,6 +90,65 @@ def convergence_query(converged_flags: Sequence[bool]) -> Optional[int]:
     return None
 
 
+@dataclass
+class BatchMetrics:
+    """Throughput comparison of batch execution against a sequential loop.
+
+    Attributes
+    ----------
+    n_queries:
+        Number of queries in the workload.
+    sequential_seconds, batch_seconds:
+        Wall-clock time of the per-query loop and of the batch execution.
+    driven_queries, vectorized_queries:
+        How the batch split between per-query progressive driving and the
+        vectorized ``search_many`` tail.
+    """
+
+    n_queries: int
+    sequential_seconds: float
+    batch_seconds: float
+    driven_queries: int = 0
+    vectorized_queries: int = 0
+
+    @property
+    def sequential_throughput(self) -> float:
+        """Sequential queries per second."""
+        return throughput(self.n_queries, self.sequential_seconds)
+
+    @property
+    def batch_throughput(self) -> float:
+        """Batched queries per second."""
+        return throughput(self.n_queries, self.batch_seconds)
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the batch execution ran."""
+        if self.batch_seconds <= 0:
+            return float("inf")
+        return self.sequential_seconds / self.batch_seconds
+
+    def as_row(self) -> dict:
+        """Dictionary representation used by the benchmark report."""
+        return {
+            "queries": self.n_queries,
+            "sequential_s": self.sequential_seconds,
+            "batch_s": self.batch_seconds,
+            "sequential_qps": self.sequential_throughput,
+            "batch_qps": self.batch_throughput,
+            "speedup": self.speedup,
+            "driven": self.driven_queries,
+            "vectorized": self.vectorized_queries,
+        }
+
+
+def throughput(n_queries: int, elapsed_seconds: float) -> float:
+    """Queries per second (``inf`` for a zero-length timing)."""
+    if elapsed_seconds <= 0:
+        return float("inf")
+    return n_queries / elapsed_seconds
+
+
 def compute_metrics(
     times: Sequence[float],
     converged_flags: Sequence[bool],

@@ -6,6 +6,17 @@ columns — either by naming an algorithm or by letting the Figure 11 decision
 tree choose — and run range / point queries.  Every query transparently
 advances the index construction within the configured budget.
 
+Beyond single queries, the session speaks two workload-level dialects:
+
+* :meth:`IndexingSession.execute_batch` answers a whole vector of queries at
+  once through the :class:`~repro.engine.batch.BatchExecutor` — progressive
+  refinement is interleaved across the batch under one pooled budget and the
+  converged tail is answered with vectorized lookups;
+* :meth:`IndexingSession.where` answers a multi-column conjunctive predicate
+  (``WHERE ra BETWEEN ... AND dec BETWEEN ...``) by driving the most
+  selective indexed column and post-filtering the remaining columns with
+  vectorized masks.
+
 Example
 -------
 >>> import numpy as np
@@ -20,17 +31,22 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.baselines.full_scan import FullScan
 from repro.core.budget import AdaptiveBudget, FixedBudget, IndexingBudget
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
-from repro.core.query import Predicate, QueryResult
+from repro.core.query import ConjunctionResult, Predicate, QueryResult
+from repro.engine.batch import BatchExecutor
 from repro.engine.decision_tree import recommend_index
 from repro.engine.registry import create_index
 from repro.errors import ExperimentError, IndexStateError
 from repro.storage.column import Column
 from repro.storage.table import Table
+from repro.workloads.workload import Workload
 
 
 class IndexingSession:
@@ -55,6 +71,10 @@ class IndexingSession:
             self._table = Table({"value": Column(table)})
         self._constants = constants
         self._indexes: Dict[str, BaseIndex] = {}
+        # Lazily created FullScan handles for batches on unindexed columns;
+        # FullScan.search_many caches its sorted scratch copy, so repeated
+        # batches only pay the O(N log N) preparation once per column.
+        self._scan_handles: Dict[str, FullScan] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -139,8 +159,11 @@ class IndexingSession:
         """``SELECT SUM(col), COUNT(*) WHERE col BETWEEN low AND high``.
 
         Uses the column's index when one exists, otherwise a predicated full
-        scan.
+        scan.  An inverted range (``low > high``) selects nothing: the empty
+        result is returned directly, without advancing any index.
         """
+        if low > high:
+            return QueryResult.empty()
         predicate = Predicate(low, high)
         if column_name in self._indexes:
             return self._indexes[column_name].query(predicate)
@@ -151,6 +174,212 @@ class IndexingSession:
     def equals(self, column_name: str, value) -> QueryResult:
         """Point-query variant of :meth:`between`."""
         return self.between(column_name, value, value)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        queries,
+        column_name: Optional[str] = None,
+        executor: Optional[BatchExecutor] = None,
+    ) -> List[QueryResult]:
+        """Answer a whole batch of range queries at once.
+
+        The batch is grouped per column/index and handed to the
+        :class:`~repro.engine.batch.BatchExecutor`: per-query progressive
+        refinement is interleaved across the batch under one pooled
+        :class:`~repro.core.budget.BatchBudget` (sized to what the same
+        queries would have spent sequentially) and, as soon as an index can,
+        the remainder of its group is answered with NumPy-vectorized piece
+        lookups.  Answers are exact at every point, so the returned results
+        are identical to issuing the same queries sequentially.
+
+        Parameters
+        ----------
+        queries:
+            One of: a :class:`~repro.workloads.workload.Workload`, a sequence
+            of :class:`~repro.core.query.Predicate` objects or ``(low,
+            high)`` pairs (all against ``column_name``), or a sequence of
+            ``(column_name, predicate)`` pairs for a multi-column batch.
+        column_name:
+            Target column for the single-column input forms.  Defaults to
+            the only column of the table (or the only indexed column).
+        executor:
+            Optional pre-configured :class:`~repro.engine.batch.BatchExecutor`.
+
+        Returns
+        -------
+        list of :class:`~repro.core.query.QueryResult`
+            One result per query, in submission order.  Inverted ranges
+            (``low > high``) yield empty results, matching :meth:`between`.
+        """
+        executor = executor or BatchExecutor()
+        pairs = self._normalize_batch(queries, column_name)
+        # Inverted ranges select nothing; answer them directly (the same
+        # leniency as between()) and hand only valid predicates downstream.
+        valid = [(number, pair) for number, pair in enumerate(pairs) if pair[1] is not None]
+        results: List[QueryResult] = [QueryResult.empty() for _ in pairs]
+        if valid:
+            valid_pairs = [pair for _, pair in valid]
+            columns = {name: self._table.column(name) for name, _ in valid_pairs}
+            indexes = {name: self._batch_handle(name, column) for name, column in columns.items()}
+            answers = executor.execute_grouped(indexes, valid_pairs, columns)
+            for (number, _), answer in zip(valid, answers):
+                results[number] = answer
+        return results
+
+    def _batch_handle(self, column_name: str, column: Column) -> BaseIndex:
+        """The index answering batches on ``column_name``.
+
+        Indexed columns use their index; unindexed columns get a cached
+        :class:`~repro.baselines.full_scan.FullScan` handle so repeated
+        batches amortize the batched-scan preparation.
+        """
+        index = self._indexes.get(column_name)
+        if index is not None:
+            return index
+        handle = self._scan_handles.get(column_name)
+        if handle is None:
+            handle = FullScan(column, constants=self._constants)
+            self._scan_handles[column_name] = handle
+        return handle
+
+    def _normalize_batch(self, queries, column_name: Optional[str]):
+        """Coerce any accepted batch form into ``(column, Predicate)`` pairs.
+
+        Inverted ``(low, high)`` pairs map to ``(column, None)`` — a
+        provably empty query answered without touching any index.
+        """
+        if isinstance(queries, Workload):
+            target = column_name or self._default_column()
+            return [(target, predicate) for predicate in queries]
+        items = list(queries)
+        if not items:
+            return []
+        first = items[0]
+        if isinstance(first, tuple) and len(first) == 2 and isinstance(first[0], str):
+            pairs = []
+            for name, predicate in items:
+                if name not in self._table:
+                    raise ExperimentError(
+                        f"batch references unknown column {name!r}; "
+                        f"available: {sorted(self._table.column_names)}"
+                    )
+                pairs.append((name, self._coerce_predicate(predicate)))
+            return pairs
+        target = column_name or self._default_column()
+        return [(target, self._coerce_predicate(item)) for item in items]
+
+    @staticmethod
+    def _coerce_predicate(predicate) -> Optional[Predicate]:
+        if isinstance(predicate, Predicate):
+            return predicate
+        low, high = predicate
+        if low > high:
+            return None
+        return Predicate(low, high)
+
+    def _default_column(self) -> str:
+        names = list(self._table.column_names)
+        if len(names) == 1:
+            return names[0]
+        if len(self._indexes) == 1:
+            return next(iter(self._indexes))
+        raise ExperimentError(
+            "the batch does not name a column and the table has "
+            f"{len(names)} columns; pass column_name= or submit "
+            "(column_name, predicate) pairs"
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-column conjunctions
+    # ------------------------------------------------------------------
+    def where(self, predicates: Mapping[str, Sequence]) -> ConjunctionResult:
+        """Answer a multi-column conjunctive range predicate.
+
+        ``session.where({"ra": (lo, hi), "dec": (lo, hi)})`` answers::
+
+            SELECT COUNT(*), SUM(ra), SUM(dec)
+            WHERE ra BETWEEN lo AND hi AND dec BETWEEN lo AND hi
+
+        The planner picks the indexed column with the lowest estimated
+        selectivity as the *driving* column: its (progressive) index answers
+        the single-column predicate first — transparently advancing index
+        construction within the budget — and short-circuits the conjunction
+        when nothing matches.  A single-column conjunction is answered by
+        the driving index alone (equivalent to :meth:`between`); for
+        multi-column conjunctions the row-level intersection is then
+        computed with vectorized NumPy masks over the base data of every
+        referenced column (the indexes store values, not row identifiers,
+        so the driving index contributes planning, construction progress and
+        the empty-result short-circuit rather than the row set itself).
+
+        Parameters
+        ----------
+        predicates:
+            Mapping from column name to an inclusive ``(low, high)`` pair.
+            An inverted range (``low > high``) selects nothing.
+
+        Returns
+        -------
+        :class:`~repro.core.query.ConjunctionResult`
+            Matching-row count plus the per-column sums over matching rows.
+        """
+        if not predicates:
+            raise ExperimentError("where() requires at least one column predicate")
+        bounds: Dict[str, tuple] = {}
+        for column_name, pair in predicates.items():
+            column = self._table.column(column_name)  # validates the name
+            low, high = pair
+            if low > high:
+                return ConjunctionResult.empty(predicates.keys())
+            bounds[column_name] = (low, high, column)
+
+        driving = self._plan_driving_column(bounds)
+        if len(bounds) == 1:
+            # Single-column conjunction: the index answer IS the result — no
+            # row-level mask needed.
+            ((column_name, (low, high, _)),) = bounds.items()
+            single = self.between(column_name, low, high)
+            return ConjunctionResult(
+                single.count, {column_name: single.value_sum}, driving
+            )
+        if driving is not None:
+            low, high, _ = bounds[driving]
+            driven = self._indexes[driving].query(Predicate(low, high))
+            if driven.count == 0:
+                return ConjunctionResult.empty(predicates.keys(), driving)
+
+        mask: Optional[np.ndarray] = None
+        order = [driving] if driving is not None else []
+        order += [name for name in bounds if name != driving]
+        for column_name in order:
+            low, high, column = bounds[column_name]
+            column_mask = (column.data >= low) & (column.data <= high)
+            mask = column_mask if mask is None else (mask & column_mask)
+            if not mask.any():
+                return ConjunctionResult.empty(predicates.keys(), driving)
+        count = int(np.count_nonzero(mask))
+        value_sums = {
+            name: bounds[name][2].data[mask].sum() for name in bounds
+        }
+        return ConjunctionResult(count, value_sums, driving)
+
+    def _plan_driving_column(self, bounds: Mapping[str, tuple]) -> Optional[str]:
+        """The indexed column with the lowest estimated selectivity."""
+        best_name = None
+        best_selectivity = None
+        for column_name, (low, high, column) in bounds.items():
+            if column_name not in self._indexes:
+                continue
+            selectivity = Predicate(low, high).selectivity(
+                float(column.min()), float(column.max())
+            )
+            if best_selectivity is None or selectivity < best_selectivity:
+                best_name = column_name
+                best_selectivity = selectivity
+        return best_name
 
     def status(self) -> Dict[str, dict]:
         """Per-index construction status (phase, queries, convergence)."""

@@ -40,6 +40,7 @@ from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BucketSet
 from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD, ProgressiveSorter
@@ -76,7 +77,7 @@ class _MergeBucket:
         self.sorter: Optional[ProgressiveSorter] = None
 
 
-class ProgressiveBucketsort(BaseIndex):
+class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
     """Progressive Bucketsort (Equi-Height) index over a single column.
 
     Parameters
@@ -291,7 +292,10 @@ class ProgressiveBucketsort(BaseIndex):
                     )
                     merge.state = _BucketState.SORTING
             elif merge.state is _BucketState.SORTING:
-                done = merge.sorter.refine(budget)
+                if self._budget.pooled and budget >= merge.sorter.remaining_work():
+                    done = merge.sorter.finish()
+                else:
+                    done = merge.sorter.refine(budget)
                 processed += done
                 budget -= done
                 if merge.sorter.is_sorted:

@@ -106,6 +106,19 @@ class ProgressiveQuicksort(BaseIndex):
             total += sum(level.nbytes for level in self._consolidator.levels)
         return total
 
+    def search_many(self, lows, highs):
+        """Vectorized batch answering once the index array is fully sorted.
+
+        Available from the consolidation phase onwards (the sorter's range —
+        the whole column — is sorted by then); returns ``None`` during
+        creation and mid-refinement, where per-query dispatch is required.
+        """
+        if self._cascade is not None:
+            return self._cascade.search_many(lows, highs)
+        if self._sorter is not None:
+            return self._sorter.search_many(lows, highs)
+        return None
+
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
@@ -234,8 +247,14 @@ class ProgressiveQuicksort(BaseIndex):
 
         refined = 0
         if element_budget > 0:
-            self._sorter.prioritize(predicate)
-            refined = self._sorter.refine(element_budget)
+            if delta >= 1.0 and self._budget.pooled:
+                # A pooled batch budget granting the entire remaining phase:
+                # complete it outright.  Per-query budgets keep the paper's
+                # incremental refinement even at delta = 1.
+                refined = self._sorter.finish()
+            else:
+                self._sorter.prioritize(predicate)
+                refined = self._sorter.refine(element_budget)
 
         result = self._sorter.query(predicate)
 

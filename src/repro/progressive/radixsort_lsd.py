@@ -33,6 +33,7 @@ from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BucketSet
 from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.storage.column import Column
@@ -48,7 +49,7 @@ class _RefinementStage(enum.Enum):
     MERGE = "merge"     # draining the final bucket generation into the array
 
 
-class ProgressiveRadixsortLSD(BaseIndex):
+class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     """Progressive Radixsort (LSD) index over a single column.
 
     Parameters

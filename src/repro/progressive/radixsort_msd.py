@@ -36,6 +36,7 @@ from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BlockList, BucketSet
 from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD
@@ -90,7 +91,7 @@ class _RadixNode:
         self.child_set: Optional[BucketSet] = None
 
 
-class ProgressiveRadixsortMSD(BaseIndex):
+class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
     """Progressive Radixsort (MSD) index over a single column.
 
     Parameters

@@ -31,7 +31,7 @@ from typing import Deque, Optional
 
 import numpy as np
 
-from repro.core.query import Predicate, QueryResult
+from repro.core.query import Predicate, QueryResult, search_sorted_many
 from repro.progressive.pivot_tree import NodeState, PivotNode, PivotTree
 
 #: Default number of elements below which a range is sorted outright.  This is
@@ -88,6 +88,7 @@ class ProgressiveSorter:
         root = PivotNode(self.start, self.end, value_low, value_high, depth=0)
         self.tree = PivotTree(root)
         self._worklist: Deque[PivotNode] = deque()
+        self._prefix_sums: np.ndarray | None = None
         if not root.is_sorted:
             self._worklist.append(root)
 
@@ -194,6 +195,28 @@ class ProgressiveSorter:
                 self._worklist.popleft()
         return processed
 
+    def finish(self) -> int:
+        """Complete all remaining refinement outright with direct sorts.
+
+        Used when a (pooled) budget grants the whole remaining phase in one
+        go — the batch executor's front-loading case: sorting every pending
+        range directly is equivalent to running the incremental partition
+        passes to completion but does the work in one optimized pass per
+        range.  A mid-partition node's original range is still intact (the
+        incremental partition writes into a scratch buffer), so direct
+        sorting is always safe.
+
+        Returns the number of elements processed.
+        """
+        processed = 0
+        while self._worklist:
+            node = self._worklist.popleft()
+            if node.is_sorted:
+                continue
+            processed += node.size
+            self._direct_sort(node)
+        return processed
+
     def prioritize(self, predicate: Predicate) -> None:
         """Move work overlapping ``predicate`` to the front of the worklist.
 
@@ -231,6 +254,22 @@ class ProgressiveSorter:
                 mask = predicate.mask(segment)
                 result += QueryResult.from_masked(segment, mask)
         return result
+
+    def search_many(self, lows, highs):
+        """Vectorized batch of range queries over the covered range.
+
+        Only available once the range is fully sorted (binary searches plus
+        prefix-sum differences answer the whole batch without touching the
+        data); returns ``None`` while refinement is still in progress, in
+        which case callers fall back to per-query :meth:`query` dispatch.
+        """
+        if not self.is_sorted:
+            return None
+        segment = self.array[self.start : self.end]
+        sums, counts, self._prefix_sums = search_sorted_many(
+            segment, lows, highs, self._prefix_sums
+        )
+        return sums, counts
 
     def scanned_fraction(self, predicate: Predicate) -> float:
         """Fraction of the covered range a query would scan (the paper's α)."""

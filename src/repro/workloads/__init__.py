@@ -10,8 +10,11 @@
   spatially clustered and drifting query ranges).
 * :mod:`repro.workloads.workload` — the :class:`Workload` container shared by
   the execution engine and the benchmarks.
+* :mod:`repro.workloads.batch` — adapters turning workloads into the
+  vectorized predicate batches the batch execution engine consumes.
 """
 
+from repro.workloads.batch import conjunctive_queries, iter_batches, predicate_vector
 from repro.workloads.distributions import skewed_data, uniform_data
 from repro.workloads.patterns import (
     SYNTHETIC_PATTERNS,
@@ -31,7 +34,10 @@ from repro.workloads.workload import Workload
 __all__ = [
     "SYNTHETIC_PATTERNS",
     "Workload",
+    "conjunctive_queries",
     "generate_pattern",
+    "iter_batches",
+    "predicate_vector",
     "periodic_workload",
     "random_workload",
     "seq_over_workload",

@@ -1,0 +1,79 @@
+"""Batch adapters: turn workloads into vectorized predicate batches.
+
+The batch execution engine (:mod:`repro.engine.batch`) consumes
+:class:`~repro.core.query.PredicateVector` objects — parallel NumPy arrays
+of query bounds.  This module bridges the workload generators to that
+representation:
+
+* :func:`predicate_vector` — one workload, one vector;
+* :func:`iter_batches` — split a long workload into fixed-size batches
+  (e.g. to bound per-batch memory or to re-plan between batches);
+* :func:`conjunctive_queries` — sample multi-column conjunctive predicates
+  over a table, the input shape of ``session.where``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import PredicateVector
+from repro.errors import WorkloadError
+from repro.storage.table import Table
+from repro.workloads.workload import Workload
+
+
+def predicate_vector(workload: Workload) -> PredicateVector:
+    """The workload's queries as one :class:`PredicateVector`."""
+    lows = np.array([predicate.low for predicate in workload])
+    highs = np.array([predicate.high for predicate in workload])
+    return PredicateVector(lows, highs)
+
+
+def iter_batches(workload: Workload, batch_size: int) -> Iterator[PredicateVector]:
+    """Split ``workload`` into consecutive batches of ``batch_size`` queries.
+
+    The final batch holds the remainder and may be smaller.
+    """
+    if batch_size <= 0:
+        raise WorkloadError(f"batch_size must be positive, got {batch_size}")
+    vector = predicate_vector(workload)
+    for start in range(0, len(vector), batch_size):
+        yield vector.slice(start, start + batch_size)
+
+
+def conjunctive_queries(
+    table: Table,
+    column_names: Sequence[str],
+    n_queries: int,
+    selectivity: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> List[Dict[str, Tuple[float, float]]]:
+    """Sample multi-column conjunctive range predicates over ``table``.
+
+    Each query restricts every named column to a random range covering
+    ``selectivity`` of that column's value domain — the input shape of
+    :meth:`~repro.engine.session.IndexingSession.where`.
+    """
+    if n_queries <= 0:
+        raise WorkloadError(f"n_queries must be positive, got {n_queries}")
+    if not 0.0 < selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+    if not column_names:
+        raise WorkloadError("conjunctive_queries requires at least one column")
+    rng = rng or np.random.default_rng(0)
+    domains = []
+    for name in column_names:
+        column = table.column(name)
+        low, high = float(column.min()), float(column.max())
+        domains.append((name, low, max(high - low, 0.0)))
+    queries: List[Dict[str, Tuple[float, float]]] = []
+    for _ in range(n_queries):
+        query = {}
+        for name, low, span in domains:
+            width = selectivity * span
+            start = low + float(rng.uniform(0.0, max(span - width, 0.0)))
+            query[name] = (start, start + width)
+        queries.append(query)
+    return queries

@@ -1,0 +1,107 @@
+"""Differential property test harness: every algorithm vs. the FullScan oracle.
+
+Every algorithm in the registry — the four progressive indexes, all five
+cracking variants and both baselines — is run against a ``FullScan`` oracle
+over seeded randomized workloads drawn from the synthetic distributions
+(:mod:`repro.workloads.distributions`).  At *every* query the answers must be
+identical; for the progressive indexes the workloads are long enough (and the
+budget generous enough) to drive the index through full convergence, so the
+equivalence is also asserted for the converged cascade path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_scan import FullScan
+from repro.core.budget import FixedBudget
+from repro.core.query import Predicate
+from repro.engine.batch import BatchExecutor
+from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS, create_index
+from repro.storage.column import Column
+from repro.workloads.distributions import skewed_data, uniform_data
+
+#: Column size: small enough to keep the grid fast, large enough to exercise
+#: multi-piece cracking and multi-level progressive refinement.
+N_ELEMENTS = 6_000
+
+#: Workload length; with ``delta = 0.5`` every progressive index converges
+#: well before the workload ends.
+N_QUERIES = 80
+
+DISTRIBUTIONS = {
+    "uniform": lambda rng: uniform_data(N_ELEMENTS, rng=rng),
+    "skewed": lambda rng: skewed_data(N_ELEMENTS, rng=rng),
+}
+
+
+def seeded_workload(data: np.ndarray, rng: np.random.Generator, n_queries: int = N_QUERIES):
+    """Randomized mix of range and point queries over the data's domain.
+
+    Includes exact-value point queries, absent-value point queries and
+    ranges of varied widths, all drawn from the seeded generator.
+    """
+    low, high = int(data.min()), int(data.max())
+    predicates = []
+    for query_number in range(n_queries):
+        kind = query_number % 4
+        if kind == 0:  # point query on an existing value
+            value = int(data[rng.integers(0, data.size)])
+            predicates.append(Predicate(value, value))
+        elif kind == 1:  # narrow range
+            start = int(rng.integers(low, max(low + 1, high - 10)))
+            predicates.append(Predicate(start, start + 10))
+        elif kind == 2:  # wide range
+            width = int((high - low) * 0.2) + 1
+            start = int(rng.integers(low, max(low + 1, high - width)))
+            predicates.append(Predicate(start, start + width))
+        else:  # range possibly outside the domain
+            start = int(rng.integers(low - 100, high + 100))
+            predicates.append(Predicate(start, start + int(rng.integers(0, 50))))
+    return predicates
+
+
+@pytest.mark.parametrize("distribution", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_algorithm_matches_full_scan_oracle(name, distribution):
+    rng = np.random.default_rng(20_260_730)
+    data = DISTRIBUTIONS[distribution](rng)
+    column = Column(data, name="value")
+    oracle = FullScan(Column(data, name="value"))
+    # A generous fixed delta drives progressive indexes through all three
+    # phases (creation, refinement, consolidation) within the workload.
+    index = create_index(name, column, budget=FixedBudget(0.5))
+    converged_queries = 0
+    for query_number, predicate in enumerate(seeded_workload(data, rng)):
+        expected = oracle.query(predicate)
+        answer = index.query(predicate)
+        assert answer.count == expected.count, (
+            f"{name}/{distribution}: count mismatch at query {query_number} "
+            f"({predicate}) in phase {index.phase}"
+        )
+        assert answer.value_sum == expected.value_sum, (
+            f"{name}/{distribution}: sum mismatch at query {query_number} "
+            f"({predicate}) in phase {index.phase}"
+        )
+        if index.converged:
+            converged_queries += 1
+    if name in PROGRESSIVE_ALGORITHMS:
+        # The equivalence must also have been exercised after convergence.
+        assert index.converged, f"{name} failed to converge within the workload"
+        assert converged_queries > 0
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_batch_execution_matches_full_scan_oracle(name):
+    """The differential property holds for the batch execution path too."""
+    rng = np.random.default_rng(7)
+    data = uniform_data(N_ELEMENTS, rng=rng)
+    oracle = FullScan(Column(data, name="value"))
+    predicates = seeded_workload(data, rng, n_queries=40)
+    expected = [oracle.query(predicate) for predicate in predicates]
+    index = create_index(name, Column(data, name="value"), budget=FixedBudget(0.5))
+    batch = BatchExecutor().execute(index, predicates)
+    for query_number, (want, got) in enumerate(zip(expected, batch.results)):
+        assert got.count == want.count, f"{name}: batch query {query_number}"
+        assert got.value_sum == want.value_sum, f"{name}: batch query {query_number}"

@@ -8,11 +8,15 @@ with all of them.
 import numpy as np
 import pytest
 
-from repro.core.budget import FixedBudget
+from repro.core.budget import MINIMUM_DELTA, AdaptiveBudget, BatchBudget, FixedBudget
+from repro.core.phase import IndexPhase
 from repro.core.query import Predicate
 from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS
-from repro.errors import InvalidPredicateError
+from repro.engine.session import IndexingSession
+from repro.errors import InvalidBudgetError, InvalidPredicateError
+from repro.progressive.quicksort import ProgressiveQuicksort
 from repro.storage.column import Column
+from repro.storage.table import Table
 
 ALL_NAMES = sorted(ALGORITHMS)
 
@@ -93,6 +97,112 @@ class TestPredicateValidation:
     def test_inverted_predicate_rejected_at_construction(self):
         with pytest.raises(InvalidPredicateError):
             Predicate(10, 5)
+
+
+class TestBudgetEdgeCases:
+    """Zero / exhausted budgets must stall construction, never corrupt it."""
+
+    def test_zero_fixed_budget_answers_exactly_without_advancing(self, rng):
+        data = rng.integers(0, 1_000, size=2_000)
+        index = ProgressiveQuicksort(Column(data), budget=FixedBudget(0.0))
+        expected = int(((data >= 100) & (data <= 300)).sum())
+        for _ in range(10):
+            assert index.query(Predicate(100, 300)).count == expected
+            assert index.last_stats.elements_indexed == 0
+        # delta = 0 pins the index in the creation phase forever.
+        assert index.phase is IndexPhase.CREATION
+        assert not index.converged
+
+    def test_adaptive_budget_exhausted_slack_floors_at_minimum_delta(self):
+        budget = AdaptiveBudget(budget_seconds=0.01)
+        budget.register_scan_time(1.0)
+        # The query alone already exceeds the target cost: no slack remains,
+        # yet the returned delta must stay at the convergence floor.
+        delta = budget.next_delta(full_work_time=10.0, query_base_cost=100.0)
+        assert delta == MINIMUM_DELTA
+
+    def test_adaptive_budget_with_zero_minimum_delta_can_return_zero(self):
+        budget = AdaptiveBudget(budget_seconds=0.01, minimum_delta=0.0)
+        budget.register_scan_time(1.0)
+        delta = budget.next_delta(full_work_time=10.0, query_base_cost=100.0)
+        assert delta == 0.0
+
+    def test_adaptive_budget_rejects_non_positive_configuration(self):
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget(budget_seconds=0.0)
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget(scan_fraction=-0.1)
+        with pytest.raises(InvalidBudgetError):
+            AdaptiveBudget()
+
+    def test_exhausted_adaptive_budget_still_converges_index(self, rng):
+        data = rng.integers(0, 1_000, size=1_000)
+        index = ProgressiveQuicksort(
+            Column(data), budget=AdaptiveBudget(budget_seconds=1e-12)
+        )
+        expected = int(((data >= 0) & (data <= 999)).sum())
+        for _ in range(20_000):
+            assert index.query(Predicate(0, 999)).count == expected
+            if index.converged:
+                break
+        # The minimum-delta floor guarantees eventual convergence even when
+        # the cost model predicts no slack at all.
+        assert index.converged
+
+    def test_batch_budget_zero_and_exhausted(self):
+        zero = BatchBudget(50, per_query_seconds=0.0)
+        assert zero.exhausted
+        assert zero.next_delta(1.0) == 0.0
+        pool = BatchBudget(2, per_query_seconds=1.0)
+        assert pool.next_delta(2.0) == 1.0  # drains the pool entirely
+        assert pool.exhausted
+        assert pool.next_delta(2.0) == 0.0
+
+
+class TestSessionQueryEdgeCases:
+    """Inverted ranges and absent values through the user-facing API."""
+
+    def make_session(self, rng):
+        data = rng.integers(0, 1_000, size=2_000) * 2  # even values only
+        session = IndexingSession(Table({"ra": data}))
+        session.create_index("ra", method="PQ", budget_fraction=0.2)
+        return session, data
+
+    def test_inverted_between_is_empty_and_does_not_advance(self, rng):
+        session, _ = self.make_session(rng)
+        index = session.index_for("ra")
+        before = index.queries_executed
+        result = session.between("ra", 500, 100)
+        assert result.count == 0 and result.value_sum == 0
+        assert index.queries_executed == before
+        assert index.phase is IndexPhase.INACTIVE
+
+    def test_inverted_between_on_unindexed_column(self, rng):
+        session = IndexingSession(Table({"ra": rng.integers(0, 100, 500)}))
+        assert session.between("ra", 50, 10).count == 0
+
+    def test_point_query_on_absent_value(self, rng):
+        session, data = self.make_session(rng)
+        index = session.index_for("ra")
+        # Odd values never occur in the even-only column.
+        assert session.equals("ra", 3).count == 0
+        assert index.queries_executed == 1  # the query still advances the index
+        # Construction keeps progressing correctly after the miss.
+        expected = int((data == data[0]).sum())
+        for _ in range(60):
+            assert session.equals("ra", int(data[0])).count == expected
+            if index.converged:
+                break
+        assert index.converged
+        assert session.equals("ra", 3).count == 0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_absent_point_value_across_algorithms(self, name, rng):
+        data = rng.integers(0, 500, size=1_000) * 2
+        index = build(name, data)
+        for _ in range(5):
+            assert index.query(Predicate(7, 7)).count == 0
+            assert index.query(Predicate(-3, -3)).count == 0
 
 
 @pytest.mark.parametrize("name", sorted(PROGRESSIVE_ALGORITHMS))

@@ -1,0 +1,110 @@
+"""Equivalence tests for the cracking partition kernels.
+
+The three kernels (branched reference loop, predicated mask, two-sided
+writes) must agree on the partition boundary and produce valid partitions of
+the same multiset on adversarial inputs: all-equal values, already
+partitioned data, reverse-sorted data, empty and single-element pieces, and
+both integer and floating point dtypes.  ``choose_kernel`` must honor the
+``BRANCHED_PIECE_LIMIT`` decision boundary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cracking.kernels import (
+    BRANCHED_PIECE_LIMIT,
+    choose_kernel,
+    partition_branched,
+    partition_predicated,
+    partition_two_sided,
+)
+
+KERNELS = {
+    "branched": partition_branched,
+    "predicated": partition_predicated,
+    "two_sided": partition_two_sided,
+}
+
+ADVERSARIAL_CASES = {
+    "all_equal_below": (np.full(50, 3, dtype=np.int64), 10),
+    "all_equal_above": (np.full(50, 30, dtype=np.int64), 10),
+    "all_equal_at_pivot": (np.full(50, 10, dtype=np.int64), 10),
+    "already_partitioned": (np.concatenate([np.arange(25), np.arange(100, 125)]).astype(np.int64), 50),
+    "reverse_sorted": (np.arange(60, 0, -1).astype(np.int64), 30),
+    "empty": (np.empty(0, dtype=np.int64), 5),
+    "single_below": (np.array([1], dtype=np.int64), 5),
+    "single_above": (np.array([9], dtype=np.int64), 5),
+    "random_ints": (np.random.default_rng(0).integers(0, 100, 200), 50),
+    "random_floats": (np.random.default_rng(1).uniform(0, 100, 200), 50.5),
+    "duplicates_around_pivot": (np.array([5, 5, 5, 4, 6, 5, 4, 6], dtype=np.int64), 5),
+    "pivot_outside_range": (np.arange(40, dtype=np.int64), 1_000),
+    "negative_values": (np.array([-5, 3, -2, 0, 7, -9], dtype=np.int64), 0),
+}
+
+
+@pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_partition_property_holds(kernel_name, case):
+    values, pivot = ADVERSARIAL_CASES[case]
+    working = values.copy()
+    boundary = KERNELS[kernel_name](working, pivot)
+    assert boundary == int(np.sum(values < pivot))
+    assert np.all(working[:boundary] < pivot)
+    assert np.all(working[boundary:] >= pivot)
+    # The partition is a permutation: same multiset before and after.
+    assert Counter(working.tolist()) == Counter(values.tolist())
+
+
+@pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+def test_kernels_agree_on_boundary(case):
+    values, pivot = ADVERSARIAL_CASES[case]
+    boundaries = set()
+    partitions = []
+    for kernel in KERNELS.values():
+        working = values.copy()
+        boundaries.add(kernel(working, pivot))
+        partitions.append(working)
+    assert len(boundaries) == 1
+    # All kernels produce the same low-side and high-side multisets.
+    boundary = boundaries.pop()
+    reference_low = Counter(partitions[0][:boundary].tolist())
+    reference_high = Counter(partitions[0][boundary:].tolist())
+    for partition in partitions[1:]:
+        assert Counter(partition[:boundary].tolist()) == reference_low
+        assert Counter(partition[boundary:].tolist()) == reference_high
+
+
+class TestChooseKernel:
+    def test_small_piece_mid_selectivity_is_branched(self):
+        assert choose_kernel(BRANCHED_PIECE_LIMIT, 0.5) is partition_branched
+        assert choose_kernel(1, 0.1) is partition_branched
+
+    def test_small_piece_extreme_selectivity_is_predicated(self):
+        assert choose_kernel(BRANCHED_PIECE_LIMIT, 0.01) is partition_predicated
+        assert choose_kernel(BRANCHED_PIECE_LIMIT, 0.99) is partition_predicated
+
+    def test_limit_boundary_is_honored(self):
+        # One past the limit must no longer use the branched reference loop.
+        assert choose_kernel(BRANCHED_PIECE_LIMIT + 1, 0.5) is partition_predicated
+        assert choose_kernel(BRANCHED_PIECE_LIMIT, 0.5) is partition_branched
+
+    def test_huge_pieces_use_two_sided(self):
+        threshold = BRANCHED_PIECE_LIMIT * 1024
+        assert choose_kernel(threshold, 0.5) is partition_predicated
+        assert choose_kernel(threshold + 1, 0.5) is partition_two_sided
+
+    def test_chosen_kernels_all_agree(self):
+        rng = np.random.default_rng(2)
+        for piece_size in (8, BRANCHED_PIECE_LIMIT, 500, BRANCHED_PIECE_LIMIT * 1024 + 1):
+            values = rng.integers(0, 1_000, min(piece_size, 2_000))
+            pivot = 500
+            kernel = choose_kernel(piece_size, 0.5)
+            working = values.copy()
+            boundary = kernel(working, pivot)
+            assert boundary == int(np.sum(values < pivot))
+            assert np.all(working[:boundary] < pivot)
+            assert np.all(working[boundary:] >= pivot)
