@@ -1,0 +1,289 @@
+"""Construction-throughput benchmark: the vectorized kernel layer vs. the
+pre-kernel-layer loop implementation.
+
+For every progressive algorithm the benchmark drives a fresh index from its
+first query to full convergence under a maximal budget (``FixedBudget(1.0)``
+— each query grants a whole phase-step of work), timing the three
+construction phases (creation, refinement, consolidation) separately.  Each
+algorithm is measured twice:
+
+* **kernel** — the current construction-kernel layer: grouped
+  argsort+bincount scatter, bulk block appends, direct block drains,
+  kernel-routed whole-node partitions, codec-keyed radix digits;
+* **legacy** — the pre-PR loop implementation, restored by monkeypatching
+  the masked per-bucket scatter (``BucketSet.scatter_masked``), the
+  per-block Python append loop, the slice-then-copy bucket drain and the
+  always-streaming scratch partition back in.
+
+The speedup ``legacy_total / kernel_total`` is reported per algorithm and
+written to ``BENCH_construction.json``.  The radix/bucket family (PLSD,
+PMSD, PB) is the scatter-bound one; ``--min-speedup`` gates on exactly that
+family so the check can run in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_construction_throughput.py
+    PYTHONPATH=src python benchmarks/bench_construction_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_construction_throughput.py --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.budget import FixedBudget
+from repro.core.phase import IndexPhase
+from repro.core.query import Predicate
+from repro.engine.registry import create_index
+from repro.progressive.blocks import BlockList, BucketSet
+from repro.progressive.bucketsort import BoundsRouter
+from repro.progressive.pivot_tree import NodeState
+from repro.progressive.sorter import ProgressiveSorter
+from repro.storage.column import Column
+from repro.workloads.distributions import uniform_data
+
+#: The algorithms whose construction is scatter/merge-bound; the
+#: ``--min-speedup`` gate applies to these.
+RADIX_BUCKET_FAMILY = ["PLSD", "PMSD", "PB"]
+
+DEFAULT_ALGORITHMS = RADIX_BUCKET_FAMILY + ["PQ"]
+
+#: Safety cap on the convergence loop (a maximal budget converges every
+#: algorithm in far fewer queries).
+MAX_QUERIES = 500
+
+
+def _legacy_append_array(self, values: np.ndarray) -> None:
+    """The seed's per-block Python append loop (pre-kernel-layer)."""
+    values = np.asarray(values, dtype=self.dtype)
+    offset = 0
+    remaining = values.size
+    while remaining > 0:
+        if not self._blocks or self._last_fill == self.block_size:
+            self._blocks.append(np.empty(self.block_size, dtype=self.dtype))
+            self._last_fill = 0
+        space = self.block_size - self._last_fill
+        take = min(space, remaining)
+        block = self._blocks[-1]
+        block[self._last_fill : self._last_fill + take] = values[offset : offset + take]
+        self._last_fill += take
+        offset += take
+        remaining -= take
+    self._size += values.size
+
+
+def _legacy_route(self, values):
+    """The seed's bucket routing: a plain binary search per element."""
+    return np.searchsorted(self.bounds, values, side="right")
+
+
+def _legacy_drain_into(self, target, target_start, start, count):
+    """The seed's bucket drain: materialise a slice, then copy it again."""
+    chunk = self.slice_array(start, count)
+    target[target_start : target_start + chunk.size] = chunk
+    return int(chunk.size)
+
+
+def _legacy_partition_step(self, node, budget):
+    """The seed's node partition: always stream through a scratch buffer
+    (no whole-node kernel fast path)."""
+    if node.state is NodeState.PENDING:
+        node.scratch = np.empty(node.size, dtype=self.array.dtype)
+        node.low_fill = 0
+        node.high_fill = node.size
+        node.scanned = 0
+        node.state = NodeState.PARTITIONING
+    take = min(budget, node.size - node.scanned)
+    if take <= 0:
+        return 0
+    chunk_start = node.start + node.scanned
+    chunk = self.array[chunk_start : chunk_start + take]
+    mask = chunk < node.pivot
+    lows = chunk[mask]
+    highs = chunk[~mask]
+    node.scratch[node.low_fill : node.low_fill + lows.size] = lows
+    node.low_fill += lows.size
+    node.scratch[node.high_fill - highs.size : node.high_fill] = highs
+    node.high_fill -= highs.size
+    node.scanned += take
+    if node.scanned >= node.size:
+        self.array[node.start : node.end] = node.scratch
+        boundary = node.start + node.low_fill
+        node.scratch = None
+        self._create_children(node, boundary)
+    return take
+
+
+@contextlib.contextmanager
+def legacy_construction_loops():
+    """Swap the construction kernels for the pre-PR loop implementations."""
+    patches = [
+        (BucketSet, "scatter", BucketSet.scatter_masked),
+        (BlockList, "append_array", _legacy_append_array),
+        (BlockList, "drain_into", _legacy_drain_into),
+        (ProgressiveSorter, "_partition_step", _legacy_partition_step),
+        (BoundsRouter, "route", _legacy_route),
+    ]
+    originals = [(owner, name, getattr(owner, name)) for owner, name, _ in patches]
+    for owner, name, replacement in patches:
+        setattr(owner, name, replacement)
+    try:
+        yield
+    finally:
+        for owner, name, original in originals:
+            setattr(owner, name, original)
+
+
+def drive_to_convergence(name: str, data: np.ndarray) -> dict:
+    """Construct ``name`` over ``data`` to convergence; time each phase."""
+    index = create_index(name, Column(data, name="value"), budget=FixedBudget(1.0))
+    low = float(data.min())
+    predicate = Predicate(low, low)  # point query: minimal answering overhead
+    phase_seconds = {phase: 0.0 for phase in ("creation", "refinement", "consolidation")}
+    queries = 0
+    while not index.converged and queries < MAX_QUERIES:
+        phase_before = index.phase
+        started = time.perf_counter()
+        index.query(predicate)
+        elapsed = time.perf_counter() - started
+        queries += 1
+        if phase_before in (IndexPhase.INACTIVE, IndexPhase.CREATION):
+            phase_seconds["creation"] += elapsed
+        elif phase_before is IndexPhase.REFINEMENT:
+            phase_seconds["refinement"] += elapsed
+        else:
+            phase_seconds["consolidation"] += elapsed
+    if not index.converged:
+        raise RuntimeError(f"{name} failed to converge within {MAX_QUERIES} queries")
+    total = sum(phase_seconds.values())
+    return {
+        "creation_s": round(phase_seconds["creation"], 6),
+        "refinement_s": round(phase_seconds["refinement"], 6),
+        "consolidation_s": round(phase_seconds["consolidation"], 6),
+        "total_s": round(total, 6),
+        "queries_to_converge": queries,
+    }
+
+
+def best_of(repeats: int, name: str, data: np.ndarray) -> dict:
+    """Best (fastest total) of ``repeats`` construction runs."""
+    runs = [drive_to_convergence(name, data) for _ in range(repeats)]
+    return min(runs, key=lambda timing: timing["total_s"])
+
+
+def verify_construction(name: str, data: np.ndarray) -> None:
+    """Cross-check a freshly constructed index against a predicated scan."""
+    index = create_index(name, Column(data, name="value"), budget=FixedBudget(1.0))
+    low = float(np.percentile(data, 40))
+    high = float(np.percentile(data, 60))
+    queries = 0
+    while not index.converged and queries < MAX_QUERIES:
+        index.query(Predicate(low, high))
+        queries += 1
+    result = index.query(Predicate(low, high))
+    mask = (data >= low) & (data <= high)
+    if result.count != int(mask.sum()):
+        raise AssertionError(
+            f"{name}: converged count {result.count} != scan count {int(mask.sum())}"
+        )
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-elements", type=int, default=1_000_000,
+                        help="column size (default: 1_000_000)")
+    parser.add_argument("--algorithms", nargs="+", default=DEFAULT_ALGORITHMS,
+                        help=f"algorithms to benchmark (default: {DEFAULT_ALGORITHMS})")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="construction runs per mode; the fastest is kept")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero when a radix/bucket-family algorithm "
+                             "falls below this kernel-vs-legacy speedup")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="JSON output path (default: BENCH_construction.json "
+                             "next to the repository root; omitted in --smoke runs "
+                             "unless given explicitly)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n_elements = min(args.n_elements, 50_000)
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    data = uniform_data(args.n_elements, rng=rng)
+
+    print(f"construction throughput: {args.n_elements} uniform elements, "
+          f"maximal budget (delta = 1.0)")
+    header = (f"{'algo':>6} {'mode':>7} {'creation':>10} {'refinement':>11} "
+              f"{'consolid.':>10} {'total':>10} {'queries':>8} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    failures = []
+    for name in args.algorithms:
+        verify_construction(name, data)
+        kernel = best_of(args.repeats, name, data)
+        with legacy_construction_loops():
+            legacy = best_of(args.repeats, name, data)
+        speedup = legacy["total_s"] / kernel["total_s"] if kernel["total_s"] > 0 else float("inf")
+        results[name] = {"kernel": kernel, "legacy": legacy, "speedup": round(speedup, 3)}
+        for mode, timing in (("kernel", kernel), ("legacy", legacy)):
+            shown = f"{speedup:>7.2f}x" if mode == "kernel" else f"{'':>8}"
+            print(f"{name:>6} {mode:>7} {timing['creation_s']:>9.4f}s "
+                  f"{timing['refinement_s']:>10.4f}s {timing['consolidation_s']:>9.4f}s "
+                  f"{timing['total_s']:>9.4f}s {timing['queries_to_converge']:>8} {shown}")
+        if (args.min_speedup is not None
+                and name in RADIX_BUCKET_FAMILY
+                and speedup < args.min_speedup):
+            failures.append((name, speedup))
+
+    family = [name for name in args.algorithms if name in RADIX_BUCKET_FAMILY]
+    family_min = min((results[name]["speedup"] for name in family), default=None)
+    report = {
+        "benchmark": "construction_throughput",
+        "config": {
+            "n_elements": args.n_elements,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "repeats": args.repeats,
+            "budget": "FixedBudget(1.0)",
+            "baseline": "pre-kernel-layer loops: masked per-bucket scatter, "
+                        "per-block Python append, slice-then-copy drain, "
+                        "scratch-streaming node partition",
+        },
+        "radix_bucket_family": family,
+        "min_family_speedup": family_min,
+        "regression": bool(failures),
+        "results": results,
+    }
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parent.parent / "BENCH_construction.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for name, speedup in failures:
+            print(f"FAIL: {name} construction speedup {speedup:.2f}x below required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,7 +52,6 @@ class CascadeTree:
         else:
             self.levels = list(levels)
         self._prefix_sums: np.ndarray | None = None
-        self._leaves_sorted: bool | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -135,17 +134,14 @@ class CascadeTree:
         The prefix sums are cached on first use (the leaf array is immutable
         once the cascade exists, so the cache never needs invalidation).
 
-        Returns ``(sums, counts)`` arrays aligned with the inputs, or
-        ``None`` if the leaf array turns out not to be sorted (a defect of
-        whatever built the cascade — vectorized binary search would silently
-        return garbage, so callers must fall back to per-query dispatch).
+        The leaves are sorted by construction for every index family: the
+        order-preserving key codecs (:mod:`repro.core.keys`) guarantee that
+        even the radix-built arrays are totally ordered on float columns, so
+        no runtime sortedness verification (and no per-query fallback) is
+        needed any more.
+
+        Returns ``(sums, counts)`` arrays aligned with the inputs.
         """
-        if self._leaves_sorted is None:
-            self._leaves_sorted = bool(
-                np.all(self.leaf_values[:-1] <= self.leaf_values[1:])
-            )
-        if not self._leaves_sorted:
-            return None
         sums, counts, self._prefix_sums = search_sorted_many(
             self.leaf_values, lows, highs, self._prefix_sums
         )

@@ -9,6 +9,7 @@ from repro.core.budget import AdaptiveBudget, BatchBudget, FixedBudget, Indexing
 from repro.core.calibration import CostConstants, calibrate, simulated_constants
 from repro.core.cost_model import CostModel
 from repro.core.index import BaseIndex, QueryStats
+from repro.core.keys import FloatKeyCodec, IntKeyCodec, RadixKeySpace, codec_for
 from repro.core.phase import IndexPhase
 from repro.core.query import (
     ConjunctionResult,
@@ -28,13 +29,17 @@ __all__ = [
     "CostConstants",
     "CostModel",
     "FixedBudget",
+    "FloatKeyCodec",
     "IndexPhase",
     "IndexingBudget",
+    "IntKeyCodec",
     "Predicate",
     "PredicateVector",
     "QueryResult",
     "QueryStats",
+    "RadixKeySpace",
     "calibrate",
+    "codec_for",
     "point",
     "range_query",
     "search_sorted_many",

@@ -18,19 +18,22 @@ implementations of each comparator:
 They are all built on the shared substrate of a
 :class:`~repro.cracking.cracker_column.CrackerColumn` (the physically
 reorganised copy of the data) and a
-:class:`~repro.cracking.cracker_index.CrackerIndex` (an AVL tree mapping
-pivot values to piece boundaries).
+:class:`~repro.cracking.cracker_index.CrackerIndex` (flat sorted arrays
+mapping pivot values to piece boundaries; the seed's AVL-backed variant is
+kept as :class:`~repro.cracking.cracker_index.AVLCrackerIndex`, a tested
+reference).
 """
 
 from repro.cracking.adaptive_adaptive import AdaptiveAdaptiveIndexing
 from repro.cracking.coarse_granular import CoarseGranularIndex
 from repro.cracking.cracker_column import CrackerColumn
-from repro.cracking.cracker_index import CrackerIndex
+from repro.cracking.cracker_index import AVLCrackerIndex, CrackerIndex
 from repro.cracking.progressive_stochastic import ProgressiveStochasticCracking
 from repro.cracking.standard import StandardCracking
 from repro.cracking.stochastic import StochasticCracking
 
 __all__ = [
+    "AVLCrackerIndex",
     "AdaptiveAdaptiveIndexing",
     "CoarseGranularIndex",
     "CrackerColumn",

@@ -56,7 +56,7 @@ class AdaptiveAdaptiveIndexing(CrackingIndexBase):
         column: Column,
         budget: IndexingBudget | None = None,
         constants: CostConstants | None = None,
-        adaptive_kernels: bool = False,
+        adaptive_kernels: bool = True,
         rng=None,
         fanout: int = DEFAULT_FANOUT,
         sort_threshold: int = DEFAULT_SORT_THRESHOLD,

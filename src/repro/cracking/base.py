@@ -38,7 +38,8 @@ class CrackingIndexBase(BaseIndex):
         Cost-model constants (used only for reporting).
     adaptive_kernels:
         Select the partition kernel per crack with the Haffner-style decision
-        tree instead of always using the predicated kernel.
+        tree (the default, matching the paper's adaptive cracking-kernel
+        setup) instead of always using the predicated kernel.
     rng:
         Random generator used by the stochastic variants.
     """
@@ -48,7 +49,7 @@ class CrackingIndexBase(BaseIndex):
         column: Column,
         budget: IndexingBudget | None = None,
         constants: CostConstants | None = None,
-        adaptive_kernels: bool = False,
+        adaptive_kernels: bool = True,
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(column, budget=budget, constants=constants)

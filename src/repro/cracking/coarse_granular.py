@@ -43,7 +43,7 @@ class CoarseGranularIndex(CrackingIndexBase):
         column: Column,
         budget: IndexingBudget | None = None,
         constants: CostConstants | None = None,
-        adaptive_kernels: bool = False,
+        adaptive_kernels: bool = True,
         rng=None,
         initial_partitions: int = DEFAULT_INITIAL_PARTITIONS,
     ) -> None:

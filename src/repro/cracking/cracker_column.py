@@ -48,12 +48,13 @@ class CrackerColumn:
         The base column; its data is copied (this copy is the dominant cost
         of the first query of every cracking algorithm).
     adaptive_kernels:
-        When true, the partition kernel is chosen per crack with the
-        Haffner-style decision tree; otherwise the predicated kernel is
-        always used.
+        When true (the default), the partition kernel is chosen per crack
+        with the Haffner-style decision tree of
+        :func:`~repro.cracking.kernels.choose_kernel`; otherwise the
+        predicated kernel is always used.
     """
 
-    def __init__(self, column: Column, adaptive_kernels: bool = False) -> None:
+    def __init__(self, column: Column, adaptive_kernels: bool = True) -> None:
         self._column = column
         self.values = column.copy_data()
         value_low = float(column.min())

@@ -8,9 +8,15 @@ partitioned.  An entry ``key -> position`` states the invariant::
     column[position:N] >=  key
 
 The pieces of the cracker column are therefore the gaps between consecutive
-boundary positions.  :class:`CrackerIndex` stores the entries in an AVL tree
-(:mod:`repro.cracking.avl`) and answers the piece-lookup queries the cracking
-algorithms need.
+boundary positions.
+
+:class:`CrackerIndex` stores the entries in a pair of flat, sorted NumPy
+arrays: lookups are single C-level binary searches (``np.searchsorted``) and
+inserts are one ``memmove``-style shift inside a capacity-doubling buffer.
+For the entry counts cracking produces (one or two new boundaries per query)
+this is far faster than pointer-chasing a Python tree — the AVL-backed
+implementation the seed used is preserved as :class:`AVLCrackerIndex`, a
+behavioural reference that the flat index is differentially tested against.
 """
 
 from __future__ import annotations
@@ -18,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 from repro.cracking.avl import AVLTree
+
+#: Initial entry capacity of the flat arrays.
+_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,114 @@ class CrackerIndex:
     """
 
     def __init__(self, n_elements: int, value_low: float, value_high: float) -> None:
+        self._keys = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._positions = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._count = 0
+        self._n = int(n_elements)
+        self._value_low = value_low
+        self._value_high = value_high
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Depth of a boundary lookup (binary-search steps over the entries)."""
+        return int(np.ceil(np.log2(self._count + 1)))
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of pieces the column is currently divided into."""
+        return self._count + 1
+
+    def boundaries(self) -> Iterator[Tuple[float, int]]:
+        """Iterate over ``(pivot value, position)`` entries in value order."""
+        for entry in range(self._count):
+            yield float(self._keys[entry]), int(self._positions[entry])
+
+    # ------------------------------------------------------------------
+    def add(self, key: float, position: int) -> None:
+        """Record that the column has been cracked at ``key`` / ``position``."""
+        slot = int(np.searchsorted(self._keys[: self._count], key))
+        if slot < self._count and self._keys[slot] == key:
+            self._positions[slot] = int(position)
+            return
+        if self._count == self._keys.size:
+            grown_keys = np.empty(self._keys.size * 2, dtype=np.float64)
+            grown_positions = np.empty(self._positions.size * 2, dtype=np.int64)
+            grown_keys[: self._count] = self._keys[: self._count]
+            grown_positions[: self._count] = self._positions[: self._count]
+            self._keys = grown_keys
+            self._positions = grown_positions
+        self._keys[slot + 1 : self._count + 1] = self._keys[slot : self._count]
+        self._positions[slot + 1 : self._count + 1] = self._positions[slot : self._count]
+        self._keys[slot] = key
+        self._positions[slot] = int(position)
+        self._count += 1
+
+    def position_of(self, key: float):
+        """Boundary position of ``key`` if it has been cracked on, else ``None``."""
+        slot = int(np.searchsorted(self._keys[: self._count], key))
+        if slot < self._count and self._keys[slot] == key:
+            return int(self._positions[slot])
+        return None
+
+    def piece_for(self, value: float) -> Piece:
+        """The piece that currently contains ``value``.
+
+        The piece spans from the boundary of the largest cracked key
+        ``<= value`` to the boundary of the smallest cracked key ``> value``
+        (column edges when no such keys exist).
+        """
+        after = int(np.searchsorted(self._keys[: self._count], value, side="right"))
+        if after > 0:
+            start = int(self._positions[after - 1])
+            value_low = float(self._keys[after - 1])
+        else:
+            start = 0
+            value_low = self._value_low
+        if after < self._count:
+            end = int(self._positions[after])
+            value_high = float(self._keys[after])
+        else:
+            end = self._n
+            value_high = self._value_high
+        return Piece(start=start, end=end, value_low=value_low, value_high=value_high)
+
+    def largest_piece(self) -> Piece:
+        """The largest current piece (useful for idle refinement policies)."""
+        previous_pos = 0
+        previous_key = self._value_low
+        best = Piece(0, self._n, self._value_low, self._value_high)
+        best_size = -1
+        entries = list(self.boundaries()) + [(self._value_high, self._n)]
+        for key, position in entries:
+            size = position - previous_pos
+            if size > best_size:
+                best = Piece(previous_pos, position, previous_key, key)
+                best_size = size
+            previous_pos = position
+            previous_key = key
+        return best
+
+    def piece_sizes(self) -> list:
+        """Sizes of all pieces in column order."""
+        positions = self._positions[: self._count]
+        sizes = np.diff(positions, prepend=0, append=self._n)
+        return [int(size) for size in sizes]
+
+
+class AVLCrackerIndex:
+    """The seed's AVL-tree-backed cracker index, kept as a tested reference.
+
+    Behaviourally identical to :class:`CrackerIndex` (the flat-array
+    implementation is differentially tested against this class); only the
+    storage differs — an :class:`~repro.cracking.avl.AVLTree` of
+    ``key -> position`` entries.
+    """
+
+    def __init__(self, n_elements: int, value_low: float, value_high: float) -> None:
         self._tree = AVLTree()
         self._n = int(n_elements)
         self._value_low = value_low
@@ -92,12 +211,7 @@ class CrackerIndex:
         return self._tree.get(key)
 
     def piece_for(self, value: float) -> Piece:
-        """The piece that currently contains ``value``.
-
-        The piece spans from the boundary of the largest cracked key
-        ``<= value`` to the boundary of the smallest cracked key ``> value``
-        (column edges when no such keys exist).
-        """
+        """The piece that currently contains ``value``."""
         floor = self._tree.floor_item(value)
         higher = self._tree.higher_item(value)
         start = floor[1] if floor is not None else 0
@@ -107,7 +221,7 @@ class CrackerIndex:
         return Piece(start=int(start), end=int(end), value_low=value_low, value_high=value_high)
 
     def largest_piece(self) -> Piece:
-        """The largest current piece (useful for idle refinement policies)."""
+        """The largest current piece."""
         previous_pos = 0
         previous_key = self._value_low
         best = Piece(0, self._n, self._value_low, self._value_high)

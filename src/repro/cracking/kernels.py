@@ -8,17 +8,20 @@ piece size and selectivity.  The paper's experimental setup includes "an
 adaptive cracking kernel algorithm that picks the most efficient kernel when
 executing a query, following the decision tree from Haffner et al.".
 
-On our NumPy substrate the distinction between branched and predicated
-per-element loops does not exist, but the kernels are still provided (and
-benchmarked in the ablation suite) so the selection logic of the original
-system is preserved:
+These kernels are the shared partition primitives of the construction-kernel
+layer: database cracking routes every crack through :func:`choose_kernel`,
+and :class:`~repro.progressive.sorter.ProgressiveSorter` uses the same
+decision tree whenever a whole pivot-tree node fits the element budget.
 
-* :func:`partition_branched` — a pure-Python reference loop (used for small
-  pieces and as the ground truth in tests).
+* :func:`partition_branched` — a single-pass, in-place, pure-Python
+  two-pointer loop (the branching kernel of the original system; used for
+  cache-resident pieces and as the ground truth in tests).
 * :func:`partition_predicated` — boolean-mask partition, the NumPy analogue
-  of the predicated/vectorised kernels.
-* :func:`partition_two_sided` — two-ended writes, the NumPy analogue of the
-  in-place Hoare-style kernel.
+  of the predicated/vectorised kernels; allocates both sides.
+* :func:`partition_two_sided` — truly in-place vectorised Hoare-style
+  kernel: only the misplaced elements on each side are swapped, so work and
+  scratch memory are proportional to the number of misplaced elements, not
+  the piece size.
 * :func:`choose_kernel` — the decision tree.
 """
 
@@ -33,19 +36,36 @@ import numpy as np
 #: cache-resident pieces).
 BRANCHED_PIECE_LIMIT = 64
 
+#: Pieces larger than this always use the in-place two-sided kernel (the
+#: allocation of a same-sized mask plus both sides stops being free once a
+#: piece is far outside the cache hierarchy).
+TWO_SIDED_PIECE_LIMIT = BRANCHED_PIECE_LIMIT * 1024
+
+#: Selectivities outside ``[EXTREME_SELECTIVITY, 1 - EXTREME_SELECTIVITY]``
+#: are "extreme": almost every element already sits on the correct side, so
+#: the two-sided kernel's swap count collapses while the predicated kernel
+#: still pays a full copy of the piece.
+EXTREME_SELECTIVITY = 0.1
+
 
 def partition_branched(values: np.ndarray, pivot) -> int:
     """Partition ``values`` in place around ``pivot`` with an explicit loop.
 
     Returns the boundary position: ``values[:boundary] < pivot`` and
-    ``values[boundary:] >= pivot``.  This is the reference kernel; it runs in
-    pure Python and is only intended for small pieces and for validating the
-    vectorised kernels.
+    ``values[boundary:] >= pivot``.  A classic single-pass two-pointer
+    (Hoare-style) loop: no allocation, at most one swap per misplaced pair.
+    This is the reference kernel; it runs in pure Python and is only
+    intended for small pieces and for validating the vectorised kernels.
     """
-    result = sorted(values.tolist(), key=lambda item: (item >= pivot,))
-    boundary = sum(1 for item in result if item < pivot)
-    values[:] = result
-    return boundary
+    low = 0
+    high = int(values.size) - 1
+    while low <= high:
+        if values[low] < pivot:
+            low += 1
+        else:
+            values[low], values[high] = values[high], values[low]
+            high -= 1
+    return low
 
 
 def partition_predicated(values: np.ndarray, pivot) -> int:
@@ -59,20 +79,24 @@ def partition_predicated(values: np.ndarray, pivot) -> int:
 
 
 def partition_two_sided(values: np.ndarray, pivot) -> int:
-    """Partition ``values`` around ``pivot`` writing from both ends.
+    """Partition ``values`` around ``pivot`` with in-place two-ended swaps.
 
-    Functionally identical to :func:`partition_predicated`; the two-ended
-    write pattern mirrors the in-place Hoare-style kernel of the original
-    system and is kept as a separate code path for the kernel ablation
-    benchmark.
+    The vectorised analogue of the in-place Hoare-style kernel of the
+    original system: the boundary is known from the pivot's rank, so the
+    only elements that move are the ``>= pivot`` stragglers in the low side,
+    which are swapped pairwise with the ``< pivot`` stragglers in the high
+    side (the counts always match).  Work and scratch are proportional to
+    the number of misplaced elements — at extreme selectivities this kernel
+    barely touches the piece.
     """
     mask = values < pivot
-    lows = values[mask]
-    highs = values[~mask]
-    boundary = int(lows.size)
-    values[:boundary] = lows
-    # Write the upper side back to front, as the original kernel does.
-    values[boundary:] = highs[::-1]
+    boundary = int(np.count_nonzero(mask))
+    misplaced_low = np.flatnonzero(~mask[:boundary])
+    if misplaced_low.size:
+        misplaced_high = boundary + np.flatnonzero(mask[boundary:])
+        stash = values[misplaced_low].copy()
+        values[misplaced_low] = values[misplaced_high]
+        values[misplaced_high] = stash
     return boundary
 
 
@@ -84,12 +108,18 @@ def choose_kernel(piece_size: int, selectivity: float = 0.5) -> Callable[[np.nda
     piece_size:
         Number of elements in the piece about to be cracked.
     selectivity:
-        Estimated fraction of the piece below the pivot; extreme
-        selectivities favour the predicated kernel because branches would be
-        highly mispredicted in the original system.
+        Estimated fraction of the piece below the pivot.
+
+    The tree: cache-resident pieces with mid selectivity use the simple
+    branched loop; larger pieces with *extreme* selectivity use the
+    two-sided kernel (few misplaced elements, so in-place swaps beat a full
+    predicated copy — in the original system the same selectivities make
+    branches perfectly predicted); pieces far beyond the cache hierarchy
+    always use the two-sided kernel; everything else is predicated.
     """
-    if piece_size <= BRANCHED_PIECE_LIMIT and 0.1 <= selectivity <= 0.9:
-        return partition_branched
-    if piece_size > BRANCHED_PIECE_LIMIT * 1024:
+    extreme = selectivity < EXTREME_SELECTIVITY or selectivity > 1.0 - EXTREME_SELECTIVITY
+    if piece_size <= BRANCHED_PIECE_LIMIT:
+        return partition_predicated if extreme else partition_branched
+    if extreme or piece_size > TWO_SIDED_PIECE_LIMIT:
         return partition_two_sided
     return partition_predicated

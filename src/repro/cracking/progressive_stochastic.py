@@ -54,7 +54,7 @@ class ProgressiveStochasticCracking(CrackingIndexBase):
         column: Column,
         budget: IndexingBudget | None = None,
         constants: CostConstants | None = None,
-        adaptive_kernels: bool = False,
+        adaptive_kernels: bool = True,
         rng=None,
         allowed_swaps: float = DEFAULT_ALLOWED_SWAPS,
         minimum_piece: int = DEFAULT_MINIMUM_PIECE,

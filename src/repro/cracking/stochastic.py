@@ -42,7 +42,7 @@ class StochasticCracking(CrackingIndexBase):
         column: Column,
         budget: IndexingBudget | None = None,
         constants: CostConstants | None = None,
-        adaptive_kernels: bool = False,
+        adaptive_kernels: bool = True,
         rng=None,
         minimum_piece: int = DEFAULT_MINIMUM_PIECE,
     ) -> None:

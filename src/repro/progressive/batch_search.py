@@ -6,17 +6,11 @@ of the consolidation phase and a :class:`~repro.btree.cascade.CascadeTree`
 is built over it.  :class:`ConsolidatedBatchSearch` gives them one shared
 ``search_many`` implementation over that structure instead of three copies.
 
-The sortedness of ``_final_array`` is *verified* (once, cached) rather than
-assumed: if the construction left the array unsorted — e.g. the known
-limitation of LSD radix over float columns, whose fractional parts the
-integer radix passes cannot distinguish — vectorized binary search would
-silently return garbage, so the mixin returns ``None`` and the batch
-executor falls back to per-query dispatch.  Note the guard only prevents
-the batch path from inventing *additional* wrong answers; an index whose
-sequential answers are themselves phase-dependent and wrong (the PLSD
-float defect recorded in ROADMAP's open items) cannot be made
-batch-equivalent by any executor, because batching legitimately reorders
-construction across the batch.
+The final array is sorted *by construction*: all radix clustering runs in
+the column's order-preserving key space (:mod:`repro.core.keys`), so float
+columns order their fractional parts correctly — the seed's sortedness
+verification and per-query fallback (which papered over the old
+truncated-integer radix keys) are gone.
 """
 
 from __future__ import annotations
@@ -35,25 +29,16 @@ class ConsolidatedBatchSearch:
     """
 
     _batch_prefix: np.ndarray | None = None
-    _final_array_sorted: bool | None = None
 
     def search_many(self, lows, highs):
         """Vectorized batch answering once a fully sorted array exists.
 
         Available from the consolidation phase onwards; returns ``None`` in
-        earlier phases — or if the final array fails the (cached)
-        sortedness verification — in which case per-query dispatch is
-        required.
+        earlier phases, in which case per-query dispatch is required.
         """
         if self._cascade is not None:
             return self._cascade.search_many(lows, highs)
         if self.phase is IndexPhase.CONSOLIDATION and self._final_array is not None:
-            if self._final_array_sorted is None:
-                self._final_array_sorted = bool(
-                    np.all(self._final_array[:-1] <= self._final_array[1:])
-                )
-            if not self._final_array_sorted:
-                return None
             sums, counts, self._batch_prefix = search_sorted_many(
                 self._final_array, lows, highs, self._batch_prefix
             )

@@ -61,22 +61,51 @@ class BlockList:
         return self.n_blocks * self.block_size * self.dtype.itemsize
 
     # ------------------------------------------------------------------
-    def append_array(self, values: np.ndarray) -> None:
-        """Append ``values`` (in order), allocating blocks as needed."""
+    def append_array(self, values: np.ndarray, owned: bool = False) -> None:
+        """Append ``values`` (in order), allocating blocks as needed.
+
+        Bulk appends are vectorised: after topping up the partial tail
+        block, all completely filled blocks are materialised with a single
+        copy-and-reshape (each block is a row of one contiguous allocation)
+        instead of a per-block Python loop, and only the new partial tail is
+        filled element-wise.
+
+        ``owned=True`` asserts the caller relinquishes ``values`` (it is a
+        freshly materialised array no one else mutates): full blocks then
+        become zero-copy row views of it.  Only the partial tail — the one
+        block that is written after creation — is ever copied.
+        """
         values = np.asarray(values, dtype=self.dtype)
+        if values.size == 0:
+            return
         offset = 0
-        remaining = values.size
-        while remaining > 0:
-            if not self._blocks or self._last_fill == self.block_size:
-                self._blocks.append(np.empty(self.block_size, dtype=self.dtype))
-                self._last_fill = 0
-            space = self.block_size - self._last_fill
-            take = min(space, remaining)
+        # Top up the current partial tail block first.
+        if self._blocks and self._last_fill < self.block_size:
+            take = min(self.block_size - self._last_fill, values.size)
             block = self._blocks[-1]
-            block[self._last_fill : self._last_fill + take] = values[offset : offset + take]
+            block[self._last_fill : self._last_fill + take] = values[:take]
             self._last_fill += take
-            offset += take
-            remaining -= take
+            offset = take
+        remaining = values.size - offset
+        # All completely filled blocks at once: rows of a 2-D array are full
+        # blocks (they are created full and never written afterwards).
+        n_full = remaining // self.block_size
+        if n_full > 0:
+            stop = offset + n_full * self.block_size
+            region = values[offset:stop]
+            if not owned:
+                region = np.array(region, dtype=self.dtype)
+            bulk = region.reshape(n_full, self.block_size)
+            self._blocks.extend(bulk)
+            self._last_fill = self.block_size
+            offset = stop
+            remaining -= n_full * self.block_size
+        # The leftover partial tail gets a fresh, writable block.
+        if remaining > 0:
+            block = np.empty(self.block_size, dtype=self.dtype)
+            block[:remaining] = values[offset:]
+            self._blocks.append(block)
+            self._last_fill = remaining
         self._size += values.size
 
     def append(self, value) -> None:
@@ -106,32 +135,54 @@ class BlockList:
             return np.empty(0, dtype=self.dtype)
         return np.concatenate(list(self.iter_filled()))
 
-    def slice_array(self, start: int, count: int) -> np.ndarray:
-        """Return ``count`` elements starting at logical offset ``start``.
+    def _iter_range(self, start: int, count: int):
+        """Yield the block pieces covering logical range ``[start, start+count)``.
 
-        Used by the progressive merge step, which drains a bucket a bounded
-        number of elements at a time.
+        Clamps the range to the stored data and walks the filled blocks,
+        yielding each overlapping piece in order.
         """
         if count <= 0:
-            return np.empty(0, dtype=self.dtype)
+            return
         start = max(0, start)
         stop = min(self._size, start + count)
-        if start >= stop:
-            return np.empty(0, dtype=self.dtype)
-        pieces = []
         block_start = 0
         for chunk in self.iter_filled():
             block_stop = block_start + chunk.size
             if block_stop > start and block_start < stop:
                 lo = max(0, start - block_start)
                 hi = min(chunk.size, stop - block_start)
-                pieces.append(chunk[lo:hi])
+                yield chunk[lo:hi]
             block_start = block_stop
             if block_start >= stop:
                 break
+
+    def slice_array(self, start: int, count: int) -> np.ndarray:
+        """Return ``count`` elements starting at logical offset ``start``.
+
+        Used by the progressive merge step, which drains a bucket a bounded
+        number of elements at a time.
+        """
+        pieces = list(self._iter_range(start, count))
         if not pieces:
             return np.empty(0, dtype=self.dtype)
         return np.concatenate(pieces)
+
+    def drain_into(self, target: np.ndarray, target_start: int, start: int, count: int) -> int:
+        """Copy ``count`` elements from logical offset ``start`` into
+        ``target[target_start:]``, block by block.
+
+        The merge-loop primitive of the construction-kernel layer: draining a
+        bucket into its final-array segment copies each block straight into
+        place instead of materialising an intermediate concatenation
+        (:meth:`slice_array`) that is immediately copied again.  Returns the
+        number of elements copied.
+        """
+        copied = 0
+        for piece in self._iter_range(start, count):
+            position = target_start + copied
+            target[position : position + piece.size] = piece
+            copied += piece.size
+        return copied
 
     def clear(self) -> None:
         """Release all blocks."""
@@ -168,8 +219,41 @@ class BucketSet:
     def scatter(self, values: np.ndarray, bucket_ids: np.ndarray) -> None:
         """Append each value to the bucket named by ``bucket_ids`` (stable).
 
-        The scatter iterates over the (small, fixed) number of buckets rather
-        than over elements, so the per-element work stays vectorised.
+        One grouped scatter per chunk: a single stable argsort of the bucket
+        ids clusters the chunk by bucket, ``np.bincount`` provides the group
+        offsets, and every non-empty bucket receives one contiguous slice.
+        The per-chunk work is ``O(n log b)`` regardless of the fan-out,
+        versus the ``O(n * b)`` of the masked reference scatter
+        (:meth:`scatter_masked`), and within-bucket input order is preserved.
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        bucket_ids = np.asarray(bucket_ids)
+        if values.size == 0:
+            return
+        # Stable argsort on integer keys is a radix sort whose pass count
+        # follows the key width: bucket ids normally fit one or two bytes,
+        # so narrowing them first makes the grouping ~8x faster than sorting
+        # int64 ids.  Fan-outs beyond uint16 keep their original width.
+        if bucket_ids.itemsize > 2 and self.n_buckets <= 65536:
+            narrow = np.uint8 if self.n_buckets <= 256 else np.uint16
+            bucket_ids = bucket_ids.astype(narrow)
+        order = np.argsort(bucket_ids, kind="stable")
+        counts = np.bincount(bucket_ids, minlength=self.n_buckets)
+        grouped = values[order]
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        for bucket_id in np.flatnonzero(counts):
+            # ``grouped`` is freshly materialised and owned by this call, so
+            # full blocks can be zero-copy views of it.
+            self.buckets[int(bucket_id)].append_array(
+                grouped[offsets[bucket_id] : offsets[bucket_id + 1]], owned=True
+            )
+
+    def scatter_masked(self, values: np.ndarray, bucket_ids: np.ndarray) -> None:
+        """Reference scatter: one boolean mask per distinct bucket id.
+
+        This is the pre-kernel-layer implementation, kept verbatim as the
+        equivalence oracle for :meth:`scatter` and as the baseline of the
+        construction-throughput benchmark.
         """
         values = np.asarray(values, dtype=self.dtype)
         bucket_ids = np.asarray(bucket_ids)

@@ -10,14 +10,19 @@ is exactly the extra term in the creation-phase cost model.
 
 Creation
     Every query moves ``delta * N`` elements of the base column into the
-    equi-height buckets; queries scan the buckets overlapping the predicate
-    plus the not-yet-bucketed column tail.
+    equi-height buckets via the shared grouped scatter of
+    :meth:`~repro.progressive.blocks.BucketSet.scatter` (bucket ids come
+    from a vectorised binary search over the boundaries — value-based
+    routing is order-exact for any dtype, so Bucketsort needs no key
+    codec); queries scan the buckets overlapping the predicate plus the
+    not-yet-bucketed column tail.
 
 Refinement
     The buckets are merged in value order into the final sorted array.  Each
     bucket is first drained into its (pre-computed) segment of the array and
     then sorted progressively with the shared
-    :class:`~repro.progressive.sorter.ProgressiveSorter` — the paper's
+    :class:`~repro.progressive.sorter.ProgressiveSorter` (whose whole-node
+    partitions route through the cracking-kernel decision tree) — the paper's
     "sort the individual buckets into the final sorted list using Progressive
     Quicksort", which avoids a latency spike when a large bucket is merged.
 
@@ -48,6 +53,55 @@ from repro.storage.column import Column
 
 #: Default number of equi-height buckets (matches the radix variants).
 DEFAULT_BUCKET_COUNT = 64
+
+#: Grid cells per bucket used by the routing accelerator.
+GRID_CELLS_PER_BUCKET = 16
+
+
+class BoundsRouter:
+    """Grid-accelerated bucket routing over value-based bucket boundaries.
+
+    Locating an element's equi-height bucket is a binary search over the
+    boundaries — the ``log2(b)`` term of the creation cost model — and on
+    random data every probe is a mispredicted branch, which makes the plain
+    vectorised ``np.searchsorted`` the dominant cost of the creation-phase
+    scatter.  The router overlays a uniform grid on the value domain and
+    precomputes, per cell, the bucket of the cell's lower edge.  Routing a
+    chunk is then one multiply + gather per element; the proposed bucket is
+    *verified* exactly against the neighbouring boundaries (so float
+    rounding in the grid arithmetic can never mis-route), and only the
+    elements that fail verification — those in cells straddling a boundary,
+    about ``n_bounds / n_cells`` of the data — fall back to the binary
+    search.  Degenerate domains (zero or non-finite span) disable the grid
+    and route everything through ``np.searchsorted`` unchanged.
+    """
+
+    def __init__(self, bounds: np.ndarray, value_min, value_max) -> None:
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        self._low = float(value_min)
+        span = float(value_max) - self._low
+        n_cells = max(1, GRID_CELLS_PER_BUCKET * (self.bounds.size + 1))
+        self._scale = n_cells / span if np.isfinite(span) and span > 0 else 0.0
+        if self._scale > 0 and np.isfinite(self._scale):
+            edges = self._low + np.arange(n_cells) / self._scale
+            self._cell_bucket = np.searchsorted(self.bounds, edges, side="right")
+            self._padded = np.concatenate([[-np.inf], self.bounds, [np.inf]])
+            self._n_cells = n_cells
+        else:
+            self._cell_bucket = None
+
+    def route(self, values: np.ndarray) -> np.ndarray:
+        """Bucket id of every value (identical to the plain binary search)."""
+        if self._cell_bucket is None:
+            return np.searchsorted(self.bounds, values, side="right")
+        cells = ((values - self._low) * self._scale).astype(np.int64)
+        np.clip(cells, 0, self._n_cells - 1, out=cells)
+        ids = self._cell_bucket[cells]
+        verified = (self._padded[ids] <= values) & (values < self._padded[ids + 1])
+        misses = np.flatnonzero(~verified)
+        if misses.size:
+            ids[misses] = np.searchsorted(self.bounds, values[misses], side="right")
+        return ids
 
 #: Number of elements sampled to estimate the equi-height bucket boundaries.
 #: The paper obtains the bounds "in the scan to answer the first query or
@@ -127,6 +181,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         self._phase = IndexPhase.INACTIVE
         # Creation state --------------------------------------------------
         self._bounds: np.ndarray | None = None
+        self._router: BoundsRouter | None = None
         self._buckets: BucketSet | None = None
         self._elements_bucketed = 0
         # Refinement state ------------------------------------------------
@@ -183,6 +238,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
             sample = data
         quantiles = np.linspace(0.0, 1.0, self.n_buckets + 1)[1:-1]
         self._bounds = np.quantile(sample, quantiles)
+        self._router = BoundsRouter(self._bounds, self._column.min(), self._column.max())
         self._buckets = BucketSet(
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )
@@ -191,7 +247,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         self._phase = IndexPhase.CREATION
 
     def _bucket_id(self, values: np.ndarray) -> np.ndarray:
-        return np.searchsorted(self._bounds, values, side="right")
+        return self._router.route(values)
 
     def _relevant_bucket_range(self, predicate: Predicate) -> range:
         low_id = int(np.searchsorted(self._bounds, predicate.low, side="right"))
@@ -273,12 +329,12 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
             if merge.state is _BucketState.COPYING:
                 take = min(budget, merge.size - merge.copied)
                 if take > 0:
-                    chunk = self._buckets[merge.bucket_id].slice_array(merge.copied, take)
-                    start = merge.offset + merge.copied
-                    self._final_array[start : start + chunk.size] = chunk
-                    merge.copied += chunk.size
-                    processed += chunk.size
-                    budget -= chunk.size
+                    copied = self._buckets[merge.bucket_id].drain_into(
+                        self._final_array, merge.offset + merge.copied, merge.copied, take
+                    )
+                    merge.copied += copied
+                    processed += copied
+                    budget -= copied
                 if merge.copied >= merge.size:
                     self._buckets[merge.bucket_id].clear()
                     value_low, value_high = self._bucket_value_bounds(merge.bucket_id)

@@ -2,19 +2,23 @@
 
 Creation
     Every query moves ``delta * N`` elements of the base column into ``b``
-    buckets keyed by the *least* significant ``log2(b)`` bits of
-    ``value - min``.  These buckets are not a value-range partitioning, so
-    they only accelerate point queries; range queries fall back to scanning
-    the original column (the paper: "when α == ρ we scan the original column
-    instead of using the buckets").
+    buckets keyed by the *least* significant ``log2(b)`` bits of the
+    element's order-preserving radix key (see
+    :class:`~repro.core.keys.RadixKeySpace`: the biased integer key for
+    ``int64`` columns — equivalent to the paper's ``value - min`` — and the
+    IEEE-754 monotone bit pattern for ``float64`` columns, so fractional
+    parts order correctly).  These buckets are not a value-range
+    partitioning, so they only accelerate point queries; range queries fall
+    back to scanning the original column (the paper: "when α == ρ we scan
+    the original column instead of using the buckets").
 
 Refinement
     The elements are repeatedly moved to a fresh set of buckets keyed by the
     next ``log2(b)`` bits — a classic out-of-place LSD radix sort performed a
     bounded number of elements per query.  The number of passes is
-    ``ceil(log2(max - min) / log2(b))`` (paper's formula).  After the final
-    pass the buckets are drained, in order, into the fully sorted index
-    array.
+    ``ceil(log2(max - min) / log2(b))`` in key space (the paper's formula).
+    After the final pass the buckets are drained, in order, into the fully
+    sorted index array.
 
 Consolidation
     A B+-tree cascade is built over the sorted array, as with the other
@@ -31,6 +35,7 @@ from repro.btree.cascade import DEFAULT_FANOUT
 from repro.core.budget import IndexingBudget
 from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
 from repro.core.index import BaseIndex
+from repro.core.keys import RadixKeySpace
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
 from repro.progressive.batch_search import ConsolidatedBatchSearch
@@ -55,7 +60,8 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     Parameters
     ----------
     column:
-        Column to index (integer data).
+        Column to index (``int64`` or ``float64``; radix digits come from the
+        column's order-preserving :class:`~repro.core.keys.RadixKeySpace`).
     budget:
         Indexing-budget controller.
     constants:
@@ -90,10 +96,9 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         self._cost_model.block_size = self.block_size
         self._phase = IndexPhase.INACTIVE
         # Radix bookkeeping ------------------------------------------------
-        self._value_min = 0
+        self._keyspace: RadixKeySpace | None = None
         self._total_passes = 1
         self._current_pass = 0
-        self._mask = self.n_buckets - 1
         # Creation state ----------------------------------------------------
         self._current_set: BucketSet | None = None
         self._elements_bucketed = 0
@@ -153,24 +158,20 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     # Radix helpers
     # ------------------------------------------------------------------
     def _pass_bucket_ids(self, values: np.ndarray, pass_number: int) -> np.ndarray:
-        shifted = (values.astype(np.int64) - self._value_min) >> (
-            pass_number * self.bits_per_pass
-        )
-        return shifted & self._mask
+        return self._keyspace.digit(values, pass_number)
 
     def _point_bucket_id(self, value, pass_number: int) -> int:
-        shifted = (int(value) - self._value_min) >> (pass_number * self.bits_per_pass)
-        return int(shifted & self._mask)
+        return self._keyspace.digit_scalar(value, pass_number)
 
     # ------------------------------------------------------------------
     # Creation phase (pass 0)
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
         n = len(self._column)
-        self._value_min = int(self._column.min())
-        domain = int(self._column.max()) - self._value_min
-        total_bits = max(1, int(domain).bit_length())
-        self._total_passes = max(1, int(np.ceil(total_bits / self.bits_per_pass)))
+        self._keyspace = RadixKeySpace(
+            self._column.min(), self._column.max(), self._column.dtype, self.bits_per_pass
+        )
+        self._total_passes = self._keyspace.n_digits
         self._current_set = BucketSet(
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )
@@ -293,12 +294,13 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
                 self._merge_offset_cursor = 0
                 continue
             take = min(budget, remaining)
-            chunk = bucket.slice_array(self._merge_offset_cursor, take)
-            self._final_array[self._merge_position : self._merge_position + chunk.size] = chunk
-            self._merge_offset_cursor += chunk.size
-            self._merge_position += chunk.size
-            moved += chunk.size
-            budget -= chunk.size
+            copied = bucket.drain_into(
+                self._final_array, self._merge_position, self._merge_offset_cursor, take
+            )
+            self._merge_offset_cursor += copied
+            self._merge_position += copied
+            moved += copied
+            budget -= copied
         if self._merge_position >= n:
             self._current_set.clear()
             self._current_set = None

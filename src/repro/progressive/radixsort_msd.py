@@ -4,10 +4,13 @@ Creation
     ``b`` empty buckets (linked lists of fixed-size blocks) are allocated on
     the first query.  Every query moves another ``delta * N`` elements of the
     base column into the buckets, choosing the bucket by the most significant
-    ``log2(b)`` bits of ``value - min`` (a single shift).  Because the most
-    significant bits are used, the buckets form a value-range partitioning,
-    so range queries only scan the buckets overlapping the predicate plus the
-    not-yet-bucketed tail of the column.
+    ``log2(b)`` bits of the element's order-preserving radix key (a single
+    shift; see :class:`~repro.core.keys.RadixKeySpace` — equivalent to the
+    paper's ``value - min`` for integer columns, exact IEEE-754 bit-pattern
+    ordering for floats).  Because the most significant bits are used, the
+    buckets form a value-range partitioning, so range queries only scan the
+    buckets overlapping the predicate plus the not-yet-bucketed tail of the
+    column.
 
 Refinement
     Each bucket is recursively re-partitioned by the next ``log2(b)`` bits.
@@ -34,6 +37,7 @@ from repro.btree.cascade import DEFAULT_FANOUT
 from repro.core.budget import IndexingBudget
 from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
 from repro.core.index import BaseIndex
+from repro.core.keys import RadixKeySpace
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
 from repro.progressive.batch_search import ConsolidatedBatchSearch
@@ -62,7 +66,9 @@ class _RadixNode:
 
     A node owns a contiguous segment ``[offset, offset + size)`` of the final
     sorted array and the block list holding its (unsorted) values.  It covers
-    the value range ``[value_low, value_low + 2^(shift + bits_per_level))``.
+    the *relative radix-key* range ``[value_low, value_low + 2^(shift +
+    bits_per_level))`` — biased keys, so the routing is exact for both
+    integer and float columns.
     """
 
     __slots__ = (
@@ -97,8 +103,8 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
     Parameters
     ----------
     column:
-        Column to index (integer data; float columns fall back to bucket 0
-        splitting by quantiles is provided by Progressive Bucketsort).
+        Column to index (``int64`` or ``float64``; bucket routing happens in
+        the column's order-preserving :class:`~repro.core.keys.RadixKeySpace`).
     budget:
         Indexing-budget controller.
     constants:
@@ -139,7 +145,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         self._phase = IndexPhase.INACTIVE
         # Creation state --------------------------------------------------
         self._buckets: BucketSet | None = None
-        self._value_min = 0
+        self._keyspace: RadixKeySpace | None = None
         self._shift = 0
         self._elements_bucketed = 0
         # Refinement state ------------------------------------------------
@@ -183,10 +189,10 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
         n = len(self._column)
-        self._value_min = int(self._column.min())
-        domain = int(self._column.max()) - self._value_min
-        total_bits = max(1, int(domain).bit_length())
-        self._shift = max(0, total_bits - self.bits_per_level)
+        self._keyspace = RadixKeySpace(
+            self._column.min(), self._column.max(), self._column.dtype, self.bits_per_level
+        )
+        self._shift = self._keyspace.top_shift
         self._buckets = BucketSet(
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )
@@ -195,15 +201,19 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         self._phase = IndexPhase.CREATION
 
     def _bucket_id(self, values: np.ndarray) -> np.ndarray:
-        shifted = (values.astype(np.int64) - self._value_min) >> self._shift
-        return np.clip(shifted, 0, self.n_buckets - 1)
+        shifted = self._keyspace.shifted(values, self._shift)
+        return np.minimum(shifted, self.n_buckets - 1)
+
+    def _bucket_id_scalar(self, value) -> int:
+        return min(self._keyspace.relative_key(value) >> self._shift, self.n_buckets - 1)
 
     def _relevant_bucket_range(self, predicate: Predicate) -> range:
-        low_id = int(self._bucket_id(np.asarray([max(predicate.low, self._value_min)]))[0])
-        high_id = int(self._bucket_id(np.asarray([predicate.high]))[0])
-        if predicate.high < self._value_min:
+        if predicate.high < self._column.min():
             return range(0)
-        return range(low_id, high_id + 1)
+        return range(
+            self._bucket_id_scalar(predicate.low),
+            self._bucket_id_scalar(predicate.high) + 1,
+        )
 
     def _execute_creation(self, predicate: Predicate) -> QueryResult:
         n = len(self._column)
@@ -258,7 +268,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
                 source=self._buckets[bucket_id],
                 offset=int(offsets[bucket_id]),
                 size=size,
-                value_low=self._value_min + bucket_id * bucket_span,
+                value_low=bucket_id * bucket_span,
                 shift=max(0, self._shift - self.bits_per_level),
             )
             self._roots.append(node)
@@ -291,12 +301,12 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             if node.state is _NodeState.COPYING:
                 take = min(budget, node.size - node.copied)
                 if take > 0:
-                    chunk = node.source.slice_array(node.copied, take)
-                    start = node.offset + node.copied
-                    self._final_array[start : start + chunk.size] = chunk
-                    node.copied += chunk.size
-                    processed += chunk.size
-                    budget -= chunk.size
+                    copied = node.source.drain_into(
+                        self._final_array, node.offset + node.copied, node.copied, take
+                    )
+                    node.copied += copied
+                    processed += copied
+                    budget -= copied
                 if node.copied >= node.size:
                     segment = self._final_array[node.offset : node.offset + node.size]
                     segment.sort()
@@ -308,9 +318,9 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
                 take = min(budget, node.size - node.moved)
                 if take > 0:
                     chunk = node.source.slice_array(node.moved, take)
-                    child_ids = np.clip(
-                        (chunk.astype(np.int64) - node.value_low) >> node.shift,
-                        0,
+                    relative = self._keyspace.relative_keys(chunk) - np.uint64(node.value_low)
+                    child_ids = np.minimum(
+                        (relative >> np.uint64(node.shift)).astype(np.int64),
                         self.n_buckets - 1,
                     )
                     node.child_set.scatter(chunk, child_ids)
@@ -351,7 +361,16 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         node.child_set = None
         self._unfinished_nodes += new_children - 1
 
-    def _query_node(self, node: _RadixNode, predicate: Predicate) -> QueryResult:
+    def _query_node(
+        self, node: _RadixNode, predicate: Predicate, key_low: int, key_high: int
+    ) -> QueryResult:
+        """Answer ``predicate`` below ``node``.
+
+        ``key_low``/``key_high`` are the predicate bounds as relative radix
+        keys; child pruning happens in key space, which is exact for floats
+        (the seed compared float predicates against truncated integer child
+        bounds and could skip a matching child).
+        """
         if node.size == 0:
             return QueryResult.empty()
         if node.state is _NodeState.DONE:
@@ -367,15 +386,16 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             child_span = 1 << node.shift
             for child_id, child in enumerate(node.children):
                 child_low = node.value_low + child_id * child_span
-                child_high = child_low + child_span - 1
-                if predicate.high >= child_low and predicate.low <= child_high:
-                    result += self._query_node(child, predicate)
+                if key_high >= child_low and key_low < child_low + child_span:
+                    result += self._query_node(child, predicate, key_low, key_high)
             return result
         # WAITING / COPYING / PARTITIONING: the source block list still holds
         # the complete data of this node.
         return node.source.scan(predicate.low, predicate.high)
 
-    def _relevant_node_size(self, node: _RadixNode, predicate: Predicate) -> int:
+    def _relevant_node_size(
+        self, node: _RadixNode, key_low: int, key_high: int
+    ) -> int:
         """Number of elements a query would scan below ``node`` (for α)."""
         if node.size == 0:
             return 0
@@ -386,9 +406,8 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             child_span = 1 << node.shift
             for child_id, child in enumerate(node.children):
                 child_low = node.value_low + child_id * child_span
-                child_high = child_low + child_span - 1
-                if predicate.high >= child_low and predicate.low <= child_high:
-                    total += self._relevant_node_size(child, predicate)
+                if key_high >= child_low and key_low < child_low + child_span:
+                    total += self._relevant_node_size(child, key_low, key_high)
             return total
         return node.size
 
@@ -397,7 +416,12 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         bucket_scan_time = self._cost_model.bucket_scan_time(n)
         bucket_write_time = self._cost_model.bucket_write_time(n)
         bucket_range = self._relevant_bucket_range(predicate)
-        relevant = sum(self._relevant_node_size(self._roots[i], predicate) for i in bucket_range)
+        key_low = self._keyspace.relative_key(predicate.low)
+        key_high = self._keyspace.relative_key(predicate.high)
+        relevant = sum(
+            self._relevant_node_size(self._roots[i], key_low, key_high)
+            for i in bucket_range
+        )
         alpha = relevant / n if n else 0.0
         base_cost = alpha * bucket_scan_time
         delta = self._budget.next_delta(bucket_write_time, base_cost)
@@ -407,7 +431,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
 
         result = QueryResult.empty()
         for bucket_id in bucket_range:
-            result += self._query_node(self._roots[bucket_id], predicate)
+            result += self._query_node(self._roots[bucket_id], predicate, key_low, key_high)
 
         self.last_stats.delta = delta
         self.last_stats.elements_indexed = refined

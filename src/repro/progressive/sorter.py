@@ -17,11 +17,16 @@ The reorganisation follows the paper's recursive quicksort refinement:
   (:class:`~repro.progressive.pivot_tree.PivotTree` handles propagation).
 
 Substitution note (documented in DESIGN.md): the paper performs the partition
-with predicated in-place swaps.  Here each node partition streams through the
-node into a two-ended scratch buffer — exactly the creation-phase mechanics —
-and writes back when the node completes.  Per-query work remains bounded by
-the element budget and queries on a mid-partition node scan the still intact
-original range, so answers stay exact.
+with predicated in-place swaps.  When the element budget covers a whole node,
+the partition is delegated to the construction-kernel layer — the
+:func:`~repro.cracking.kernels.choose_kernel` decision tree picks the
+branched / predicated / in-place two-sided kernel from the node size and the
+pivot's estimated selectivity, exactly as the cracking side does.  A node
+*larger* than the budget streams through a two-ended scratch buffer — the
+creation-phase mechanics — and writes back when the node completes.
+Per-query work remains bounded by the element budget and queries on a
+mid-partition node scan the still intact original range, so answers stay
+exact.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from typing import Deque, Optional
 import numpy as np
 
 from repro.core.query import Predicate, QueryResult, search_sorted_many
+from repro.cracking.kernels import choose_kernel
 from repro.progressive.pivot_tree import NodeState, PivotNode, PivotTree
 
 #: Default number of elements below which a range is sorted outright.  This is
@@ -311,6 +317,18 @@ class ProgressiveSorter:
 
     def _partition_step(self, node: PivotNode, budget: int) -> int:
         """Advance the two-ended partition of ``node`` by up to ``budget`` elements."""
+        if node.state is NodeState.PENDING and budget >= node.size:
+            # The whole node fits the budget: partition it in one pass with
+            # the kernel the decision tree picks for this size/selectivity.
+            span = node.value_span
+            selectivity = 0.5
+            if span > 0:
+                selectivity = min(1.0, max(0.0, (node.pivot - node.value_low) / span))
+            kernel = choose_kernel(node.size, selectivity)
+            segment = self.array[node.start : node.end]
+            boundary = node.start + kernel(segment, node.pivot)
+            self._create_children(node, boundary)
+            return node.size
         if node.state is NodeState.PENDING:
             node.scratch = np.empty(node.size, dtype=self.array.dtype)
             node.low_fill = 0

@@ -160,34 +160,15 @@ class TestBatchMatchesSequential:
         assert batch.sums().shape == (len(predicates),)
         assert batch.throughput() > 0
 
-    @pytest.mark.parametrize(
-        "name",
-        [
-            pytest.param(
-                algorithm,
-                marks=pytest.mark.xfail(
-                    algorithm == "PLSD",
-                    reason=(
-                        "pre-existing seed defect: LSD integer radix cannot "
-                        "order float fractional parts, so its answers are "
-                        "wrong AND phase-dependent — batching reorders the "
-                        "phases, so equivalence cannot hold until the float "
-                        "key handling is fixed (see ROADMAP open items)"
-                    ),
-                    strict=True,
-                ),
-            )
-            for algorithm in sorted(ALGORITHMS)
-        ],
-    )
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
     def test_float_columns_match_sequential(self, name, rng):
         """Batch == sequential also on float data with negative values.
 
-        Where construction genuinely sorts (everything except LSD), the
-        vectorized paths apply; the cascade/final-array sortedness guard
-        protects the rest by falling back to per-query dispatch instead of
-        binary-searching an unsorted array.  Counts must match exactly and
-        sums within float associativity tolerance.
+        Every algorithm — including PLSD, whose radix passes now run on
+        order-preserving IEEE-754 bit-pattern keys instead of truncated
+        integers — constructs a truly sorted array, so the vectorized paths
+        apply everywhere.  Counts must match exactly and sums within float
+        associativity tolerance.
         """
         data = rng.normal(0.0, 1.0, size=4_000)
         predicates = [Predicate(float(lo), float(lo) + 0.5) for lo in rng.uniform(-3, 2.5, size=60)]
@@ -258,14 +239,26 @@ class TestSearchManyEntryPoints:
         value_sum, count = column.scan_range(100, 500)
         assert results[0].count == count and results[0].value_sum == value_sum
 
-    def test_cascade_search_many_refuses_unsorted_leaves(self):
+    def test_cascade_search_many_answers_batches(self):
         from repro.btree.cascade import CascadeTree
 
-        unsorted = CascadeTree(np.array([5, 1, 9, 3], dtype=np.int64))
-        assert unsorted.search_many(np.array([0]), np.array([10])) is None
         sorted_tree = CascadeTree(np.array([1, 3, 5, 9], dtype=np.int64))
         sums, counts = sorted_tree.search_many(np.array([2]), np.array([6]))
         assert int(counts[0]) == 2 and int(sums[0]) == 8
+
+    def test_plsd_float_converges_truly_sorted(self, rng):
+        """The ROADMAP's old PLSD float defect: integer-truncated radix keys
+        left converged float arrays unsorted.  The order-preserving key
+        codecs close it — the converged cascade leaves must be exactly the
+        sorted column."""
+        data = rng.normal(0.0, 1.0, size=3_000)
+        index = create_index("PLSD", Column(data, name="value"), budget=FixedBudget(0.5))
+        iterations = 0
+        while not index.converged and iterations < 300:
+            index.query(Predicate(-0.25, 0.25))
+            iterations += 1
+        assert index.converged
+        assert np.array_equal(index._cascade.leaf_values, np.sort(data))
 
 
 class TestSessionBatchAPI:

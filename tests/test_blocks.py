@@ -57,6 +57,36 @@ class TestBlockList:
         assert blocks.slice_array(0, 0).size == 0
         assert blocks.slice_array(20, 5).size == 0
 
+    def test_bulk_append_fills_tail_then_full_blocks(self):
+        """The vectorised bulk path: a partial tail is topped up first, full
+        blocks are materialised in one copy, and the leftover opens a fresh
+        writable tail that later appends keep filling."""
+        blocks = BlockList(block_size=4)
+        blocks.append_array(np.array([1, 2]))          # partial tail (2/4)
+        blocks.append_array(np.arange(10, 21))         # tops up + 2 full + tail
+        assert len(blocks) == 13
+        assert blocks.n_blocks == 4
+        assert blocks.to_array().tolist() == [1, 2] + list(range(10, 21))
+        blocks.append_array(np.array([99, 98, 97]))    # continues the tail
+        assert blocks.to_array().tolist() == [1, 2] + list(range(10, 21)) + [99, 98, 97]
+
+    def test_bulk_append_does_not_alias_caller_array(self):
+        """Blocks must own (or exclusively reference) their data: mutating
+        the source array after the append must not change stored values."""
+        blocks = BlockList(block_size=4)
+        source = np.arange(12)
+        blocks.append_array(source)
+        source[:] = -1
+        assert blocks.to_array().tolist() == list(range(12))
+
+    def test_exact_multiple_of_block_size_then_more(self):
+        blocks = BlockList(block_size=5)
+        blocks.append_array(np.arange(10))             # exactly 2 full blocks
+        assert blocks.n_blocks == 2
+        blocks.append_array(np.array([77]))            # must open a new block
+        assert blocks.n_blocks == 3
+        assert blocks.to_array().tolist() == list(range(10)) + [77]
+
     def test_clear(self):
         blocks = BlockList(block_size=4)
         blocks.append_array(np.arange(10))

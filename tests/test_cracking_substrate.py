@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cracking.cracker_column import CrackerColumn, upper_exclusive
-from repro.cracking.cracker_index import CrackerIndex
+from repro.cracking.cracker_index import AVLCrackerIndex, CrackerIndex
 from repro.cracking.kernels import (
     choose_kernel,
     partition_branched,
@@ -55,6 +55,76 @@ class TestCrackerIndex:
         index = CrackerIndex(100, 0, 1_000)
         index.add(500, 40)
         assert index.piece_sizes() == [40, 60]
+
+    def test_add_existing_key_replaces_position(self):
+        index = CrackerIndex(100, 0, 1_000)
+        index.add(300, 30)
+        index.add(300, 35)
+        assert len(index) == 1
+        assert index.position_of(300) == 35
+
+
+class TestCrackerIndexMatchesAVLReference:
+    """Differential: the flat-array index vs. the seed's AVL-backed one.
+
+    The AVL implementation is kept precisely to serve as this oracle; every
+    query of every operation sequence must agree between the two.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=400),
+                st.integers(min_value=0, max_value=1_000),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        probes=st.lists(
+            st.floats(min_value=-10, max_value=410, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_property_same_answers_for_any_sequence(self, entries, probes):
+        flat = CrackerIndex(1_000, -50.0, 450.0)
+        reference = AVLCrackerIndex(1_000, -50.0, 450.0)
+        for key, position in entries:
+            flat.add(key, position)
+            reference.add(key, position)
+        assert len(flat) == len(reference)
+        assert flat.n_pieces == reference.n_pieces
+        assert list(flat.boundaries()) == list(reference.boundaries())
+        assert flat.piece_sizes() == reference.piece_sizes()
+        assert flat.largest_piece() == reference.largest_piece()
+        for probe in probes:
+            assert flat.position_of(probe) == reference.position_of(probe)
+            assert flat.piece_for(probe) == reference.piece_for(probe)
+
+    def test_float_keys_including_nextafter_bounds(self, rng):
+        flat = CrackerIndex(10_000, 0.0, 1.0)
+        reference = AVLCrackerIndex(10_000, 0.0, 1.0)
+        keys = rng.uniform(0, 1, size=200)
+        for key in keys.tolist():
+            bumped = upper_exclusive(key, np.dtype(np.float64))
+            position = int(key * 10_000)
+            flat.add(key, position)
+            flat.add(bumped, position)
+            reference.add(key, position)
+            reference.add(bumped, position)
+        assert list(flat.boundaries()) == list(reference.boundaries())
+        for key in keys.tolist():
+            assert flat.position_of(key) == reference.position_of(key)
+
+    def test_capacity_growth_beyond_initial_allocation(self):
+        flat = CrackerIndex(100_000, 0, 100_000)
+        reference = AVLCrackerIndex(100_000, 0, 100_000)
+        for key in range(1_000):
+            flat.add(key * 100, key * 100)
+            reference.add(key * 100, key * 100)
+        assert len(flat) == 1_000
+        assert list(flat.boundaries()) == list(reference.boundaries())
 
 
 class TestUpperExclusive:

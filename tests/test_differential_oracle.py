@@ -7,6 +7,12 @@ over seeded randomized workloads drawn from the synthetic distributions
 identical; for the progressive indexes the workloads are long enough (and the
 budget generous enough) to drive the index through full convergence, so the
 equivalence is also asserted for the converged cascade path.
+
+Float64 columns get the same treatment (including negative values and
+fractional predicate bounds): counts must be exactly equal and sums equal up
+to float-addition associativity.  This exercises the order-preserving key
+codecs end to end — before them, LSD radix construction silently misordered
+float fractional parts.
 """
 
 from __future__ import annotations
@@ -105,3 +111,83 @@ def test_batch_execution_matches_full_scan_oracle(name):
     for query_number, (want, got) in enumerate(zip(expected, batch.results)):
         assert got.count == want.count, f"{name}: batch query {query_number}"
         assert got.value_sum == want.value_sum, f"{name}: batch query {query_number}"
+
+
+# ----------------------------------------------------------------------
+# Float64 columns
+# ----------------------------------------------------------------------
+
+FLOAT_DISTRIBUTIONS = {
+    "normal": lambda rng: rng.normal(0.0, 1.0, size=N_ELEMENTS),
+    "uniform_negative": lambda rng: rng.uniform(-1_000.0, 1_000.0, size=N_ELEMENTS),
+    "mixed_magnitudes": lambda rng: np.concatenate(
+        [
+            rng.normal(0.0, 1e-3, size=N_ELEMENTS // 2),
+            rng.normal(0.0, 1e6, size=N_ELEMENTS - N_ELEMENTS // 2),
+        ]
+    ),
+}
+
+
+def seeded_float_workload(data: np.ndarray, rng: np.random.Generator, n_queries: int = N_QUERIES):
+    """Randomized float workload: exact/absent points and fractional ranges."""
+    low, high = float(data.min()), float(data.max())
+    span = high - low
+    predicates = []
+    for query_number in range(n_queries):
+        kind = query_number % 4
+        if kind == 0:  # point query on an existing value
+            value = float(data[rng.integers(0, data.size)])
+            predicates.append(Predicate(value, value))
+        elif kind == 1:  # narrow fractional range
+            start = float(rng.uniform(low, high))
+            predicates.append(Predicate(start, start + span * 1e-3))
+        elif kind == 2:  # wide range
+            start = float(rng.uniform(low, high - 0.2 * span))
+            predicates.append(Predicate(start, start + 0.2 * span))
+        else:  # range possibly outside the domain
+            start = float(rng.uniform(low - 0.1 * span, high + 0.1 * span))
+            predicates.append(Predicate(start, start + float(rng.uniform(0, 0.05 * span))))
+    return predicates
+
+
+@pytest.mark.parametrize("distribution", sorted(FLOAT_DISTRIBUTIONS))
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_algorithm_matches_full_scan_oracle_on_float64(name, distribution):
+    rng = np.random.default_rng(20_260_731)
+    data = FLOAT_DISTRIBUTIONS[distribution](rng)
+    oracle = FullScan(Column(data, name="value"))
+    index = create_index(name, Column(data, name="value"), budget=FixedBudget(0.5))
+    converged_queries = 0
+    for query_number, predicate in enumerate(seeded_float_workload(data, rng)):
+        expected = oracle.query(predicate)
+        answer = index.query(predicate)
+        assert answer.count == expected.count, (
+            f"{name}/{distribution}: count mismatch at query {query_number} "
+            f"({predicate}) in phase {index.phase}"
+        )
+        assert answer.approximately_equals(expected), (
+            f"{name}/{distribution}: sum mismatch at query {query_number} "
+            f"({predicate}) in phase {index.phase}"
+        )
+        if index.converged:
+            converged_queries += 1
+    if name in PROGRESSIVE_ALGORITHMS:
+        # The equivalence must also have been exercised after convergence —
+        # float columns included (the codecs make PLSD converge sorted).
+        assert index.converged, f"{name} failed to converge on float64 data"
+        assert converged_queries > 0
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_batch_execution_matches_oracle_on_float64(name):
+    rng = np.random.default_rng(11)
+    data = rng.normal(0.0, 100.0, size=N_ELEMENTS)
+    oracle = FullScan(Column(data, name="value"))
+    predicates = seeded_float_workload(data, rng, n_queries=40)
+    expected = [oracle.query(predicate) for predicate in predicates]
+    index = create_index(name, Column(data, name="value"), budget=FixedBudget(0.5))
+    batch = BatchExecutor().execute(index, predicates)
+    for query_number, (want, got) in enumerate(zip(expected, batch.results)):
+        assert got.count == want.count, f"{name}: float batch query {query_number}"
+        assert got.approximately_equals(want), f"{name}: float batch query {query_number}"

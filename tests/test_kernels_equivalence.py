@@ -1,11 +1,13 @@
-"""Equivalence tests for the cracking partition kernels.
+"""Equivalence tests for the construction-kernel layer.
 
-The three kernels (branched reference loop, predicated mask, two-sided
-writes) must agree on the partition boundary and produce valid partitions of
-the same multiset on adversarial inputs: all-equal values, already
-partitioned data, reverse-sorted data, empty and single-element pieces, and
-both integer and floating point dtypes.  ``choose_kernel`` must honor the
-``BRANCHED_PIECE_LIMIT`` decision boundary.
+The three partition kernels (branched single-pass loop, predicated mask,
+in-place two-sided swaps) must agree on the partition boundary and produce
+valid partitions of the same multiset on adversarial inputs: all-equal
+values, already partitioned data, reverse-sorted data, empty and
+single-element pieces, and both integer and floating point dtypes.
+``choose_kernel`` must honor the decision boundaries, and the grouped
+argsort+bincount scatter must be bucket-for-bucket identical (including
+within-bucket order) to the masked reference scatter.
 """
 
 from __future__ import annotations
@@ -17,11 +19,13 @@ import pytest
 
 from repro.cracking.kernels import (
     BRANCHED_PIECE_LIMIT,
+    TWO_SIDED_PIECE_LIMIT,
     choose_kernel,
     partition_branched,
     partition_predicated,
     partition_two_sided,
 )
+from repro.progressive.blocks import BucketSet
 
 KERNELS = {
     "branched": partition_branched,
@@ -93,9 +97,17 @@ class TestChooseKernel:
         assert choose_kernel(BRANCHED_PIECE_LIMIT, 0.5) is partition_branched
 
     def test_huge_pieces_use_two_sided(self):
-        threshold = BRANCHED_PIECE_LIMIT * 1024
+        threshold = TWO_SIDED_PIECE_LIMIT
+        assert threshold == BRANCHED_PIECE_LIMIT * 1024
         assert choose_kernel(threshold, 0.5) is partition_predicated
         assert choose_kernel(threshold + 1, 0.5) is partition_two_sided
+
+    def test_large_piece_extreme_selectivity_is_two_sided(self):
+        # Few misplaced elements: the in-place swap kernel barely touches the
+        # piece while the predicated kernel would copy all of it.
+        assert choose_kernel(10_000, 0.01) is partition_two_sided
+        assert choose_kernel(10_000, 0.99) is partition_two_sided
+        assert choose_kernel(10_000, 0.5) is partition_predicated
 
     def test_chosen_kernels_all_agree(self):
         rng = np.random.default_rng(2)
@@ -108,3 +120,57 @@ class TestChooseKernel:
             assert boundary == int(np.sum(values < pivot))
             assert np.all(working[:boundary] < pivot)
             assert np.all(working[boundary:] >= pivot)
+
+
+class TestGroupedScatterEquivalence:
+    """``BucketSet.scatter`` vs. the masked reference ``scatter_masked``."""
+
+    def assert_bucket_sets_identical(self, left: BucketSet, right: BucketSet):
+        assert left.n_buckets == right.n_buckets
+        for bucket_id in range(left.n_buckets):
+            assert np.array_equal(
+                left[bucket_id].to_array(), right[bucket_id].to_array()
+            ), f"bucket {bucket_id} differs"
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.float64])
+    def test_matches_masked_reference(self, dtype, rng):
+        values = rng.integers(0, 10_000, size=5_000).astype(dtype)
+        bucket_ids = rng.integers(0, 16, size=5_000)
+        grouped = BucketSet(16, block_size=128, dtype=dtype)
+        reference = BucketSet(16, block_size=128, dtype=dtype)
+        # Split into uneven chunks: tail blocks must keep filling correctly.
+        for start, stop in ((0, 700), (700, 701), (701, 3_000), (3_000, 5_000)):
+            grouped.scatter(values[start:stop], bucket_ids[start:stop])
+            reference.scatter_masked(values[start:stop], bucket_ids[start:stop])
+        self.assert_bucket_sets_identical(grouped, reference)
+
+    def test_preserves_within_bucket_order(self, rng):
+        buckets = BucketSet(4, block_size=8)
+        values = np.arange(100)
+        buckets.scatter(values, values % 4)
+        for bucket_id in range(4):
+            expected = values[values % 4 == bucket_id]
+            assert np.array_equal(buckets[bucket_id].to_array(), expected)
+
+    def test_empty_and_single_element_chunks(self):
+        buckets = BucketSet(4, block_size=8)
+        buckets.scatter(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        buckets.scatter(np.array([42]), np.array([3]))
+        assert len(buckets) == 1
+        assert np.array_equal(buckets[3].to_array(), [42])
+
+    def test_skewed_single_bucket_chunk(self, rng):
+        buckets = BucketSet(8, block_size=64)
+        values = rng.integers(0, 100, size=1_000)
+        buckets.scatter(values, np.full(1_000, 5))
+        assert np.array_equal(buckets[5].to_array(), values)
+        assert all(len(buckets[i]) == 0 for i in range(8) if i != 5)
+
+    def test_fanout_beyond_uint16_is_not_truncated(self):
+        # The id-narrowing fast path must not wrap ids when the fan-out
+        # exceeds the narrow dtype's range.
+        buckets = BucketSet(70_000, block_size=64)
+        buckets.scatter(np.array([1, 2, 3]), np.array([0, 65_536, 69_999]))
+        assert buckets[0].to_array().tolist() == [1]
+        assert buckets[65_536].to_array().tolist() == [2]
+        assert buckets[69_999].to_array().tolist() == [3]
