@@ -35,14 +35,23 @@ from repro.btree import BPlusTree, CascadeTree
 from repro.core import (
     AdaptiveBudget,
     BatchBudget,
+    BatchPool,
+    BudgetController,
+    BudgetPolicy,
     ConjunctionResult,
+    CostBreakdown,
     CostConstants,
     CostModel,
+    CostModelGreedy,
     FixedBudget,
+    FixedDelta,
+    FixedTime,
+    IndexLifecycle,
     IndexPhase,
     Predicate,
     PredicateVector,
     QueryResult,
+    TimeAdaptive,
     calibrate,
     point,
     range_query,
@@ -90,16 +99,24 @@ __all__ = [
     "BPlusTree",
     "BatchBudget",
     "BatchExecutor",
+    "BatchPool",
+    "BudgetController",
+    "BudgetPolicy",
     "BatchResult",
     "CascadeTree",
     "CoarseGranularIndex",
     "Column",
+    "CostBreakdown",
+    "CostModelGreedy",
     "ConjunctionResult",
     "CostConstants",
     "CostModel",
     "FixedBudget",
+    "FixedDelta",
+    "FixedTime",
     "FullIndex",
     "FullScan",
+    "IndexLifecycle",
     "IndexPhase",
     "IndexingSession",
     "Predicate",
@@ -113,6 +130,7 @@ __all__ = [
     "StandardCracking",
     "StochasticCracking",
     "Table",
+    "TimeAdaptive",
     "Workload",
     "WorkloadExecutor",
     "calibrate",

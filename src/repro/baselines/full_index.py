@@ -11,10 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.btree.bplus_tree import DEFAULT_FANOUT, BPlusTree
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult, search_sorted_many
 from repro.storage.column import Column
 
@@ -37,7 +37,7 @@ class FullIndex(BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         fanout: int = DEFAULT_FANOUT,
     ) -> None:
@@ -46,12 +46,6 @@ class FullIndex(BaseIndex):
         self._tree: BPlusTree | None = None
         self._sorted_values: np.ndarray | None = None
         self._batch_prefix: np.ndarray | None = None
-
-    @property
-    def phase(self) -> IndexPhase:
-        if self._tree is None:
-            return IndexPhase.INACTIVE
-        return IndexPhase.CONVERGED
 
     @property
     def tree(self) -> BPlusTree | None:
@@ -72,10 +66,15 @@ class FullIndex(BaseIndex):
         return result
 
     def _build(self) -> None:
-        """Sort the column and bulk load the B+-tree (the first-query work)."""
+        """Sort the column and bulk load the B+-tree (the first-query work).
+
+        The lifecycle jumps straight from ``INACTIVE`` to ``CONVERGED`` —
+        the baseline pays for the complete index up front.
+        """
         self._sorted_values = self._column.copy_data()
         self._sorted_values.sort()
         self._tree = BPlusTree.bulk_load(self._sorted_values, fanout=self.fanout)
+        self._advance_phase(IndexPhase.CONVERGED)
 
     def search_many(self, lows, highs):
         """Batched answering over the sorted array backing the B+-tree.

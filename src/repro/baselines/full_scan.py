@@ -10,13 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.cost_model import CostBreakdown
 from repro.core.index import BaseIndex
-from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult, search_sorted_many
 
 
 class FullScan(BaseIndex):
-    """Answer every query with a predicated scan of the base column."""
+    """Answer every query with a predicated scan of the base column.
+
+    A full scan never builds an index, so its lifecycle never leaves the
+    inactive state; it also never converges.
+    """
 
     name = "FS"
     description = "Predicated full scan (no index)"
@@ -27,14 +31,15 @@ class FullScan(BaseIndex):
         self._sorted_values: np.ndarray | None = None
         self._batch_prefix: np.ndarray | None = None
 
-    @property
-    def phase(self) -> IndexPhase:
-        # A full scan never builds an index, so it never leaves the inactive
-        # state; it also never converges.
-        return IndexPhase.INACTIVE
+    def predicted_cost(self, predicate: Predicate, delta: float = 0.0) -> CostBreakdown:
+        return CostBreakdown(
+            scan=self._cost_model.scan_time(len(self._column)), lookup=0.0, indexing=0.0
+        )
 
     def _execute(self, predicate: Predicate) -> QueryResult:
-        self.last_stats.predicted_cost = self._cost_model.scan_time(len(self._column))
+        breakdown = self.predicted_cost(predicate)
+        self.last_stats.predicted_breakdown = breakdown
+        self.last_stats.predicted_cost = breakdown.total
         return self._scan_column(predicate)
 
     def search_many(self, lows, highs):

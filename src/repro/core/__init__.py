@@ -1,16 +1,32 @@
 """Core abstractions shared by every index implementation.
 
 This package contains the query model, the three-phase life cycle of a
-progressive index, the cost-model constants and formulas from Section 3 /
-Table 1 of the paper, and the fixed / adaptive indexing-budget controllers.
+progressive index (driven by the shared
+:class:`~repro.core.phase.IndexLifecycle`), the cost-model constants and
+formulas from Section 3 / Table 1 of the paper, and the budget-policy layer
+(:mod:`repro.core.policy`): fixed, time-adaptive and cost-model-greedy
+policies routed through one :class:`~repro.core.policy.BudgetController`.
 """
 
 from repro.core.budget import AdaptiveBudget, BatchBudget, FixedBudget, IndexingBudget
 from repro.core.calibration import CostConstants, calibrate, simulated_constants
-from repro.core.cost_model import CostModel
+from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.index import BaseIndex, QueryStats
 from repro.core.keys import FloatKeyCodec, IntKeyCodec, RadixKeySpace, codec_for
-from repro.core.phase import IndexPhase
+from repro.core.phase import IndexLifecycle, IndexPhase
+from repro.core.policy import (
+    MINIMUM_DELTA,
+    BatchPool,
+    ManualClock,
+    BudgetController,
+    BudgetPolicy,
+    CostModelGreedy,
+    DeltaDecision,
+    DeltaRequest,
+    FixedDelta,
+    FixedTime,
+    TimeAdaptive,
+)
 from repro.core.query import (
     ConjunctionResult,
     Predicate,
@@ -22,16 +38,29 @@ from repro.core.query import (
 )
 
 __all__ = [
+    "MINIMUM_DELTA",
     "AdaptiveBudget",
     "BaseIndex",
     "BatchBudget",
+    "BatchPool",
+    "BudgetController",
+    "BudgetPolicy",
     "ConjunctionResult",
+    "CostBreakdown",
     "CostConstants",
     "CostModel",
+    "CostModelGreedy",
+    "DeltaDecision",
+    "DeltaRequest",
     "FixedBudget",
+    "FixedDelta",
+    "FixedTime",
     "FloatKeyCodec",
+    "IndexLifecycle",
     "IndexPhase",
     "IndexingBudget",
+    "ManualClock",
+    "TimeAdaptive",
     "IntKeyCodec",
     "Predicate",
     "PredicateVector",

@@ -1,349 +1,61 @@
-"""Indexing-budget controllers.
+"""Back-compatibility layer over :mod:`repro.core.policy`.
 
-Section 3 of the paper defines two budget flavours:
+Earlier revisions of this library exposed the indexing budgets as ad-hoc
+classes in this module.  The budget logic now lives in
+:mod:`repro.core.policy` as :class:`~repro.core.policy.BudgetPolicy`
+objects routed through one :class:`~repro.core.policy.BudgetController`;
+this module keeps the historical names importable:
 
-Fixed indexing budget
-    The user provides an indexing budget ``t_budget`` for the first query;
-    the corresponding ``delta`` is computed once (``delta = t_budget /
-    t_full_work``) and reused for the remainder of the workload.  A fixed
-    ``delta`` can also be supplied directly, which is how the delta-sweep
-    experiment (Figure 7) is expressed.
+========================  ==========================================
+Legacy name               Policy class
+========================  ==========================================
+``IndexingBudget``        :class:`~repro.core.policy.BudgetPolicy`
+``FixedBudget``           :class:`~repro.core.policy.FixedDelta`
+``FixedTimeBudget``       :class:`~repro.core.policy.FixedTime`
+``AdaptiveBudget``        :class:`~repro.core.policy.TimeAdaptive`
+``BatchBudget``           :class:`~repro.core.policy.BatchPool`
+========================  ==========================================
 
-Adaptive indexing budget
-    The user provides ``t_budget`` for the first query, which fixes the target
-    query time ``t_adaptive = t_scan + t_budget``.  For every subsequent query
-    the cost model computes how much indexing work keeps the total query cost
-    at ``t_adaptive``, i.e. ``delta = t_budget_remaining / t_full_work`` where
-    ``t_budget_remaining = t_adaptive - t_query_without_indexing``.
-
-An index interacts with its budget through two calls per query:
-
-``next_delta(full_work_time, query_base_cost)``
-    Returns the fraction of the column to index for this query, where
-    ``full_work_time`` is the cost of performing the *entire* remaining phase
-    work in one go and ``query_base_cost`` is the predicted cost of answering
-    the query without doing any indexing.
-
-``register_scan_time(t_scan)``
-    Called once, on the first query, so budgets expressed as a fraction of
-    the scan cost can be resolved to seconds.
+New code should import from :mod:`repro.core.policy` directly.
 """
 
 from __future__ import annotations
 
-import abc
+from repro.core.policy import (
+    MINIMUM_DELTA,
+    BatchPool,
+    BudgetController,
+    BudgetPolicy,
+    CostModelGreedy,
+    DeltaDecision,
+    DeltaRequest,
+    FixedDelta,
+    FixedTime,
+    TimeAdaptive,
+)
 
-from repro.errors import InvalidBudgetError
+#: Legacy aliases (the classes themselves, so ``isinstance`` checks and
+#: subclassing written against the old names keep working).
+IndexingBudget = BudgetPolicy
+FixedBudget = FixedDelta
+FixedTimeBudget = FixedTime
+AdaptiveBudget = TimeAdaptive
+BatchBudget = BatchPool
 
-#: Smallest delta the adaptive budget will return while work remains.  A
-#: strictly positive floor guarantees deterministic convergence even when a
-#: single query is predicted to have no slack at all.
-MINIMUM_DELTA = 1e-4
-
-
-class IndexingBudget(abc.ABC):
-    """Strategy object deciding how much indexing work each query performs."""
-
-    #: Whether the budget recomputes delta for every query.
-    adaptive: bool = False
-
-    #: Whether the budget pools many queries' worth of work (batch
-    #: execution).  Indexes may take whole-phase fast paths under a pooled
-    #: budget; under per-query budgets they must keep the paper's bounded
-    #: per-query work semantics.
-    pooled: bool = False
-
-    def register_scan_time(self, scan_time: float) -> None:
-        """Inform the budget of the measured/predicted full-scan time.
-
-        Budgets defined as a fraction of the scan cost resolve themselves to
-        seconds on this call; other budgets ignore it.
-        """
-
-    @abc.abstractmethod
-    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
-        """Return the fraction of the remaining phase work to perform now.
-
-        Parameters
-        ----------
-        full_work_time:
-            Predicted cost (seconds) of performing all remaining work of the
-            current phase at once.
-        query_base_cost:
-            Predicted cost (seconds) of answering the current query without
-            any indexing work.
-        """
-
-    def describe(self) -> str:
-        """Human-readable description used in experiment reports."""
-        return type(self).__name__
-
-
-class FixedBudget(IndexingBudget):
-    """Index a fixed fraction ``delta`` of the column with every query.
-
-    Parameters
-    ----------
-    delta:
-        Fraction of the (remaining phase) work performed per query.  ``0``
-        disables indexing entirely — the index never converges, matching the
-        paper's ``delta = 0`` discussion.
-    """
-
-    adaptive = False
-
-    def __init__(self, delta: float) -> None:
-        if not 0.0 <= delta <= 1.0:
-            raise InvalidBudgetError(f"delta must be within [0, 1], got {delta}")
-        self.delta = float(delta)
-
-    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
-        return self.delta
-
-    def describe(self) -> str:
-        return f"FixedBudget(delta={self.delta})"
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return self.describe()
-
-
-class FixedTimeBudget(IndexingBudget):
-    """Fixed budget expressed as seconds of indexing time for the first query.
-
-    The delta implied by the first query (``t_budget / t_full_work``) is
-    computed once and reused for all subsequent queries, as described in the
-    paper's "fixed indexing budget" flavour.
-    """
-
-    adaptive = False
-
-    def __init__(self, budget_seconds: float) -> None:
-        if budget_seconds <= 0:
-            raise InvalidBudgetError(
-                f"budget_seconds must be positive, got {budget_seconds}"
-            )
-        self.budget_seconds = float(budget_seconds)
-        self._delta: float | None = None
-
-    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
-        if self._delta is None:
-            if full_work_time <= 0:
-                self._delta = 1.0
-            else:
-                self._delta = min(1.0, self.budget_seconds / full_work_time)
-        return self._delta
-
-    def describe(self) -> str:
-        return f"FixedTimeBudget(budget={self.budget_seconds:.6f}s)"
-
-
-class AdaptiveBudget(IndexingBudget):
-    """Adaptive budget keeping total query cost approximately constant.
-
-    Parameters
-    ----------
-    budget_seconds:
-        Indexing budget of the first query, in seconds.  Mutually exclusive
-        with ``scan_fraction``.
-    scan_fraction:
-        Indexing budget of the first query expressed as a fraction of the
-        full-scan cost (the paper's experiments use ``0.2``, i.e. every query
-        costs about ``1.2 x t_scan`` until convergence).  Resolved to seconds
-        when :meth:`register_scan_time` is called.
-    minimum_delta:
-        Floor on the returned delta while work remains, guaranteeing
-        convergence even when the cost model predicts no slack.
-    """
-
-    adaptive = True
-
-    def __init__(
-        self,
-        budget_seconds: float | None = None,
-        scan_fraction: float | None = None,
-        minimum_delta: float = MINIMUM_DELTA,
-    ) -> None:
-        if (budget_seconds is None) == (scan_fraction is None):
-            raise InvalidBudgetError(
-                "provide exactly one of budget_seconds or scan_fraction"
-            )
-        if budget_seconds is not None and budget_seconds <= 0:
-            raise InvalidBudgetError(
-                f"budget_seconds must be positive, got {budget_seconds}"
-            )
-        if scan_fraction is not None and scan_fraction <= 0:
-            raise InvalidBudgetError(
-                f"scan_fraction must be positive, got {scan_fraction}"
-            )
-        if minimum_delta < 0:
-            raise InvalidBudgetError(
-                f"minimum_delta must be non-negative, got {minimum_delta}"
-            )
-        self.budget_seconds = budget_seconds
-        self.scan_fraction = scan_fraction
-        self.minimum_delta = float(minimum_delta)
-        self.target_query_cost: float | None = None
-
-    def register_scan_time(self, scan_time: float) -> None:
-        if self.budget_seconds is None:
-            self.budget_seconds = self.scan_fraction * scan_time
-        if self.target_query_cost is None:
-            self.target_query_cost = scan_time + self.budget_seconds
-
-    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
-        if self.budget_seconds is None:
-            raise InvalidBudgetError(
-                "AdaptiveBudget with scan_fraction requires register_scan_time() "
-                "before the first next_delta() call"
-            )
-        if full_work_time <= 0:
-            return 1.0
-        if self.target_query_cost is None:
-            # First query: the budget itself is the indexing slack.
-            slack = self.budget_seconds
-        else:
-            slack = self.target_query_cost - query_base_cost
-        delta = slack / full_work_time
-        return float(min(1.0, max(self.minimum_delta, delta)))
-
-    def describe(self) -> str:
-        if self.scan_fraction is not None:
-            return f"AdaptiveBudget(scan_fraction={self.scan_fraction})"
-        return f"AdaptiveBudget(budget={self.budget_seconds:.6f}s)"
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return self.describe()
-
-
-class BatchBudget(IndexingBudget):
-    """Shared indexing-budget pool for a batch of queries.
-
-    The batch executor answers a whole workload at once, so instead of
-    granting every query its individual slice of indexing time, the
-    per-query budget of ``n_queries`` queries is pooled into one reservoir
-    that is drained greedily: the first queries of the batch may perform far
-    more than their per-query share of indexing work (front-loading
-    convergence so the rest of the batch can be answered with vectorized
-    lookups), but the batch as a whole never spends more indexing time than
-    the equivalent sequential execution would have.
-
-    Parameters
-    ----------
-    n_queries:
-        Number of queries whose budgets are pooled.
-    per_query_seconds:
-        Indexing budget of one query, in seconds.  Mutually exclusive with
-        ``scan_fraction``.
-    scan_fraction:
-        Per-query budget as a fraction of the full-scan cost (the paper's
-        default is ``0.2``); resolved to seconds by
-        :meth:`register_scan_time`.
-    """
-
-    adaptive = True
-    pooled = True
-
-    def __init__(
-        self,
-        n_queries: int,
-        per_query_seconds: float | None = None,
-        scan_fraction: float | None = None,
-    ) -> None:
-        if n_queries < 0:
-            raise InvalidBudgetError(f"n_queries must be non-negative, got {n_queries}")
-        if per_query_seconds is not None and scan_fraction is not None:
-            raise InvalidBudgetError(
-                "provide at most one of per_query_seconds or scan_fraction"
-            )
-        if per_query_seconds is not None and per_query_seconds < 0:
-            raise InvalidBudgetError(
-                f"per_query_seconds must be non-negative, got {per_query_seconds}"
-            )
-        if scan_fraction is not None and scan_fraction < 0:
-            raise InvalidBudgetError(
-                f"scan_fraction must be non-negative, got {scan_fraction}"
-            )
-        if per_query_seconds is None and scan_fraction is None:
-            scan_fraction = 0.2
-        self.n_queries = int(n_queries)
-        self.scan_fraction = scan_fraction
-        self.pool_seconds: float | None = (
-            None if per_query_seconds is None else per_query_seconds * self.n_queries
-        )
-        self.spent_seconds = 0.0
-
-    # ------------------------------------------------------------------
-    @classmethod
-    def for_index(cls, index, n_queries: int) -> "BatchBudget":
-        """A pool equivalent to ``n_queries`` queries of ``index``'s budget.
-
-        The mapping preserves the spirit of each per-query budget flavour:
-        time-based budgets pool their per-query seconds, fraction/delta-based
-        budgets pool the corresponding fraction of the scan cost.
-        """
-        budget = index.budget
-        if isinstance(budget, cls):
-            per_query = None
-            if budget.pool_seconds is not None and budget.n_queries > 0:
-                per_query = budget.pool_seconds / budget.n_queries
-            if per_query is not None:
-                return cls(n_queries, per_query_seconds=per_query)
-            return cls(n_queries, scan_fraction=budget.scan_fraction)
-        if isinstance(budget, AdaptiveBudget):
-            if budget.budget_seconds is not None:
-                return cls(n_queries, per_query_seconds=budget.budget_seconds)
-            return cls(n_queries, scan_fraction=budget.scan_fraction)
-        if isinstance(budget, FixedTimeBudget):
-            return cls(n_queries, per_query_seconds=budget.budget_seconds)
-        if isinstance(budget, FixedBudget):
-            # A fixed delta indexes `delta` of the phase work per query; one
-            # unit of phase work costs on the order of one scan, so the
-            # pooled equivalent is `delta` of the scan cost per query.
-            return cls(n_queries, scan_fraction=budget.delta)
-        return cls(n_queries)
-
-    # ------------------------------------------------------------------
-    @property
-    def remaining_seconds(self) -> float:
-        """Indexing seconds left in the pool (``0`` when exhausted)."""
-        if self.pool_seconds is None:
-            return 0.0
-        return max(0.0, self.pool_seconds - self.spent_seconds)
-
-    @property
-    def exhausted(self) -> bool:
-        """Whether the pool has been drained (or never held any budget)."""
-        return self.pool_seconds is not None and self.remaining_seconds <= 0.0
-
-    def register_scan_time(self, scan_time: float) -> None:
-        if self.pool_seconds is None:
-            self.pool_seconds = self.scan_fraction * scan_time * self.n_queries
-
-    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
-        if self.pool_seconds is None:
-            raise InvalidBudgetError(
-                "BatchBudget with scan_fraction requires register_scan_time() "
-                "before the first next_delta() call"
-            )
-        if full_work_time <= 0:
-            return 1.0
-        remaining = self.remaining_seconds
-        if remaining <= 0.0:
-            return 0.0
-        delta = min(1.0, remaining / full_work_time)
-        self.spent_seconds += delta * full_work_time
-        return delta
-
-    def describe(self) -> str:
-        if self.pool_seconds is not None:
-            return (
-                f"BatchBudget(n_queries={self.n_queries}, "
-                f"pool={self.pool_seconds:.6f}s)"
-            )
-        return (
-            f"BatchBudget(n_queries={self.n_queries}, "
-            f"scan_fraction={self.scan_fraction})"
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return self.describe()
+__all__ = [
+    "MINIMUM_DELTA",
+    "AdaptiveBudget",
+    "BatchBudget",
+    "BatchPool",
+    "BudgetController",
+    "BudgetPolicy",
+    "CostModelGreedy",
+    "DeltaDecision",
+    "DeltaRequest",
+    "FixedBudget",
+    "FixedDelta",
+    "FixedTime",
+    "FixedTimeBudget",
+    "IndexingBudget",
+    "TimeAdaptive",
+]

@@ -5,22 +5,33 @@ this interface, so progressive indexes, adaptive (cracking) indexes and the
 full-scan / full-index baselines are interchangeable:
 
 * :meth:`BaseIndex.query` answers a predicate and, as a side effect, performs
-  whatever indexing work the algorithm's budget allows.
-* :attr:`BaseIndex.phase` exposes the life-cycle phase (baselines report
-  ``CONVERGED`` or ``INACTIVE`` as appropriate).
+  whatever indexing work the algorithm's budget policy allows.
+* :attr:`BaseIndex.phase` exposes the life-cycle phase, driven by the shared
+  :class:`~repro.core.phase.IndexLifecycle` (baselines report ``CONVERGED``
+  or ``INACTIVE`` as appropriate).
 * :attr:`BaseIndex.last_stats` exposes per-query bookkeeping (predicted cost,
   delta used, phase) consumed by the cost-model-validation experiments.
+
+Every budget decision flows through the index's
+:class:`~repro.core.policy.BudgetController`: the per-phase execute methods
+describe the query's cost as a function of ``delta`` (via
+:meth:`BaseIndex.predicted_cost`) and the controller asks the installed
+:class:`~repro.core.policy.BudgetPolicy` — fixed, time-adaptive,
+cost-model-greedy, or a pooled batch reservoir — for the fraction of the
+remaining phase work this query should perform.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.core.budget import FixedBudget, IndexingBudget
+from repro.core.budget import FixedBudget
 from repro.core.calibration import CostConstants
-from repro.core.cost_model import CostModel
-from repro.core.phase import IndexPhase
+from repro.core.cost_model import CostBreakdown, CostModel
+from repro.core.phase import IndexLifecycle, IndexPhase
+from repro.core.policy import BudgetController, BudgetPolicy, DeltaDecision, DeltaRequest
 from repro.core.query import Predicate, QueryResult
 from repro.errors import IndexStateError
 from repro.storage.column import Column
@@ -42,6 +53,9 @@ class QueryStats:
     predicted_cost:
         Cost-model prediction for the query in seconds (``None`` when the
         algorithm has no cost model, e.g. cracking baselines).
+    predicted_breakdown:
+        The full scan/lookup/indexing split of the prediction, when the
+        decision was made from a per-phase cost function.
     elements_indexed:
         Number of elements moved / refined / copied by the indexing work.
     """
@@ -50,8 +64,16 @@ class QueryStats:
     phase: IndexPhase = IndexPhase.INACTIVE
     delta: float = 0.0
     predicted_cost: float | None = None
+    predicted_breakdown: CostBreakdown | None = None
     elements_indexed: int = 0
     notes: dict = field(default_factory=dict)
+
+    @property
+    def indexing_seconds(self) -> float:
+        """Predicted indexing budget this query spent (``0`` if unknown)."""
+        if self.predicted_breakdown is None:
+            return 0.0
+        return self.predicted_breakdown.indexing
 
 
 class BaseIndex(abc.ABC):
@@ -62,8 +84,8 @@ class BaseIndex(abc.ABC):
     column:
         The column to index.
     budget:
-        Indexing-budget controller; defaults to a fixed ``delta = 0.1``.
-        Baselines ignore the budget.
+        Budget policy (or legacy budget controller object); defaults to a
+        fixed ``delta = 0.1``.  Baselines ignore the budget.
     constants:
         Machine constants for the cost model; defaults to the deterministic
         simulated constants.
@@ -82,14 +104,15 @@ class BaseIndex(abc.ABC):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
     ) -> None:
         if not isinstance(column, Column):
             column = Column(column)
         self._column = column
-        self._budget = budget or FixedBudget(0.1)
+        self._controller = BudgetController(budget or FixedBudget(0.1))
         self._cost_model = CostModel(constants)
+        self._lifecycle = IndexLifecycle()
         self._queries_executed = 0
         self.last_stats = QueryStats()
 
@@ -102,24 +125,32 @@ class BaseIndex(abc.ABC):
         return self._column
 
     @property
-    def budget(self) -> IndexingBudget:
-        """The indexing-budget controller in use."""
-        return self._budget
+    def budget(self) -> BudgetPolicy:
+        """The budget policy currently installed in the controller."""
+        return self._controller.policy
 
-    def swap_budget(self, budget: IndexingBudget) -> IndexingBudget:
-        """Install ``budget`` and return the previously installed controller.
+    @property
+    def controller(self) -> BudgetController:
+        """The budget controller every delta decision routes through."""
+        return self._controller
+
+    @property
+    def lifecycle(self) -> IndexLifecycle:
+        """The shared phase-transition driver (history and per-phase stats)."""
+        return self._lifecycle
+
+    def swap_budget(self, budget: BudgetPolicy) -> BudgetPolicy:
+        """Install ``budget`` and return the previously installed policy.
 
         The batch executor uses this to temporarily replace a per-query
-        budget with a pooled :class:`~repro.core.budget.BatchBudget` for the
+        policy with a pooled :class:`~repro.core.policy.BatchPool` for the
         duration of one batch, restoring the original afterwards.
         """
-        if not isinstance(budget, IndexingBudget):
+        if not isinstance(budget, BudgetPolicy):
             raise IndexStateError(
-                f"swap_budget() expects an IndexingBudget, got {type(budget).__name__}"
+                f"swap_budget() expects a BudgetPolicy, got {type(budget).__name__}"
             )
-        previous = self._budget
-        self._budget = budget
-        return previous
+        return self._controller.swap_policy(budget)
 
     @property
     def cost_model(self) -> CostModel:
@@ -132,9 +163,9 @@ class BaseIndex(abc.ABC):
         return self._queries_executed
 
     @property
-    @abc.abstractmethod
     def phase(self) -> IndexPhase:
         """Current life-cycle phase."""
+        return self._lifecycle.phase
 
     @property
     def converged(self) -> bool:
@@ -155,7 +186,12 @@ class BaseIndex(abc.ABC):
         self.last_stats = QueryStats(
             query_number=self._queries_executed, phase=self.phase
         )
+        started = self._controller.query_started()
         result = self._execute(predicate)
+        self._controller.query_finished(started, self.last_stats.predicted_cost)
+        self._lifecycle.note_query(
+            self.last_stats.phase, self.last_stats.indexing_seconds
+        )
         return result
 
     def search_many(self, lows, highs):
@@ -182,13 +218,20 @@ class BaseIndex(abc.ABC):
         """
         return None
 
-    def predict_cost(self, predicate: Predicate) -> float | None:
-        """Cost-model prediction of the next query's total time, if available.
+    def predicted_cost(self, predicate: Predicate, delta: float = 0.0) -> CostBreakdown | None:
+        """Cost-model prediction for ``predicate`` at indexing fraction ``delta``.
 
-        The default implementation returns ``None``; progressive indexes
-        override it with their per-phase formulas.
+        Progressive indexes answer with their current phase's formula from
+        Section 3 of the paper; the default returns ``None`` for algorithms
+        without a per-phase cost model (e.g. cracking baselines).  The
+        prediction is side-effect free — no indexing work is performed.
         """
         return None
+
+    def predict_cost(self, predicate: Predicate) -> float | None:
+        """Total predicted time of the next query without indexing work."""
+        breakdown = self.predicted_cost(predicate, 0.0)
+        return None if breakdown is None else breakdown.total
 
     def memory_footprint(self) -> int:
         """Approximate additional memory used by the index, in bytes.
@@ -211,6 +254,43 @@ class BaseIndex(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def _advance_phase(self, phase: IndexPhase) -> None:
+        """Move the lifecycle to ``phase``, stamped with the current query."""
+        self._lifecycle.advance(phase, self._queries_executed)
+
+    def _register_scan_time(self) -> None:
+        """Resolve fraction-based budget policies against the scan cost."""
+        self._controller.register_scan_time(
+            self._cost_model.scan_time(len(self._column))
+        )
+
+    def _decide(
+        self,
+        full_work_time: float,
+        predict: Callable[[float], CostBreakdown],
+        max_delta: float = 1.0,
+    ) -> DeltaDecision:
+        """Route one delta decision through the budget controller.
+
+        ``predict`` is the current phase's cost formula as a function of
+        ``delta``; its ``delta = 0`` evaluation is the query's base cost.
+        The chosen delta and the prediction at that delta are recorded in
+        :attr:`last_stats`.
+        """
+        request = DeltaRequest(
+            full_work_time=full_work_time,
+            base_cost=predict(0.0),
+            predict=predict,
+            max_delta=max_delta,
+            n_elements=len(self._column),
+            phase=self.phase,
+        )
+        decision = self._controller.decide(request)
+        self.last_stats.delta = decision.delta
+        self.last_stats.predicted_breakdown = decision.predicted
+        self.last_stats.predicted_cost = decision.predicted_seconds
+        return decision
+
     def _scan_column(self, predicate: Predicate, start: int = 0, stop: int | None = None) -> QueryResult:
         """Predicated scan of (part of) the base column."""
         value_sum, count = self._column.scan_range(

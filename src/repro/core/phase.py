@@ -22,6 +22,9 @@ only initiated when its column is first queried.
 from __future__ import annotations
 
 import enum
+from typing import Dict, List, Tuple
+
+from repro.errors import IndexStateError
 
 
 class IndexPhase(enum.Enum):
@@ -65,3 +68,102 @@ _PHASE_ORDER = {
     IndexPhase.CONSOLIDATION: 3,
     IndexPhase.CONVERGED: 4,
 }
+
+
+class IndexLifecycle:
+    """Shared phase-transition driver of every index.
+
+    The per-algorithm phase bookkeeping that used to be duplicated across
+    the registry (each index carrying its own ``_phase`` attribute and
+    hand-rolled transition checks) is centralised here: an index advances
+    its lifecycle through :meth:`advance`, which enforces the paper's
+    monotone phase order (an index never moves backwards), records the
+    transition history, and accumulates per-phase usage statistics
+    (queries answered and indexing budget spent per phase) surfaced by
+    session stats and the experiment reports.
+
+    Phases may be skipped forward — a baseline that bulk-builds jumps
+    straight from ``INACTIVE`` to ``CONVERGED`` — but never revisited.
+    """
+
+    def __init__(self, initial: IndexPhase = IndexPhase.INACTIVE) -> None:
+        self._phase = initial
+        #: ``(query_number, phase)`` pairs, one per transition.
+        self.transitions: List[Tuple[int, IndexPhase]] = []
+        self._queries: Dict[IndexPhase, int] = {phase: 0 for phase in IndexPhase}
+        self._indexing_seconds: Dict[IndexPhase, float] = {
+            phase: 0.0 for phase in IndexPhase
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> IndexPhase:
+        """The current life-cycle phase."""
+        return self._phase
+
+    @property
+    def converged(self) -> bool:
+        """Whether the lifecycle reached its terminal phase."""
+        return self._phase is IndexPhase.CONVERGED
+
+    def advance(self, phase: IndexPhase, query_number: int = 0) -> None:
+        """Move to ``phase``, enforcing the monotone phase order.
+
+        Parameters
+        ----------
+        phase:
+            The phase to enter; must be strictly later than the current one.
+        query_number:
+            The 1-based query during which the transition happened (``0``
+            for transitions outside query execution).
+        """
+        if not isinstance(phase, IndexPhase):
+            raise IndexStateError(
+                f"advance() expects an IndexPhase, got {type(phase).__name__}"
+            )
+        if phase.order <= self._phase.order:
+            raise IndexStateError(
+                f"illegal phase transition {self._phase.value!r} -> {phase.value!r}; "
+                "progressive indexes only move forward through the life cycle"
+            )
+        self._phase = phase
+        self.transitions.append((int(query_number), phase))
+
+    # ------------------------------------------------------------------
+    def note_query(self, phase: IndexPhase, indexing_seconds: float = 0.0) -> None:
+        """Account one executed query to ``phase``.
+
+        ``indexing_seconds`` is the (predicted) indexing budget the query
+        spent, i.e. the ``delta * t_work`` term of its cost breakdown.
+        """
+        self._queries[phase] += 1
+        if indexing_seconds > 0.0:
+            self._indexing_seconds[phase] += float(indexing_seconds)
+
+    def queries_in(self, phase: IndexPhase) -> int:
+        """Number of queries answered while in ``phase``."""
+        return self._queries[phase]
+
+    def indexing_seconds_in(self, phase: IndexPhase) -> float:
+        """Indexing budget (seconds) spent while in ``phase``."""
+        return self._indexing_seconds[phase]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-phase usage summary for session stats / reports.
+
+        Only phases that were actually visited (answered at least one query
+        or appear in the transition history) are included.
+        """
+        visited = {phase for phase, count in self._queries.items() if count}
+        visited.update(phase for _, phase in self.transitions)
+        visited.add(self._phase)
+        report = {}
+        for phase in sorted(visited, key=lambda p: p.order):
+            report[phase.value] = {
+                "queries": self._queries[phase],
+                "indexing_seconds": self._indexing_seconds[phase],
+            }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IndexLifecycle(phase={self._phase.value!r}, transitions={len(self.transitions)})"

@@ -13,10 +13,10 @@ import abc
 
 import numpy as np
 
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
 from repro.cracking.cracker_column import CrackerColumn
 from repro.storage.column import Column
@@ -47,7 +47,7 @@ class CrackingIndexBase(BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         adaptive_kernels: bool = True,
         rng: np.random.Generator | None = None,
@@ -62,14 +62,6 @@ class CrackingIndexBase(BaseIndex):
     def cracker(self) -> CrackerColumn | None:
         """The cracker column (``None`` before the first query)."""
         return self._cracker
-
-    @property
-    def phase(self) -> IndexPhase:
-        if self._cracker is None:
-            return IndexPhase.INACTIVE
-        # Cracking refines forever; it offers no deterministic convergence,
-        # which Table 2 of the paper records as "x".
-        return IndexPhase.REFINEMENT
 
     #: Cracking performs no budgeted progressive refinement, so the batch
     #: executor should hand the whole batch to :meth:`search_many` at once.
@@ -89,17 +81,24 @@ class CrackingIndexBase(BaseIndex):
         the batch path shares one implementation across all variants.
         """
         if self._cracker is None:
-            self._cracker = CrackerColumn(
-                self._column, adaptive_kernels=self.adaptive_kernels
-            )
-            self._on_first_query()
+            self._materialize()
         return self._cracker.search_many(lows, highs)
 
     # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        """First-touch copy of the column into the cracker.
+
+        Cracking then refines forever; it offers no deterministic
+        convergence, which Table 2 of the paper records as "x" — the
+        lifecycle enters ``REFINEMENT`` and never leaves it.
+        """
+        self._cracker = CrackerColumn(self._column, adaptive_kernels=self.adaptive_kernels)
+        self._advance_phase(IndexPhase.REFINEMENT)
+        self._on_first_query()
+
     def _execute(self, predicate: Predicate) -> QueryResult:
         if self._cracker is None:
-            self._cracker = CrackerColumn(self._column, adaptive_kernels=self.adaptive_kernels)
-            self._on_first_query()
+            self._materialize()
             self.last_stats.elements_indexed = len(self._column)
         swaps_before = self._cracker.swaps_performed
         result = self._crack_and_answer(predicate)

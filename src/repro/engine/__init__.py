@@ -19,7 +19,14 @@
 from repro.engine.batch import BatchExecutor, BatchResult, scan_many
 from repro.engine.decision_tree import Recommendation, recommend_index
 from repro.engine.executor import ExecutionResult, QueryRecord, WorkloadExecutor
-from repro.engine.metrics import BatchMetrics, WorkloadMetrics, compute_metrics, throughput
+from repro.engine.metrics import (
+    BatchMetrics,
+    PhaseStats,
+    WorkloadMetrics,
+    compute_metrics,
+    compute_phase_breakdown,
+    throughput,
+)
 from repro.engine.registry import (
     ALGORITHMS,
     ADAPTIVE_ALGORITHMS,
@@ -39,11 +46,13 @@ __all__ = [
     "ExecutionResult",
     "IndexingSession",
     "PROGRESSIVE_ALGORITHMS",
+    "PhaseStats",
     "QueryRecord",
     "Recommendation",
     "WorkloadExecutor",
     "WorkloadMetrics",
     "compute_metrics",
+    "compute_phase_breakdown",
     "create_index",
     "recommend_index",
     "scan_many",

@@ -6,9 +6,10 @@ short queries long before the hardware does.  :class:`BatchExecutor` instead
 treats the workload as the unit of execution:
 
 1. the per-query indexing budgets of the batch are pooled into one
-   :class:`~repro.core.budget.BatchBudget`, which is drained greedily — the
-   first queries of the batch front-load the progressive construction the
-   whole batch is entitled to;
+   :class:`~repro.core.policy.BatchPool`, which is installed into the
+   index's :class:`~repro.core.policy.BudgetController` for the duration of
+   the batch and drained greedily — the first queries of the batch
+   front-load the progressive construction the whole batch is entitled to;
 2. queries are dispatched per-query only while the index still has budgeted
    progressive work to do; as soon as the index converges (or the pool is
    exhausted and the index can answer batches read-only), the **entire
@@ -31,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.budget import BatchBudget
+from repro.core.policy import BatchPool
 from repro.core.index import BaseIndex
 from repro.core.query import PredicateVector, QueryResult, search_sorted_many
 from repro.errors import ExperimentError
@@ -108,10 +109,10 @@ class BatchExecutor:
     Parameters
     ----------
     per_query_seconds, scan_fraction:
-        Sizing of the pooled :class:`~repro.core.budget.BatchBudget` (one
+        Sizing of the pooled :class:`~repro.core.policy.BatchPool` (one
         query's worth of indexing budget).  When both are omitted the pool is
-        derived from the index's own per-query budget via
-        :meth:`BatchBudget.for_index`, so batch execution spends the same
+        derived from the index's own per-query budget policy via
+        :meth:`BatchPool.for_index`, so batch execution spends the same
         total indexing time the sequential loop would have.
     verify:
         Cross-check every answer against a predicated scan of the base
@@ -133,13 +134,13 @@ class BatchExecutor:
         self.verify = bool(verify)
 
     # ------------------------------------------------------------------
-    def _batch_budget(self, index: BaseIndex, n_queries: int) -> BatchBudget:
+    def _batch_budget(self, index: BaseIndex, n_queries: int) -> BatchPool:
         if self.per_query_seconds is not None:
-            budget = BatchBudget(n_queries, per_query_seconds=self.per_query_seconds)
+            budget = BatchPool(n_queries, per_query_seconds=self.per_query_seconds)
         elif self.scan_fraction is not None:
-            budget = BatchBudget(n_queries, scan_fraction=self.scan_fraction)
+            budget = BatchPool(n_queries, scan_fraction=self.scan_fraction)
         else:
-            budget = BatchBudget.for_index(index, n_queries)
+            budget = BatchPool.for_index(index, n_queries)
         # Resolve fraction-based pools immediately: indexes only call
         # register_scan_time() on their very first query, which may long have
         # passed when a batch arrives mid-workload.
@@ -158,12 +159,11 @@ class BatchExecutor:
         if n_queries == 0:
             return batch
         pool = self._batch_budget(index, n_queries)
+        # swap_budget routes through the index's budget controller, which
+        # re-registers the known scan time against whichever policy comes
+        # in — so a per-query policy restored after the batch (or a pool
+        # installed mid-workload) is always resolved.
         previous_budget = index.swap_budget(pool)
-        # An index calls register_scan_time() only on its very first query.
-        # If that first query happens under the pooled budget, the original
-        # controller would stay unresolved after restoration and fail on the
-        # next sequential query — resolve it now (a no-op when already done).
-        previous_budget.register_scan_time(index.cost_model.scan_time(len(index.column)))
         started = time.perf_counter()
         try:
             position = 0

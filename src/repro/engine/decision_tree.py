@@ -13,10 +13,16 @@ experimental evaluation:
 * For **range queries on roughly uniform (or unknown but integer) data**,
   Progressive Radixsort (MSD) converges fastest and has the best cumulative
   time (Table 4, uniform block).
-* When the extra memory for bucket blocks is not available, or the data type
-  does not radix-cluster well (e.g. floating point with unknown domain),
-  Progressive Quicksort is the safe default: it allocates only the index
-  array and is the least sensitive to the delta parameter (Figure 7a).
+* When the extra memory for bucket blocks is not available, Progressive
+  Quicksort is the safe default: it allocates only the index array and is
+  the least sensitive to the delta parameter (Figure 7a).
+
+The paper's original tree also routed *floating-point* columns to
+Progressive Quicksort because naive radix clustering truncates fractional
+parts.  With the order-preserving key codecs of :mod:`repro.core.keys`
+(IEEE-754 monotone bit-pattern keys), ``float64`` columns radix-cluster
+exactly, so the data type no longer forces Quicksort — only genuine memory
+pressure does.
 """
 
 from __future__ import annotations
@@ -61,8 +67,13 @@ def recommend_index(
     memory_constrained:
         Whether the extra memory for bucket block lists is unavailable
         (the bucket-based algorithms temporarily hold the data twice).
+        This is the only scenario that still routes to Progressive
+        Quicksort for range workloads.
     integer_domain:
-        Whether the column has an integer (radix-clusterable) domain.
+        Whether the column has an integer domain.  Kept for API
+        compatibility; since the order-preserving key codecs, float columns
+        radix-cluster exactly, so a non-integer domain no longer changes
+        the recommendation.
 
     Returns
     -------
@@ -76,13 +87,13 @@ def recommend_index(
             "Point-query workloads are accelerated by the LSD intermediate "
             "index from the first queries onwards.",
         )
-    if memory_constrained or not integer_domain:
+    if memory_constrained:
         return Recommendation(
             ProgressiveQuicksort,
             "PQ",
-            "Progressive Quicksort only allocates the index array itself and "
-            "does not rely on radix clustering, making it the safe default "
-            "under memory pressure or for non-integer domains.",
+            "Progressive Quicksort only allocates the index array itself "
+            "(the bucket-based algorithms temporarily hold the data twice), "
+            "making it the safe default under memory pressure.",
         )
     if skewed_data:
         return Recommendation(
@@ -95,5 +106,6 @@ def recommend_index(
         ProgressiveRadixsortMSD,
         "PMSD",
         "Radix clustering on the most significant bits converges fastest and "
-        "has the best cumulative time on (roughly) uniform integer data.",
+        "has the best cumulative time on (roughly) uniform data; the "
+        "order-preserving key codecs make this exact for float columns too.",
     )

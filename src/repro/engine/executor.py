@@ -18,14 +18,19 @@ import numpy as np
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.query import QueryResult
-from repro.engine.metrics import WorkloadMetrics, compute_metrics
+from repro.engine.metrics import WorkloadMetrics, compute_metrics, compute_phase_breakdown
 from repro.errors import ExperimentError
 from repro.workloads.workload import Workload
 
 
 @dataclass
 class QueryRecord:
-    """Measurements for a single executed query."""
+    """Measurements for a single executed query.
+
+    ``indexing_seconds`` is the indexing budget the query spent according to
+    the cost model (the ``delta * t_work`` term of its prediction), used by
+    the per-phase breakdown.
+    """
 
     query_number: int
     elapsed_seconds: float
@@ -35,6 +40,7 @@ class QueryRecord:
     result_count: int
     result_sum: float
     converged: bool
+    indexing_seconds: float = 0.0
 
 
 @dataclass
@@ -72,6 +78,10 @@ class ExecutionResult:
     def metrics(self) -> WorkloadMetrics:
         """The paper's summary metrics for this run."""
         return compute_metrics(self.times(), self.converged_flags(), self.scan_seconds)
+
+    def phase_breakdown(self) -> dict:
+        """Per-phase query counts, wall-clock time and budget spent."""
+        return compute_phase_breakdown(self.records)
 
     def phase_transitions(self) -> List[tuple]:
         """``(query_number, phase)`` pairs where the index changed phase."""
@@ -138,6 +148,7 @@ class WorkloadExecutor:
                     result_count=answer.count,
                     result_sum=float(answer.value_sum),
                     converged=index.converged,
+                    indexing_seconds=stats.indexing_seconds,
                 )
             )
             if self.verify:

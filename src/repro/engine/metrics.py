@@ -12,14 +12,22 @@ Given the per-query execution times of a workload, the paper reports:
 * **Robustness** — the variance of the first 100 query times (lower is more
   robust).
 * **Cumulative time** — total time of the entire workload.
+
+Beyond the paper's summary metrics, :func:`compute_phase_breakdown` splits a
+run along the index's life-cycle phases — how many queries each phase
+answered, how much wall-clock time they took, and how much indexing budget
+was spent per phase — which is what the adaptive-policy experiments and the
+session's ``status()`` report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+from repro.core.phase import IndexPhase
 
 #: Number of leading queries whose variance defines the robustness score.
 ROBUSTNESS_WINDOW = 100
@@ -88,6 +96,57 @@ def convergence_query(converged_flags: Sequence[bool]) -> Optional[int]:
         if converged:
             return query_number
     return None
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase slice of one workload execution.
+
+    Attributes
+    ----------
+    phase:
+        The life-cycle phase this row summarises.
+    queries:
+        Number of queries answered while the index was in this phase.
+    elapsed_seconds:
+        Total measured wall-clock time of those queries.
+    indexing_seconds:
+        Indexing budget spent during this phase (the sum of the per-query
+        ``delta * t_work`` cost-model terms, in model seconds).
+    """
+
+    phase: IndexPhase
+    queries: int = 0
+    elapsed_seconds: float = 0.0
+    indexing_seconds: float = 0.0
+
+    def as_row(self) -> dict:
+        """Dictionary representation used by the report writers."""
+        return {
+            "phase": self.phase.value,
+            "queries": self.queries,
+            "elapsed_s": self.elapsed_seconds,
+            "indexing_s": self.indexing_seconds,
+        }
+
+
+def compute_phase_breakdown(records: Sequence) -> Dict[IndexPhase, PhaseStats]:
+    """Aggregate executor records into per-phase statistics.
+
+    ``records`` are :class:`~repro.engine.executor.QueryRecord` objects (or
+    anything exposing ``phase``, ``elapsed_seconds`` and
+    ``indexing_seconds``).  Phases are returned in life-cycle order and only
+    when they answered at least one query.
+    """
+    breakdown: Dict[IndexPhase, PhaseStats] = {}
+    for record in records:
+        stats = breakdown.get(record.phase)
+        if stats is None:
+            stats = breakdown[record.phase] = PhaseStats(phase=record.phase)
+        stats.queries += 1
+        stats.elapsed_seconds += float(record.elapsed_seconds)
+        stats.indexing_seconds += float(getattr(record, "indexing_seconds", 0.0) or 0.0)
+    return dict(sorted(breakdown.items(), key=lambda item: item[0].order))
 
 
 @dataclass

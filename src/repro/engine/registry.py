@@ -12,8 +12,8 @@ from typing import Dict, Type
 
 from repro.baselines.full_index import FullIndex
 from repro.baselines.full_scan import FullScan
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import CostConstants
+from repro.core.policy import BudgetPolicy, CostModelGreedy
 from repro.core.index import BaseIndex
 from repro.cracking.adaptive_adaptive import AdaptiveAdaptiveIndexing
 from repro.cracking.coarse_granular import CoarseGranularIndex
@@ -61,8 +61,9 @@ ALGORITHMS: Dict[str, Type[BaseIndex]] = {
 def create_index(
     name: str,
     column: Column,
-    budget: IndexingBudget | None = None,
+    budget: BudgetPolicy | None = None,
     constants: CostConstants | None = None,
+    interactivity_budget: float | None = None,
     **kwargs,
 ) -> BaseIndex:
     """Instantiate an algorithm by its paper acronym.
@@ -75,6 +76,9 @@ def create_index(
         Column to index.
     budget, constants:
         Forwarded to the index constructor.
+    interactivity_budget:
+        Convenience for the cost-model-greedy policy: the per-query total
+        time target τ in seconds.  Mutually exclusive with ``budget``.
     kwargs:
         Additional algorithm-specific keyword arguments.
     """
@@ -83,5 +87,11 @@ def create_index(
         raise ExperimentError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         )
+    if interactivity_budget is not None:
+        if budget is not None:
+            raise ExperimentError(
+                "provide at most one of budget or interactivity_budget"
+            )
+        budget = CostModelGreedy(interactivity_budget=interactivity_budget)
     index_class = ALGORITHMS[key]
     return index_class(column, budget=budget, constants=constants, **kwargs)

@@ -36,7 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.baselines.full_scan import FullScan
-from repro.core.budget import AdaptiveBudget, FixedBudget, IndexingBudget
+from repro.core.policy import BudgetPolicy, CostModelGreedy, FixedDelta, TimeAdaptive
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.query import ConjunctionResult, Predicate, QueryResult
@@ -101,9 +101,10 @@ class IndexingSession:
         self,
         column_name: str,
         method: Optional[str] = None,
-        budget: Optional[IndexingBudget] = None,
+        budget: Optional[BudgetPolicy] = None,
         budget_fraction: Optional[float] = None,
         fixed_delta: Optional[float] = None,
+        interactivity_budget: Optional[float] = None,
         point_query_workload: bool = False,
         skewed_data: bool = False,
         **kwargs,
@@ -119,23 +120,40 @@ class IndexingSession:
             a baseline).  When omitted the Figure 11 decision tree picks one
             based on ``point_query_workload`` and ``skewed_data``.
         budget:
-            Explicit budget controller; overrides the convenience parameters.
+            Explicit budget policy; overrides the convenience parameters.
         budget_fraction:
-            Adaptive indexing budget as a fraction of the scan cost (the
-            paper's default experiments use ``0.2``).
+            Time-adaptive indexing budget as a fraction of the scan cost
+            (the paper's default experiments use ``0.2``).
         fixed_delta:
             Fixed fraction of the column indexed per query.
+        interactivity_budget:
+            Interactivity threshold τ in seconds: every query should take
+            about this long in total until the index converges.  Installs
+            the cost-model-greedy policy, which solves the per-phase cost
+            model for the delta that lands each query on τ.
         kwargs:
             Extra keyword arguments forwarded to the index constructor.
         """
         if column_name in self._indexes:
             raise ExperimentError(f"column {column_name!r} is already indexed")
         column = self._table.column(column_name)
+        provided = [
+            value
+            for value in (budget, budget_fraction, fixed_delta, interactivity_budget)
+            if value is not None
+        ]
+        if len(provided) > 1:
+            raise ExperimentError(
+                "provide at most one of budget, budget_fraction, fixed_delta "
+                "or interactivity_budget"
+            )
         if budget is None:
             if fixed_delta is not None:
-                budget = FixedBudget(fixed_delta)
+                budget = FixedDelta(fixed_delta)
+            elif interactivity_budget is not None:
+                budget = CostModelGreedy(interactivity_budget=interactivity_budget)
             else:
-                budget = AdaptiveBudget(scan_fraction=budget_fraction or 0.2)
+                budget = TimeAdaptive(scan_fraction=budget_fraction or 0.2)
         if method is None:
             recommendation = recommend_index(
                 point_query_workload=point_query_workload, skewed_data=skewed_data
@@ -382,7 +400,13 @@ class IndexingSession:
         return best_name
 
     def status(self) -> Dict[str, dict]:
-        """Per-index construction status (phase, queries, convergence)."""
+        """Per-index construction status (phase, queries, convergence).
+
+        ``phase_stats`` summarises every visited life-cycle phase: how many
+        queries it answered and how much indexing budget (model seconds) was
+        spent in it, as accounted by the shared
+        :class:`~repro.core.phase.IndexLifecycle` driver.
+        """
         report = {}
         for column_name, index in self._indexes.items():
             report[column_name] = {
@@ -391,5 +415,7 @@ class IndexingSession:
                 "queries_executed": index.queries_executed,
                 "converged": index.converged,
                 "memory_bytes": index.memory_footprint(),
+                "budget": index.budget.describe(),
+                "phase_stats": index.lifecycle.snapshot(),
             }
         return report

@@ -16,7 +16,7 @@ per-experiment index in DESIGN.md):
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.cost_model_validation import run_cost_model_validation
+from repro.experiments.cost_model_validation import run_cost_model_validation, run_greedy_vs_fixed
 from repro.experiments.delta_impact import run_delta_impact
 from repro.experiments.skyserver_comparison import run_figure10, run_skyserver_comparison
 from repro.experiments.synthetic_comparison import run_synthetic_comparison
@@ -29,6 +29,7 @@ __all__ = [
     "run_cost_model_validation",
     "run_delta_impact",
     "run_figure10",
+    "run_greedy_vs_fixed",
     "run_skyserver_comparison",
     "run_synthetic_comparison",
 ]

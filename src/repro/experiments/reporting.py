@@ -155,6 +155,64 @@ def render_cost_model_validation(result) -> str:
     )
 
 
+def render_greedy_validation(result) -> str:
+    """Render the greedy-vs-fixed policy comparison."""
+    headers = [
+        "Index",
+        "tau (s)",
+        "Var fixed",
+        "Var greedy",
+        "Var ratio",
+        "Conv fixed (s)",
+        "Conv greedy (s)",
+        "Within tau",
+    ]
+    rows = []
+    for algorithm in result.algorithms():
+        row = result.rows[algorithm]
+        ratio = row.convergence_ratio
+        rows.append(
+            [
+                algorithm,
+                format_seconds(row.tau_seconds),
+                format_seconds(row.fixed_variance),
+                format_seconds(row.greedy_variance),
+                f"{row.variance_ratio:.2f}",
+                format_seconds(row.fixed_convergence_seconds),
+                format_seconds(row.greedy_convergence_seconds),
+                f"{row.within_tau_fraction:.0%}",
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Cost-model-greedy vs fixed delta "
+            f"(fixed delta = {result.fixed_delta:g})"
+        ),
+    )
+
+
+def render_phase_breakdown(breakdown, title: str = "Per-phase breakdown") -> str:
+    """Render a per-phase breakdown (phase -> PhaseStats mapping).
+
+    Accepts the mapping produced by
+    :meth:`~repro.engine.executor.ExecutionResult.phase_breakdown` or by
+    :func:`~repro.engine.metrics.compute_phase_breakdown`.
+    """
+    headers = ["Phase", "Queries", "Elapsed (s)", "Indexing budget (s)"]
+    rows = [
+        [
+            stats.phase.value,
+            str(stats.queries),
+            format_seconds(stats.elapsed_seconds),
+            format_seconds(stats.indexing_seconds),
+        ]
+        for stats in breakdown.values()
+    ]
+    return render_table(headers, rows, title=title)
+
+
 def render_figure10(executions: Dict[str, object], head: int = 20) -> str:
     """Render the first ``head`` per-query times of the Figure 10 series."""
     headers = ["Query"] + list(executions)

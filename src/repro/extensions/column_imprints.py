@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.budget import IndexingBudget
+from repro.core.policy import BudgetPolicy
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
@@ -52,7 +52,7 @@ class ProgressiveColumnImprints(BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         n_bins: int = DEFAULT_BINS,
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
@@ -64,17 +64,12 @@ class ProgressiveColumnImprints(BaseIndex):
             raise ValueError(f"block_elements must be positive, got {block_elements}")
         self.n_bins = int(n_bins)
         self.block_elements = int(block_elements)
-        self._phase = IndexPhase.INACTIVE
         self._bin_edges: np.ndarray | None = None
         self._imprints: np.ndarray | None = None     # (n_blocks,) uint64 bitmaps
         self._blocks_imprinted = 0
         self._n_blocks = 0
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     @property
     def blocks_imprinted(self) -> int:
         """Number of blocks whose imprint bitmap has been built."""
@@ -96,8 +91,8 @@ class ProgressiveColumnImprints(BaseIndex):
         self._n_blocks = int(np.ceil(n / self.block_elements))
         self._imprints = np.zeros(self._n_blocks, dtype=np.uint64)
         self._blocks_imprinted = 0
-        self._budget.register_scan_time(self._cost_model.scan_time(n))
-        self._phase = IndexPhase.CREATION
+        self._register_scan_time()
+        self._advance_phase(IndexPhase.CREATION)
 
     def _bins_of(self, values: np.ndarray) -> np.ndarray:
         return np.searchsorted(self._bin_edges, values, side="right")
@@ -126,14 +121,14 @@ class ProgressiveColumnImprints(BaseIndex):
 
     # ------------------------------------------------------------------
     def _execute(self, predicate: Predicate) -> QueryResult:
-        if self._phase is IndexPhase.INACTIVE:
+        if self.phase is IndexPhase.INACTIVE:
             self._initialize()
         n = len(self._column)
         scan_time = self._cost_model.scan_time(n)
         build_time = self._cost_model.write_time(n)
         rho = self._blocks_imprinted / max(1, self._n_blocks)
         base_cost = scan_time  # pessimistic: pruning factor is data dependent
-        delta = self._budget.next_delta(build_time, base_cost)
+        delta = self.budget.next_delta(build_time, base_cost)
         delta = min(delta, 1.0 - rho)
         block_budget = int(np.ceil(delta * self._n_blocks)) if delta > 0 else 0
         built = self._imprint_blocks(block_budget) if block_budget > 0 else 0
@@ -144,8 +139,8 @@ class ProgressiveColumnImprints(BaseIndex):
         self.last_stats.elements_indexed = built * self.block_elements
         self.last_stats.predicted_cost = base_cost + delta * build_time
 
-        if self._blocks_imprinted >= self._n_blocks and self._phase is IndexPhase.CREATION:
-            self._phase = IndexPhase.CONVERGED
+        if self._blocks_imprinted >= self._n_blocks and self.phase is IndexPhase.CREATION:
+            self._advance_phase(IndexPhase.CONVERGED)
         return result
 
     def _answer(self, predicate: Predicate) -> QueryResult:

@@ -18,7 +18,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.budget import IndexingBudget
+from repro.core.policy import BudgetPolicy
 from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
@@ -46,19 +46,14 @@ class ProgressiveHashIndex(BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
     ) -> None:
         super().__init__(column, budget=budget, constants=constants)
-        self._phase = IndexPhase.INACTIVE
         self._table: Dict[int, tuple] = {}
         self._elements_inserted = 0
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     @property
     def elements_inserted(self) -> int:
         """Number of column elements already present in the hash table."""
@@ -71,9 +66,9 @@ class ProgressiveHashIndex(BaseIndex):
     # ------------------------------------------------------------------
     def _execute(self, predicate: Predicate) -> QueryResult:
         n = len(self._column)
-        if self._phase is IndexPhase.INACTIVE:
-            self._budget.register_scan_time(self._cost_model.scan_time(n))
-            self._phase = IndexPhase.CREATION
+        if self.phase is IndexPhase.INACTIVE:
+            self._register_scan_time()
+            self._advance_phase(IndexPhase.CREATION)
 
         scan_time = self._cost_model.scan_time(n)
         build_time = self._cost_model.write_time(n) + n * self._cost_model.constants.phi
@@ -82,7 +77,7 @@ class ProgressiveHashIndex(BaseIndex):
             base_cost = (1.0 - rho) * scan_time + self._cost_model.constants.phi
         else:
             base_cost = scan_time
-        delta = self._budget.next_delta(build_time, base_cost)
+        delta = self.budget.next_delta(build_time, base_cost)
         delta = min(delta, 1.0 - rho)
         to_insert = min(n - self._elements_inserted, int(np.ceil(delta * n))) if delta > 0 else 0
 
@@ -100,8 +95,8 @@ class ProgressiveHashIndex(BaseIndex):
         self.last_stats.elements_indexed = to_insert
         self.last_stats.predicted_cost = base_cost + delta * build_time
 
-        if self._elements_inserted >= n and self._phase is IndexPhase.CREATION:
-            self._phase = IndexPhase.CONVERGED
+        if self._elements_inserted >= n and self.phase is IndexPhase.CREATION:
+            self._advance_phase(IndexPhase.CONVERGED)
         return result
 
     def _insert_chunk(self, count: int) -> None:

@@ -11,12 +11,16 @@ shared machinery they are built from:
   range sorter (creation-phase mechanics applied to refinement).
 * :mod:`repro.progressive.consolidation` — progressive construction of the
   B+-tree cascade from a sorted array.
+* :mod:`repro.progressive.base` — the shared life-cycle driver: phase
+  dispatch, budget-controller routing, and the consolidation / converged
+  phases implemented once for all four algorithms.
 * :mod:`repro.progressive.quicksort` — Progressive Quicksort.
 * :mod:`repro.progressive.radixsort_msd` — Progressive Radixsort (MSD).
 * :mod:`repro.progressive.radixsort_lsd` — Progressive Radixsort (LSD).
 * :mod:`repro.progressive.bucketsort` — Progressive Bucketsort (Equi-Height).
 """
 
+from repro.progressive.base import ProgressiveIndexBase
 from repro.progressive.bucketsort import ProgressiveBucketsort
 from repro.progressive.quicksort import ProgressiveQuicksort
 from repro.progressive.radixsort_lsd import ProgressiveRadixsortLSD
@@ -24,6 +28,7 @@ from repro.progressive.radixsort_msd import ProgressiveRadixsortMSD
 
 __all__ = [
     "ProgressiveBucketsort",
+    "ProgressiveIndexBase",
     "ProgressiveQuicksort",
     "ProgressiveRadixsortLSD",
     "ProgressiveRadixsortMSD",

@@ -1,0 +1,193 @@
+"""Shared life-cycle driver of the four progressive indexes.
+
+Every progressive indexing algorithm of the paper moves through the same
+phases — creation, refinement, consolidation, converged — and ends the same
+way: a fully sorted array consolidated into a B+-tree cascade.  Before this
+module existed, each of the four algorithms carried its own copy of the
+phase dispatch, the consolidation-phase execution, and the converged-path
+execution; :class:`ProgressiveIndexBase` is the template method that owns
+all of it:
+
+* phase transitions go through the index's shared
+  :class:`~repro.core.phase.IndexLifecycle` (monotone, history-recording);
+* every per-query ``delta`` decision routes through the
+  :class:`~repro.core.policy.BudgetController` with the current phase's
+  cost formula exposed as a side-effect-free ``predict(delta)`` callable —
+  which is also what powers the public
+  :meth:`~repro.core.index.BaseIndex.predicted_cost` API that
+  :class:`~repro.core.policy.CostModelGreedy` solves against;
+* the consolidation phase (progressively copying the sorted array into
+  cascade levels) and the converged path are implemented once.
+
+Subclasses implement the creation and refinement phases plus their cost
+formulas (:meth:`_creation_cost`, :meth:`_refinement_cost`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.btree.cascade import DEFAULT_FANOUT
+from repro.core.calibration import CostConstants
+from repro.core.cost_model import CostBreakdown
+from repro.core.index import BaseIndex
+from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
+from repro.core.query import Predicate, QueryResult
+from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.storage.column import Column
+
+
+class ProgressiveIndexBase(BaseIndex):
+    """Template-method base class of the progressive indexing algorithms.
+
+    Parameters
+    ----------
+    column:
+        Column to index.
+    budget:
+        Budget policy (fixed delta, time-adaptive, cost-model greedy, or a
+        pooled batch reservoir).
+    constants:
+        Cost-model constants.
+    fanout:
+        β of the consolidation-phase B+-tree cascade.
+    """
+
+    def __init__(
+        self,
+        column: Column,
+        budget: BudgetPolicy | None = None,
+        constants: CostConstants | None = None,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__(column, budget=budget, constants=constants)
+        self.fanout = int(fanout)
+        self._consolidator: ProgressiveConsolidator | None = None
+        self._cascade = None
+
+    # ------------------------------------------------------------------
+    # Phase dispatch
+    # ------------------------------------------------------------------
+    def _execute(self, predicate: Predicate) -> QueryResult:
+        if self.phase is IndexPhase.INACTIVE:
+            self._initialize()
+            self._register_scan_time()
+            self._advance_phase(IndexPhase.CREATION)
+        phase = self.phase
+        if phase is IndexPhase.CREATION:
+            return self._execute_creation(predicate)
+        if phase is IndexPhase.REFINEMENT:
+            return self._execute_refinement(predicate)
+        if phase is IndexPhase.CONSOLIDATION:
+            return self._execute_consolidation(predicate)
+        return self._execute_converged(predicate)
+
+    # ------------------------------------------------------------------
+    # Per-phase cost model (Section 3)
+    # ------------------------------------------------------------------
+    def predicted_cost(self, predicate: Predicate, delta: float = 0.0) -> CostBreakdown | None:
+        """The current phase's cost formula evaluated at ``delta``.
+
+        Side-effect free; returns ``None`` while the index is inactive (no
+        structures exist before the first query initialises them).
+        """
+        phase = self.phase
+        if phase is IndexPhase.CREATION:
+            return self._creation_cost(predicate, delta)
+        if phase is IndexPhase.REFINEMENT:
+            return self._refinement_cost(predicate, delta)
+        if phase is IndexPhase.CONSOLIDATION:
+            return self._consolidation_cost(predicate, delta)
+        if phase is IndexPhase.CONVERGED:
+            return self._converged_cost(predicate)
+        return None
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """Allocate the first-query structures (pivot, buckets, bounds...)."""
+        raise NotImplementedError
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        raise NotImplementedError
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        raise NotImplementedError
+
+    def _creation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        """Creation-phase cost at ``delta`` (state read-only)."""
+        raise NotImplementedError
+
+    def _refinement_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        """Refinement-phase cost at ``delta`` (state read-only)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Consolidation phase (shared by all four algorithms)
+    # ------------------------------------------------------------------
+    def _enter_consolidation(self, sorted_array: np.ndarray) -> None:
+        """Start consolidating ``sorted_array`` into the cascade."""
+        self._consolidator = ProgressiveConsolidator(sorted_array, fanout=self.fanout)
+        self._advance_phase(IndexPhase.CONSOLIDATION)
+        if self._consolidator.done:
+            self._enter_converged()
+
+    def _consolidation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        n = len(self._column)
+        total_copy = max(1, self._consolidator.total_elements)
+        alpha = self._consolidator.matching_fraction(predicate)
+        return CostBreakdown(
+            scan=alpha * self._cost_model.scan_time(n),
+            lookup=self._cost_model.binary_search_time(n),
+            indexing=delta * self._cost_model.consolidation_copy_time(total_copy),
+        )
+
+    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
+        total_copy = max(1, self._consolidator.total_elements)
+        copy_time = self._cost_model.consolidation_copy_time(total_copy)
+        decision = self._decide(
+            copy_time, lambda d: self._consolidation_cost(predicate, d)
+        )
+        element_budget = (
+            int(np.ceil(decision.delta * total_copy)) if decision.delta > 0 else 0
+        )
+        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
+        result = self._consolidator.query(predicate)
+        self.last_stats.elements_indexed = copied
+        if self._consolidator.done:
+            self._enter_converged()
+        return result
+
+    # ------------------------------------------------------------------
+    # Converged (shared)
+    # ------------------------------------------------------------------
+    def _enter_converged(self) -> None:
+        self._cascade = self._consolidator.result()
+        self._advance_phase(IndexPhase.CONVERGED)
+
+    def _converged_cost(self, predicate: Predicate) -> CostBreakdown:
+        # Estimate the match count from the predicate's selectivity rather
+        # than executing the query: predicted_cost() is documented as
+        # side-effect free AND cheap, so planners can call it per query.
+        n = len(self._column)
+        selectivity = predicate.selectivity(
+            float(self._column.min()), float(self._column.max())
+        )
+        return self._converged_count_cost(int(selectivity * n))
+
+    def _converged_count_cost(self, match_count: int) -> CostBreakdown:
+        return CostBreakdown(
+            scan=self._cost_model.scan_time(match_count),
+            lookup=self._cost_model.tree_lookup_time(self._cascade.height),
+            indexing=0.0,
+        )
+
+    def _execute_converged(self, predicate: Predicate) -> QueryResult:
+        result = self._cascade.query(predicate)
+        # The answer is in hand, so the recorded stats use the exact count.
+        breakdown = self._converged_count_cost(result.count)
+        self.last_stats.predicted_breakdown = breakdown
+        self.last_stats.predicted_cost = breakdown.total
+        return result

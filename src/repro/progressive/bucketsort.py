@@ -40,14 +40,14 @@ from typing import Deque, List, Optional
 import numpy as np
 
 from repro.btree.cascade import DEFAULT_FANOUT
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
-from repro.core.index import BaseIndex
+from repro.core.cost_model import CostBreakdown
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.base import ProgressiveIndexBase
 from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BucketSet
-from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD, ProgressiveSorter
 from repro.storage.column import Column
 
@@ -131,7 +131,7 @@ class _MergeBucket:
         self.sorter: Optional[ProgressiveSorter] = None
 
 
-class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
+class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
     """Progressive Bucketsort (Equi-Height) index over a single column.
 
     Parameters
@@ -139,7 +139,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
     column:
         Column to index.
     budget:
-        Indexing-budget controller.
+        Budget policy.
     constants:
         Cost-model constants.
     n_buckets:
@@ -161,7 +161,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         n_buckets: int = DEFAULT_BUCKET_COUNT,
         block_size: int = DEFAULT_BLOCK_SIZE,
@@ -169,16 +169,14 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         bounds_sample: int = DEFAULT_BOUNDS_SAMPLE,
         fanout: int = DEFAULT_FANOUT,
     ) -> None:
-        super().__init__(column, budget=budget, constants=constants)
+        super().__init__(column, budget=budget, constants=constants, fanout=fanout)
         if n_buckets < 2:
             raise ValueError(f"n_buckets must be at least 2, got {n_buckets}")
         self.n_buckets = int(n_buckets)
         self.block_size = int(block_size)
         self.sort_threshold = int(sort_threshold)
         self.bounds_sample = int(bounds_sample)
-        self.fanout = int(fanout)
         self._cost_model.block_size = self.block_size
-        self._phase = IndexPhase.INACTIVE
         # Creation state --------------------------------------------------
         self._bounds: np.ndarray | None = None
         self._router: BoundsRouter | None = None
@@ -189,15 +187,8 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         self._merge_buckets: List[_MergeBucket] | None = None
         self._worklist: Deque[_MergeBucket] = deque()
         self._unfinished = 0
-        # Consolidation state ---------------------------------------------
-        self._consolidator: ProgressiveConsolidator | None = None
-        self._cascade = None
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     @property
     def bounds(self) -> np.ndarray | None:
         """The equi-height bucket boundaries (``n_buckets - 1`` values)."""
@@ -212,18 +203,6 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         if self._cascade is not None:
             total += self._cascade.memory_footprint()
         return total
-
-    # ------------------------------------------------------------------
-    def _execute(self, predicate: Predicate) -> QueryResult:
-        if self._phase is IndexPhase.INACTIVE:
-            self._initialize()
-        if self._phase is IndexPhase.CREATION:
-            return self._execute_creation(predicate)
-        if self._phase is IndexPhase.REFINEMENT:
-            return self._execute_refinement(predicate)
-        if self._phase is IndexPhase.CONSOLIDATION:
-            return self._execute_consolidation(predicate)
-        return self._execute_converged(predicate)
 
     # ------------------------------------------------------------------
     # Creation phase
@@ -243,8 +222,6 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )
         self._elements_bucketed = 0
-        self._budget.register_scan_time(self._cost_model.scan_time(n))
-        self._phase = IndexPhase.CREATION
 
     def _bucket_id(self, values: np.ndarray) -> np.ndarray:
         return self._router.route(values)
@@ -254,19 +231,33 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         high_id = int(np.searchsorted(self._bounds, predicate.high, side="right"))
         return range(low_id, high_id + 1)
 
-    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+    def _creation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
         n = len(self._column)
         rho = self._elements_bucketed / n
         bucket_range = self._relevant_bucket_range(predicate)
         indexed_relevant = sum(len(self._buckets[i]) for i in bucket_range)
         alpha = indexed_relevant / n if n else 0.0
+        return CostBreakdown(
+            scan=(
+                max(0.0, 1.0 - rho - delta) * self._cost_model.scan_time(n)
+                + alpha * self._cost_model.bucket_scan_time(n)
+            ),
+            lookup=0.0,
+            indexing=delta
+            * self._cost_model.equiheight_bucket_write_time(n, self.n_buckets),
+        )
 
-        scan_time = self._cost_model.scan_time(n)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        bucket_range = self._relevant_bucket_range(predicate)
         bucket_write_time = self._cost_model.equiheight_bucket_write_time(n, self.n_buckets)
-        base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
-        delta = self._budget.next_delta(bucket_write_time, base_cost)
-        delta = min(delta, 1.0 - rho)
+        decision = self._decide(
+            bucket_write_time,
+            lambda d: self._creation_cost(predicate, d),
+            max_delta=1.0 - rho,
+        )
+        delta = decision.delta
         to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
 
         if to_bucket > 0:
@@ -278,13 +269,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
         result += self._scan_column(predicate, start=self._elements_bucketed)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = to_bucket
-        self.last_stats.predicted_cost = (
-            max(0.0, 1.0 - rho - delta) * scan_time
-            + alpha * bucket_scan_time
-            + delta * bucket_write_time
-        )
 
         if self._elements_bucketed >= n:
             self._enter_refinement()
@@ -306,9 +291,9 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
             if merge.state is not _BucketState.DONE:
                 self._unfinished += 1
                 self._worklist.append(merge)
-        self._phase = IndexPhase.REFINEMENT
+        self._advance_phase(IndexPhase.REFINEMENT)
         if self._unfinished == 0:
-            self._enter_consolidation()
+            self._finish_refinement()
 
     def _bucket_value_bounds(self, bucket_id: int) -> tuple:
         low = float(self._column.min()) if bucket_id == 0 else float(self._bounds[bucket_id - 1])
@@ -348,7 +333,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
                     )
                     merge.state = _BucketState.SORTING
             elif merge.state is _BucketState.SORTING:
-                if self._budget.pooled and budget >= merge.sorter.remaining_work():
+                if self.budget.pooled and budget >= merge.sorter.remaining_work():
                     done = merge.sorter.finish()
                 else:
                     done = merge.sorter.refine(budget)
@@ -387,19 +372,28 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
             return int(merge.sorter.scanned_fraction(predicate) * merge.size)
         return merge.size
 
-    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+    def _refinement_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
         n = len(self._column)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
-        swap_time = self._cost_model.swap_time(n)
         bucket_range = self._relevant_bucket_range(predicate)
         relevant = sum(
             self._relevant_refinement_size(self._merge_buckets[i], predicate)
             for i in bucket_range
         )
         alpha = relevant / n if n else 0.0
-        base_cost = alpha * bucket_scan_time
-        delta = self._budget.next_delta(swap_time, base_cost)
-        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+        return CostBreakdown(
+            scan=alpha * self._cost_model.bucket_scan_time(n),
+            lookup=0.0,
+            indexing=delta * self._cost_model.swap_time(n),
+        )
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        swap_time = self._cost_model.swap_time(n)
+        bucket_range = self._relevant_bucket_range(predicate)
+        decision = self._decide(
+            swap_time, lambda d: self._refinement_cost(predicate, d)
+        )
+        element_budget = int(np.ceil(decision.delta * n)) if decision.delta > 0 else 0
 
         refined = self._refine_step(element_budget) if element_budget > 0 else 0
 
@@ -407,53 +401,14 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, BaseIndex):
         for bucket_id in bucket_range:
             result += self._query_merge_bucket(self._merge_buckets[bucket_id], predicate)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = refined
-        self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * swap_time
 
         if self._unfinished == 0:
-            self._enter_consolidation()
+            self._finish_refinement()
         return result
 
-    # ------------------------------------------------------------------
-    # Consolidation phase
-    # ------------------------------------------------------------------
-    def _enter_consolidation(self) -> None:
-        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
+    def _finish_refinement(self) -> None:
+        """All buckets merged and sorted: release them and consolidate."""
         self._buckets = None
         self._merge_buckets = None
-        self._phase = IndexPhase.CONSOLIDATION
-        if self._consolidator.done:
-            self._enter_converged()
-
-    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
-        n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
-        total_copy = max(1, self._consolidator.total_elements)
-        copy_time = self._cost_model.consolidation_copy_time(total_copy)
-        alpha = self._consolidator.matching_fraction(predicate)
-        lookup_time = self._cost_model.binary_search_time(n)
-        base_cost = lookup_time + alpha * scan_time
-        delta = self._budget.next_delta(copy_time, base_cost)
-        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
-
-        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
-        result = self._consolidator.query(predicate)
-
-        self.last_stats.delta = delta
-        self.last_stats.elements_indexed = copied
-        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
-
-        if self._consolidator.done:
-            self._enter_converged()
-        return result
-
-    def _enter_converged(self) -> None:
-        self._cascade = self._consolidator.result()
-        self._phase = IndexPhase.CONVERGED
-
-    def _execute_converged(self, predicate: Predicate) -> QueryResult:
-        result = self._cascade.query(predicate)
-        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
-        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
-        return result
+        self._enter_consolidation(self._final_array)

@@ -19,12 +19,12 @@ Refinement
     pivots routes lookups to the pieces that can contain matching values.
 
 Consolidation
-    Once the array is fully sorted, a B+-tree cascade is built on top of it,
-    ``delta`` of the copy work per query
-    (:class:`~repro.progressive.consolidation.ProgressiveConsolidator`).
+    Once the array is fully sorted, a B+-tree cascade is built on top of it
+    (shared :class:`~repro.progressive.base.ProgressiveIndexBase` driver).
 
-The per-phase cost models implement the formulas of Section 3.1 and drive the
-adaptive indexing budget.
+The per-phase cost models implement the formulas of Section 3.1; every
+``delta`` decision routes through the budget controller with those formulas
+as the ``predict(delta)`` callable.
 """
 
 from __future__ import annotations
@@ -32,17 +32,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.btree.cascade import DEFAULT_FANOUT
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import CostConstants
-from repro.core.index import BaseIndex
+from repro.core.cost_model import CostBreakdown
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
-from repro.progressive.consolidation import ProgressiveConsolidator
+from repro.progressive.base import ProgressiveIndexBase
 from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD, ProgressiveSorter
 from repro.storage.column import Column
 
 
-class ProgressiveQuicksort(BaseIndex):
+class ProgressiveQuicksort(ProgressiveIndexBase):
     """Progressive Quicksort index over a single column.
 
     Parameters
@@ -50,7 +50,7 @@ class ProgressiveQuicksort(BaseIndex):
     column:
         Column to index.
     budget:
-        Indexing-budget controller (fixed delta, fixed time or adaptive).
+        Budget policy (fixed delta, fixed time, time-adaptive or greedy).
     constants:
         Cost-model constants; defaults to the deterministic simulated set.
     sort_threshold:
@@ -66,31 +66,23 @@ class ProgressiveQuicksort(BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         sort_threshold: int = DEFAULT_SORT_THRESHOLD,
         fanout: int = DEFAULT_FANOUT,
     ) -> None:
-        super().__init__(column, budget=budget, constants=constants)
+        super().__init__(column, budget=budget, constants=constants, fanout=fanout)
         self.sort_threshold = int(sort_threshold)
-        self.fanout = int(fanout)
-        self._phase = IndexPhase.INACTIVE
         # Creation-phase state -------------------------------------------------
         self._index_array: np.ndarray | None = None
         self._pivot: float | None = None
         self._low_fill = 0          # next free slot at the top of the array
         self._high_fill = 0         # one past the last free slot at the bottom
         self._elements_copied = 0   # how much of the base column has been copied
-        # Refinement / consolidation state -------------------------------------
+        # Refinement state -----------------------------------------------------
         self._sorter: ProgressiveSorter | None = None
-        self._consolidator: ProgressiveConsolidator | None = None
-        self._cascade = None
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     @property
     def pivot(self) -> float | None:
         """The creation-phase pivot (average of the column's min and max)."""
@@ -120,19 +112,7 @@ class ProgressiveQuicksort(BaseIndex):
         return None
 
     # ------------------------------------------------------------------
-    # Query execution
-    # ------------------------------------------------------------------
-    def _execute(self, predicate: Predicate) -> QueryResult:
-        if self._phase is IndexPhase.INACTIVE:
-            self._initialize()
-        if self._phase is IndexPhase.CREATION:
-            return self._execute_creation(predicate)
-        if self._phase is IndexPhase.REFINEMENT:
-            return self._execute_refinement(predicate)
-        if self._phase is IndexPhase.CONSOLIDATION:
-            return self._execute_consolidation(predicate)
-        return self._execute_converged(predicate)
-
+    # Creation phase
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
         """Allocate the index array and choose the pivot (first query only)."""
@@ -144,12 +124,7 @@ class ProgressiveQuicksort(BaseIndex):
         self._low_fill = 0
         self._high_fill = n
         self._elements_copied = 0
-        self._budget.register_scan_time(self._cost_model.scan_time(n))
-        self._phase = IndexPhase.CREATION
 
-    # ------------------------------------------------------------------
-    # Creation phase
-    # ------------------------------------------------------------------
     def _creation_alpha(self, predicate: Predicate) -> float:
         """Fraction of the partial index scanned for ``predicate``."""
         n = len(self._column)
@@ -164,15 +139,27 @@ class ProgressiveQuicksort(BaseIndex):
             touched += high_part
         return touched / n
 
-    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+    def _creation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
         n = len(self._column)
         rho = self._elements_copied / n
         alpha = self._creation_alpha(predicate)
         scan_time = self._cost_model.scan_time(n)
+        return CostBreakdown(
+            scan=max(0.0, 1.0 - rho - delta) * scan_time + alpha * scan_time,
+            lookup=0.0,
+            indexing=delta * self._cost_model.pivot_time(n),
+        )
+
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_copied / n
         pivot_time = self._cost_model.pivot_time(n)
-        base_cost = (1.0 - rho) * scan_time + alpha * scan_time
-        delta = self._budget.next_delta(pivot_time, base_cost)
-        delta = min(delta, 1.0 - rho)
+        decision = self._decide(
+            pivot_time,
+            lambda d: self._creation_cost(predicate, d),
+            max_delta=1.0 - rho,
+        )
+        delta = decision.delta
         to_copy = min(n - self._elements_copied, int(np.ceil(delta * n))) if delta > 0 else 0
 
         if to_copy > 0:
@@ -182,11 +169,7 @@ class ProgressiveQuicksort(BaseIndex):
         result = self._query_creation_pieces(predicate)
         result += self._scan_column(predicate, start=self._elements_copied)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = to_copy
-        self.last_stats.predicted_cost = (
-            max(0.0, 1.0 - rho - delta) * scan_time + alpha * scan_time + delta * pivot_time
-        )
 
         if self._elements_copied >= n:
             self._enter_refinement()
@@ -228,26 +211,34 @@ class ProgressiveQuicksort(BaseIndex):
             value_high=float(self._column.max()),
             sort_threshold=self.sort_threshold,
         )
-        self._phase = IndexPhase.REFINEMENT
+        self._advance_phase(IndexPhase.REFINEMENT)
         if self._sorter.is_sorted:
-            self._enter_consolidation()
+            self._enter_consolidation(self._index_array)
 
     # ------------------------------------------------------------------
     # Refinement phase
     # ------------------------------------------------------------------
+    def _refinement_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        n = len(self._column)
+        alpha = self._sorter.scanned_fraction(predicate)
+        return CostBreakdown(
+            scan=alpha * self._cost_model.scan_time(n),
+            lookup=self._cost_model.tree_lookup_time(self._sorter.height),
+            indexing=delta * self._cost_model.swap_time(n),
+        )
+
     def _execute_refinement(self, predicate: Predicate) -> QueryResult:
         n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
         swap_time = self._cost_model.swap_time(n)
-        alpha = self._sorter.scanned_fraction(predicate)
-        lookup_time = self._cost_model.tree_lookup_time(self._sorter.height)
-        base_cost = lookup_time + alpha * scan_time
-        delta = self._budget.next_delta(swap_time, base_cost)
+        decision = self._decide(
+            swap_time, lambda d: self._refinement_cost(predicate, d)
+        )
+        delta = decision.delta
         element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
 
         refined = 0
         if element_budget > 0:
-            if delta >= 1.0 and self._budget.pooled:
+            if delta >= 1.0 and self.budget.pooled:
                 # A pooled batch budget granting the entire remaining phase:
                 # complete it outright.  Per-query budgets keep the paper's
                 # incremental refinement even at delta = 1.
@@ -258,56 +249,8 @@ class ProgressiveQuicksort(BaseIndex):
 
         result = self._sorter.query(predicate)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = refined
-        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * swap_time
 
         if self._sorter.is_sorted:
-            self._enter_consolidation()
-        return result
-
-    def _enter_consolidation(self) -> None:
-        self._consolidator = ProgressiveConsolidator(self._index_array, fanout=self.fanout)
-        self._phase = IndexPhase.CONSOLIDATION
-        if self._consolidator.done:
-            self._enter_converged()
-
-    # ------------------------------------------------------------------
-    # Consolidation phase
-    # ------------------------------------------------------------------
-    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
-        n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
-        total_copy = max(1, self._consolidator.total_elements)
-        copy_time = self._cost_model.consolidation_copy_time(total_copy)
-        alpha = self._consolidator.matching_fraction(predicate)
-        lookup_time = self._cost_model.binary_search_time(n)
-        base_cost = lookup_time + alpha * scan_time
-        delta = self._budget.next_delta(copy_time, base_cost)
-        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
-
-        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
-        result = self._consolidator.query(predicate)
-
-        self.last_stats.delta = delta
-        self.last_stats.elements_indexed = copied
-        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
-
-        if self._consolidator.done:
-            self._enter_converged()
-        return result
-
-    def _enter_converged(self) -> None:
-        self._cascade = self._consolidator.result()
-        self._phase = IndexPhase.CONVERGED
-
-    # ------------------------------------------------------------------
-    # Converged
-    # ------------------------------------------------------------------
-    def _execute_converged(self, predicate: Predicate) -> QueryResult:
-        result = self._cascade.query(predicate)
-        n = len(self._column)
-        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
-        match_time = self._cost_model.scan_time(result.count)
-        self.last_stats.predicted_cost = lookup_time + match_time
+            self._enter_consolidation(self._index_array)
         return result

@@ -21,8 +21,8 @@ Refinement
     sorted index array.
 
 Consolidation
-    A B+-tree cascade is built over the sorted array, as with the other
-    progressive indexes.
+    A B+-tree cascade is built over the sorted array by the shared
+    :class:`~repro.progressive.base.ProgressiveIndexBase` driver.
 """
 
 from __future__ import annotations
@@ -32,15 +32,15 @@ import enum
 import numpy as np
 
 from repro.btree.cascade import DEFAULT_FANOUT
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
-from repro.core.index import BaseIndex
+from repro.core.cost_model import CostBreakdown
 from repro.core.keys import RadixKeySpace
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.base import ProgressiveIndexBase
 from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BucketSet
-from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.storage.column import Column
 
 #: Default number of radix buckets (paper: 64).
@@ -54,7 +54,7 @@ class _RefinementStage(enum.Enum):
     MERGE = "merge"     # draining the final bucket generation into the array
 
 
-class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
+class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
     """Progressive Radixsort (LSD) index over a single column.
 
     Parameters
@@ -63,7 +63,7 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         Column to index (``int64`` or ``float64``; radix digits come from the
         column's order-preserving :class:`~repro.core.keys.RadixKeySpace`).
     budget:
-        Indexing-budget controller.
+        Budget policy.
     constants:
         Cost-model constants.
     n_buckets:
@@ -80,21 +80,19 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         n_buckets: int = DEFAULT_BUCKET_COUNT,
         block_size: int = DEFAULT_BLOCK_SIZE,
         fanout: int = DEFAULT_FANOUT,
     ) -> None:
-        super().__init__(column, budget=budget, constants=constants)
+        super().__init__(column, budget=budget, constants=constants, fanout=fanout)
         if n_buckets < 2 or (n_buckets & (n_buckets - 1)) != 0:
             raise ValueError(f"n_buckets must be a power of two >= 2, got {n_buckets}")
         self.n_buckets = int(n_buckets)
         self.bits_per_pass = int(np.log2(self.n_buckets))
         self.block_size = int(block_size)
-        self.fanout = int(fanout)
         self._cost_model.block_size = self.block_size
-        self._phase = IndexPhase.INACTIVE
         # Radix bookkeeping ------------------------------------------------
         self._keyspace: RadixKeySpace | None = None
         self._total_passes = 1
@@ -112,15 +110,8 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         self._merge_bucket_cursor = 0
         self._merge_offset_cursor = 0
         self._merge_position = 0
-        # Consolidation state -----------------------------------------------
-        self._consolidator: ProgressiveConsolidator | None = None
-        self._cascade = None
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     @property
     def total_passes(self) -> int:
         """Total number of radix passes required for convergence."""
@@ -143,18 +134,6 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         return total
 
     # ------------------------------------------------------------------
-    def _execute(self, predicate: Predicate) -> QueryResult:
-        if self._phase is IndexPhase.INACTIVE:
-            self._initialize()
-        if self._phase is IndexPhase.CREATION:
-            return self._execute_creation(predicate)
-        if self._phase is IndexPhase.REFINEMENT:
-            return self._execute_refinement(predicate)
-        if self._phase is IndexPhase.CONSOLIDATION:
-            return self._execute_consolidation(predicate)
-        return self._execute_converged(predicate)
-
-    # ------------------------------------------------------------------
     # Radix helpers
     # ------------------------------------------------------------------
     def _pass_bucket_ids(self, values: np.ndarray, pass_number: int) -> np.ndarray:
@@ -167,7 +146,6 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     # Creation phase (pass 0)
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
-        n = len(self._column)
         self._keyspace = RadixKeySpace(
             self._column.min(), self._column.max(), self._column.dtype, self.bits_per_pass
         )
@@ -177,28 +155,36 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         )
         self._current_pass = 0
         self._elements_bucketed = 0
-        self._budget.register_scan_time(self._cost_model.scan_time(n))
-        self._phase = IndexPhase.CREATION
+
+    def _creation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        scan_time = self._cost_model.scan_time(n)
+        if predicate.is_point:
+            bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
+            alpha = len(bucket) / n if n else 0.0
+            scan = alpha * self._cost_model.bucket_scan_time(n)
+            scan += max(0.0, 1.0 - rho - delta) * scan_time
+        else:
+            # Range queries cannot use the LSD buckets: fall back to a full
+            # column scan (alpha == rho case in the paper).
+            scan = scan_time
+        return CostBreakdown(
+            scan=scan,
+            lookup=0.0,
+            indexing=delta * self._cost_model.bucket_write_time(n),
+        )
 
     def _execute_creation(self, predicate: Predicate) -> QueryResult:
         n = len(self._column)
         rho = self._elements_bucketed / n
-        scan_time = self._cost_model.scan_time(n)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
         bucket_write_time = self._cost_model.bucket_write_time(n)
-
-        if predicate.is_point:
-            bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
-            alpha = len(bucket) / n if n else 0.0
-            base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
-        else:
-            # Range queries cannot use the LSD buckets: fall back to a full
-            # column scan (alpha == rho case in the paper).
-            alpha = rho
-            base_cost = scan_time
-
-        delta = self._budget.next_delta(bucket_write_time, base_cost)
-        delta = min(delta, 1.0 - rho)
+        decision = self._decide(
+            bucket_write_time,
+            lambda d: self._creation_cost(predicate, d),
+            max_delta=1.0 - rho,
+        )
+        delta = decision.delta
         to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
 
         if to_bucket > 0:
@@ -211,14 +197,10 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
             bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
             result = bucket.scan(predicate.low, predicate.high)
             result += self._scan_column(predicate, start=self._elements_bucketed)
-            predicted_scan = alpha * bucket_scan_time + max(0.0, 1.0 - rho - delta) * scan_time
         else:
             result = self._scan_column(predicate)
-            predicted_scan = scan_time
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = to_bucket
-        self.last_stats.predicted_cost = predicted_scan + delta * bucket_write_time
 
         if self._elements_bucketed >= n:
             self._enter_refinement()
@@ -228,7 +210,7 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
     # Refinement phase (passes 1 .. total_passes-1, then the merge)
     # ------------------------------------------------------------------
     def _enter_refinement(self) -> None:
-        self._phase = IndexPhase.REFINEMENT
+        self._advance_phase(IndexPhase.REFINEMENT)
         if self._total_passes == 1:
             self._start_merge()
         else:
@@ -304,7 +286,7 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         if self._merge_position >= n:
             self._current_set.clear()
             self._current_set = None
-            self._enter_consolidation()
+            self._enter_consolidation(self._final_array)
         return moved
 
     def _point_query_during_refinement(self, predicate: Predicate) -> QueryResult:
@@ -341,23 +323,29 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
                 result += QueryResult.from_masked(remaining, predicate.mask(remaining))
         return result
 
-    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+    def _refinement_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
         n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
         if self._stage is _RefinementStage.PASSES:
             full_work = self._cost_model.bucket_write_time(n)
         else:
             full_work = self._cost_model.write_time(n)
-
         if predicate.is_point:
             alpha = 1.0 / self.n_buckets
-            base_cost = alpha * bucket_scan_time
+            scan = alpha * self._cost_model.bucket_scan_time(n)
         else:
-            alpha = 1.0
-            base_cost = scan_time
+            scan = self._cost_model.scan_time(n)
+        return CostBreakdown(scan=scan, lookup=0.0, indexing=delta * full_work)
 
-        delta = self._budget.next_delta(full_work, base_cost)
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        if self._stage is _RefinementStage.PASSES:
+            full_work = self._cost_model.bucket_write_time(n)
+        else:
+            full_work = self._cost_model.write_time(n)
+        decision = self._decide(
+            full_work, lambda d: self._refinement_cost(predicate, d)
+        )
+        delta = decision.delta
         element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
 
         moved = 0
@@ -369,8 +357,8 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
 
         # Answer the query.  The phase may have advanced to consolidation
         # while performing the work; re-dispatch in that case.
-        if self._phase is not IndexPhase.REFINEMENT:
-            if self._phase is IndexPhase.CONSOLIDATION:
+        if self.phase is not IndexPhase.REFINEMENT:
+            if self.phase is IndexPhase.CONSOLIDATION:
                 result = self._consolidator.query(predicate)
             else:
                 result = self._cascade.query(predicate)
@@ -379,51 +367,5 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, BaseIndex):
         else:
             result = self._scan_column(predicate)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = moved
-        if predicate.is_point:
-            self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * full_work
-        else:
-            self.last_stats.predicted_cost = scan_time + delta * full_work
-        return result
-
-    # ------------------------------------------------------------------
-    # Consolidation phase
-    # ------------------------------------------------------------------
-    def _enter_consolidation(self) -> None:
-        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
-        self._phase = IndexPhase.CONSOLIDATION
-        if self._consolidator.done:
-            self._enter_converged()
-
-    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
-        n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
-        total_copy = max(1, self._consolidator.total_elements)
-        copy_time = self._cost_model.consolidation_copy_time(total_copy)
-        alpha = self._consolidator.matching_fraction(predicate)
-        lookup_time = self._cost_model.binary_search_time(n)
-        base_cost = lookup_time + alpha * scan_time
-        delta = self._budget.next_delta(copy_time, base_cost)
-        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
-
-        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
-        result = self._consolidator.query(predicate)
-
-        self.last_stats.delta = delta
-        self.last_stats.elements_indexed = copied
-        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
-
-        if self._consolidator.done:
-            self._enter_converged()
-        return result
-
-    def _enter_converged(self) -> None:
-        self._cascade = self._consolidator.result()
-        self._phase = IndexPhase.CONVERGED
-
-    def _execute_converged(self, predicate: Predicate) -> QueryResult:
-        result = self._cascade.query(predicate)
-        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
-        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
         return result

@@ -34,15 +34,15 @@ from typing import Deque, List, Optional
 import numpy as np
 
 from repro.btree.cascade import DEFAULT_FANOUT
-from repro.core.budget import IndexingBudget
 from repro.core.calibration import DEFAULT_BLOCK_SIZE, CostConstants
-from repro.core.index import BaseIndex
+from repro.core.cost_model import CostBreakdown
 from repro.core.keys import RadixKeySpace
 from repro.core.phase import IndexPhase
+from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
+from repro.progressive.base import ProgressiveIndexBase
 from repro.progressive.batch_search import ConsolidatedBatchSearch
 from repro.progressive.blocks import BlockList, BucketSet
-from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.progressive.sorter import DEFAULT_SORT_THRESHOLD
 from repro.storage.column import Column
 
@@ -97,7 +97,7 @@ class _RadixNode:
         self.child_set: Optional[BucketSet] = None
 
 
-class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
+class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
     """Progressive Radixsort (MSD) index over a single column.
 
     Parameters
@@ -106,7 +106,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         Column to index (``int64`` or ``float64``; bucket routing happens in
         the column's order-preserving :class:`~repro.core.keys.RadixKeySpace`).
     budget:
-        Indexing-budget controller.
+        Budget policy.
     constants:
         Cost-model constants.
     n_buckets:
@@ -126,23 +126,21 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
     def __init__(
         self,
         column: Column,
-        budget: IndexingBudget | None = None,
+        budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
         n_buckets: int = DEFAULT_BUCKET_COUNT,
         block_size: int = DEFAULT_BLOCK_SIZE,
         sort_threshold: int = DEFAULT_SORT_THRESHOLD,
         fanout: int = DEFAULT_FANOUT,
     ) -> None:
-        super().__init__(column, budget=budget, constants=constants)
+        super().__init__(column, budget=budget, constants=constants, fanout=fanout)
         if n_buckets < 2 or (n_buckets & (n_buckets - 1)) != 0:
             raise ValueError(f"n_buckets must be a power of two >= 2, got {n_buckets}")
         self.n_buckets = int(n_buckets)
         self.bits_per_level = int(np.log2(self.n_buckets))
         self.block_size = int(block_size)
         self.sort_threshold = int(sort_threshold)
-        self.fanout = int(fanout)
         self._cost_model.block_size = self.block_size
-        self._phase = IndexPhase.INACTIVE
         # Creation state --------------------------------------------------
         self._buckets: BucketSet | None = None
         self._keyspace: RadixKeySpace | None = None
@@ -153,15 +151,8 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         self._roots: List[_RadixNode] | None = None
         self._worklist: Deque[_RadixNode] = deque()
         self._unfinished_nodes = 0
-        # Consolidation state ---------------------------------------------
-        self._consolidator: ProgressiveConsolidator | None = None
-        self._cascade = None
 
     # ------------------------------------------------------------------
-    @property
-    def phase(self) -> IndexPhase:
-        return self._phase
-
     def memory_footprint(self) -> int:
         total = 0
         if self._buckets is not None:
@@ -171,18 +162,6 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         if self._cascade is not None:
             total += self._cascade.memory_footprint()
         return total
-
-    # ------------------------------------------------------------------
-    def _execute(self, predicate: Predicate) -> QueryResult:
-        if self._phase is IndexPhase.INACTIVE:
-            self._initialize()
-        if self._phase is IndexPhase.CREATION:
-            return self._execute_creation(predicate)
-        if self._phase is IndexPhase.REFINEMENT:
-            return self._execute_refinement(predicate)
-        if self._phase is IndexPhase.CONSOLIDATION:
-            return self._execute_consolidation(predicate)
-        return self._execute_converged(predicate)
 
     # ------------------------------------------------------------------
     # Creation phase
@@ -197,8 +176,6 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )
         self._elements_bucketed = 0
-        self._budget.register_scan_time(self._cost_model.scan_time(n))
-        self._phase = IndexPhase.CREATION
 
     def _bucket_id(self, values: np.ndarray) -> np.ndarray:
         shifted = self._keyspace.shifted(values, self._shift)
@@ -215,19 +192,32 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             self._bucket_id_scalar(predicate.high) + 1,
         )
 
-    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+    def _creation_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
         n = len(self._column)
         rho = self._elements_bucketed / n
         bucket_range = self._relevant_bucket_range(predicate)
         indexed_relevant = sum(len(self._buckets[i]) for i in bucket_range)
         alpha = indexed_relevant / n if n else 0.0
+        return CostBreakdown(
+            scan=(
+                max(0.0, 1.0 - rho - delta) * self._cost_model.scan_time(n)
+                + alpha * self._cost_model.bucket_scan_time(n)
+            ),
+            lookup=0.0,
+            indexing=delta * self._cost_model.bucket_write_time(n),
+        )
 
-        scan_time = self._cost_model.scan_time(n)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
+    def _execute_creation(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        rho = self._elements_bucketed / n
+        bucket_range = self._relevant_bucket_range(predicate)
         bucket_write_time = self._cost_model.bucket_write_time(n)
-        base_cost = (1.0 - rho) * scan_time + alpha * bucket_scan_time
-        delta = self._budget.next_delta(bucket_write_time, base_cost)
-        delta = min(delta, 1.0 - rho)
+        decision = self._decide(
+            bucket_write_time,
+            lambda d: self._creation_cost(predicate, d),
+            max_delta=1.0 - rho,
+        )
+        delta = decision.delta
         to_bucket = min(n - self._elements_bucketed, int(np.ceil(delta * n))) if delta > 0 else 0
 
         if to_bucket > 0:
@@ -239,13 +229,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
         result += self._scan_column(predicate, start=self._elements_bucketed)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = to_bucket
-        self.last_stats.predicted_cost = (
-            max(0.0, 1.0 - rho - delta) * scan_time
-            + alpha * bucket_scan_time
-            + delta * bucket_write_time
-        )
 
         if self._elements_bucketed >= n:
             self._enter_refinement()
@@ -277,9 +261,9 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             else:
                 self._unfinished_nodes += 1
                 self._worklist.append(node)
-        self._phase = IndexPhase.REFINEMENT
+        self._advance_phase(IndexPhase.REFINEMENT)
         if self._unfinished_nodes == 0:
-            self._enter_consolidation()
+            self._finish_refinement()
 
     def _node_must_copy(self, node: _RadixNode) -> bool:
         """Small (or unsplittable) nodes are sorted outright into the array."""
@@ -411,10 +395,26 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             return total
         return node.size
 
-    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+    def _refinement_work_time(self) -> float:
+        """Cost of performing the entire remaining refinement at once.
+
+        Every element is read back out of its linked blocks (a bucket
+        scan), re-scattered into child buckets (a bucket write), and
+        finally drained into its sorted segment of the index array (a
+        sequential write plus the cache-sized segment sort).  Pricing only
+        the scatter — the paper's simplification — makes the greedy policy
+        overshoot its interactivity budget by >2x on this phase.
+        """
         n = len(self._column)
-        bucket_scan_time = self._cost_model.bucket_scan_time(n)
-        bucket_write_time = self._cost_model.bucket_write_time(n)
+        return (
+            self._cost_model.bucket_scan_time(n)
+            + self._cost_model.bucket_write_time(n)
+            + self._cost_model.write_time(n)
+            + self._cost_model.segment_sort_time(n)
+        )
+
+    def _refinement_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        n = len(self._column)
         bucket_range = self._relevant_bucket_range(predicate)
         key_low = self._keyspace.relative_key(predicate.low)
         key_high = self._keyspace.relative_key(predicate.high)
@@ -423,9 +423,21 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
             for i in bucket_range
         )
         alpha = relevant / n if n else 0.0
-        base_cost = alpha * bucket_scan_time
-        delta = self._budget.next_delta(bucket_write_time, base_cost)
-        element_budget = int(np.ceil(delta * n)) if delta > 0 else 0
+        return CostBreakdown(
+            scan=alpha * self._cost_model.bucket_scan_time(n),
+            lookup=0.0,
+            indexing=delta * self._refinement_work_time(),
+        )
+
+    def _execute_refinement(self, predicate: Predicate) -> QueryResult:
+        n = len(self._column)
+        bucket_range = self._relevant_bucket_range(predicate)
+        key_low = self._keyspace.relative_key(predicate.low)
+        key_high = self._keyspace.relative_key(predicate.high)
+        decision = self._decide(
+            self._refinement_work_time(), lambda d: self._refinement_cost(predicate, d)
+        )
+        element_budget = int(np.ceil(decision.delta * n)) if decision.delta > 0 else 0
 
         refined = self._refine_step(element_budget) if element_budget > 0 else 0
 
@@ -433,53 +445,14 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, BaseIndex):
         for bucket_id in bucket_range:
             result += self._query_node(self._roots[bucket_id], predicate, key_low, key_high)
 
-        self.last_stats.delta = delta
         self.last_stats.elements_indexed = refined
-        self.last_stats.predicted_cost = alpha * bucket_scan_time + delta * bucket_write_time
 
         if self._unfinished_nodes == 0:
-            self._enter_consolidation()
+            self._finish_refinement()
         return result
 
-    # ------------------------------------------------------------------
-    # Consolidation phase
-    # ------------------------------------------------------------------
-    def _enter_consolidation(self) -> None:
-        self._consolidator = ProgressiveConsolidator(self._final_array, fanout=self.fanout)
+    def _finish_refinement(self) -> None:
+        """All nodes done: release the buckets and start consolidating."""
         self._buckets = None
         self._roots = None
-        self._phase = IndexPhase.CONSOLIDATION
-        if self._consolidator.done:
-            self._enter_converged()
-
-    def _execute_consolidation(self, predicate: Predicate) -> QueryResult:
-        n = len(self._column)
-        scan_time = self._cost_model.scan_time(n)
-        total_copy = max(1, self._consolidator.total_elements)
-        copy_time = self._cost_model.consolidation_copy_time(total_copy)
-        alpha = self._consolidator.matching_fraction(predicate)
-        lookup_time = self._cost_model.binary_search_time(n)
-        base_cost = lookup_time + alpha * scan_time
-        delta = self._budget.next_delta(copy_time, base_cost)
-        element_budget = int(np.ceil(delta * total_copy)) if delta > 0 else 0
-
-        copied = self._consolidator.step(element_budget) if element_budget > 0 else 0
-        result = self._consolidator.query(predicate)
-
-        self.last_stats.delta = delta
-        self.last_stats.elements_indexed = copied
-        self.last_stats.predicted_cost = lookup_time + alpha * scan_time + delta * copy_time
-
-        if self._consolidator.done:
-            self._enter_converged()
-        return result
-
-    def _enter_converged(self) -> None:
-        self._cascade = self._consolidator.result()
-        self._phase = IndexPhase.CONVERGED
-
-    def _execute_converged(self, predicate: Predicate) -> QueryResult:
-        result = self._cascade.query(predicate)
-        lookup_time = self._cost_model.tree_lookup_time(self._cascade.height)
-        self.last_stats.predicted_cost = lookup_time + self._cost_model.scan_time(result.count)
-        return result
+        self._enter_consolidation(self._final_array)

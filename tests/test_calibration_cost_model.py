@@ -69,8 +69,10 @@ class TestCostModel:
         assert model.pivot_time(n) == pytest.approx(expected)
 
     def test_swap_time_formula(self, model):
+        # Refinement work is priced per element with the measured sorter
+        # primitive sigma, not as bulk page writes.
         n = 512 * 10
-        expected = model.constants.kappa * n / model.constants.gamma
+        expected = model.constants.sigma * n
         assert model.swap_time(n) == pytest.approx(expected)
 
     def test_tree_lookup_time(self, model):
@@ -94,10 +96,13 @@ class TestCostModel:
         )
         assert model.bucket_write_time(n) == pytest.approx(expected)
 
-    def test_equiheight_write_has_log_factor(self, model):
+    def test_equiheight_write_adds_one_routing_pass(self, model):
+        # The grid BoundsRouter made equi-height routing O(1) per element:
+        # the model prices it as one extra scatter-scale pass, not the
+        # paper's log2(b) binary-search factor.
         n = 100_000
         assert model.equiheight_bucket_write_time(n, 64) == pytest.approx(
-            math.log2(64) * model.bucket_write_time(n)
+            model.bucket_write_time(n) + model.constants.scatter * n
         )
 
     def test_btree_copy_count(self, model):

@@ -22,6 +22,7 @@ import pytest
 
 from repro.baselines.full_scan import FullScan
 from repro.core.budget import FixedBudget
+from repro.core.policy import CostModelGreedy, FixedDelta, TimeAdaptive
 from repro.core.query import Predicate
 from repro.engine.batch import BatchExecutor
 from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS, create_index
@@ -39,6 +40,16 @@ N_QUERIES = 80
 DISTRIBUTIONS = {
     "uniform": lambda rng: uniform_data(N_ELEMENTS, rng=rng),
     "skewed": lambda rng: skewed_data(N_ELEMENTS, rng=rng),
+}
+
+#: The three budget-policy flavours of the adaptive execution layer.  Each
+#: is generous enough to drive every progressive index through full
+#: convergence within the workload, so the differential property is also
+#: asserted on the converged cascade path under every policy.
+POLICIES = {
+    "fixed_delta": lambda: FixedDelta(0.5),
+    "time_adaptive": lambda: TimeAdaptive(scan_fraction=4.0),
+    "cost_model_greedy": lambda: CostModelGreedy(scan_fraction=4.0),
 }
 
 
@@ -68,49 +79,56 @@ def seeded_workload(data: np.ndarray, rng: np.random.Generator, n_queries: int =
     return predicates
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("distribution", sorted(DISTRIBUTIONS))
 @pytest.mark.parametrize("name", sorted(ALGORITHMS))
-def test_algorithm_matches_full_scan_oracle(name, distribution):
+def test_algorithm_matches_full_scan_oracle(name, distribution, policy_name):
     rng = np.random.default_rng(20_260_730)
     data = DISTRIBUTIONS[distribution](rng)
     column = Column(data, name="value")
     oracle = FullScan(Column(data, name="value"))
-    # A generous fixed delta drives progressive indexes through all three
-    # phases (creation, refinement, consolidation) within the workload.
-    index = create_index(name, column, budget=FixedBudget(0.5))
+    # Every policy is generous enough to drive progressive indexes through
+    # all three phases (creation, refinement, consolidation) within the
+    # workload.
+    index = create_index(name, column, budget=POLICIES[policy_name]())
     converged_queries = 0
     for query_number, predicate in enumerate(seeded_workload(data, rng)):
         expected = oracle.query(predicate)
         answer = index.query(predicate)
         assert answer.count == expected.count, (
-            f"{name}/{distribution}: count mismatch at query {query_number} "
-            f"({predicate}) in phase {index.phase}"
+            f"{name}/{distribution}/{policy_name}: count mismatch at query "
+            f"{query_number} ({predicate}) in phase {index.phase}"
         )
         assert answer.value_sum == expected.value_sum, (
-            f"{name}/{distribution}: sum mismatch at query {query_number} "
-            f"({predicate}) in phase {index.phase}"
+            f"{name}/{distribution}/{policy_name}: sum mismatch at query "
+            f"{query_number} ({predicate}) in phase {index.phase}"
         )
         if index.converged:
             converged_queries += 1
     if name in PROGRESSIVE_ALGORITHMS:
         # The equivalence must also have been exercised after convergence.
-        assert index.converged, f"{name} failed to converge within the workload"
+        assert index.converged, (
+            f"{name} failed to converge within the workload under {policy_name}"
+        )
         assert converged_queries > 0
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("name", sorted(ALGORITHMS))
-def test_batch_execution_matches_full_scan_oracle(name):
-    """The differential property holds for the batch execution path too."""
+def test_batch_execution_matches_full_scan_oracle(name, policy_name):
+    """The differential property holds for the batch path under every policy."""
     rng = np.random.default_rng(7)
     data = uniform_data(N_ELEMENTS, rng=rng)
     oracle = FullScan(Column(data, name="value"))
     predicates = seeded_workload(data, rng, n_queries=40)
     expected = [oracle.query(predicate) for predicate in predicates]
-    index = create_index(name, Column(data, name="value"), budget=FixedBudget(0.5))
+    index = create_index(name, Column(data, name="value"), budget=POLICIES[policy_name]())
     batch = BatchExecutor().execute(index, predicates)
     for query_number, (want, got) in enumerate(zip(expected, batch.results)):
-        assert got.count == want.count, f"{name}: batch query {query_number}"
-        assert got.value_sum == want.value_sum, f"{name}: batch query {query_number}"
+        assert got.count == want.count, f"{name}/{policy_name}: batch query {query_number}"
+        assert got.value_sum == want.value_sum, (
+            f"{name}/{policy_name}: batch query {query_number}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.engine import (
 )
 from repro.engine.metrics import (
     compute_metrics,
+    compute_phase_breakdown,
     convergence_query,
     cumulative_cost,
     first_query_cost,
@@ -139,6 +140,49 @@ class TestExecutor:
         predictions = result.predicted_times()
         assert np.isfinite(predictions).all()
 
+    def test_phase_breakdown_accounts_every_query(self, uniform_column, workload):
+        executor = WorkloadExecutor()
+        index = create_index("PQ", uniform_column, budget=FixedBudget(0.5))
+        result = executor.run(index, workload)
+        breakdown = result.phase_breakdown()
+        assert sum(stats.queries for stats in breakdown.values()) == len(workload)
+        # The index did real indexing work, so some phase spent budget.
+        assert any(stats.indexing_seconds > 0 for stats in breakdown.values())
+        # Phases come out in life-cycle order.
+        orders = [phase.order for phase in breakdown]
+        assert orders == sorted(orders)
+        row = next(iter(breakdown.values())).as_row()
+        assert {"phase", "queries", "elapsed_s", "indexing_s"} <= set(row)
+
+    def test_phase_breakdown_matches_lifecycle_accounting(self, uniform_column, workload):
+        executor = WorkloadExecutor()
+        index = create_index("PMSD", uniform_column, budget=FixedBudget(0.5))
+        result = executor.run(index, workload)
+        breakdown = result.phase_breakdown()
+        for phase, stats in breakdown.items():
+            assert index.lifecycle.queries_in(phase) == stats.queries
+            assert index.lifecycle.indexing_seconds_in(phase) == pytest.approx(
+                stats.indexing_seconds
+            )
+
+    def test_compute_phase_breakdown_on_plain_records(self):
+        class Record:
+            def __init__(self, phase, elapsed, indexing):
+                self.phase = phase
+                self.elapsed_seconds = elapsed
+                self.indexing_seconds = indexing
+
+        records = [
+            Record(IndexPhase.CREATION, 1.0, 0.5),
+            Record(IndexPhase.CREATION, 2.0, 0.25),
+            Record(IndexPhase.CONVERGED, 0.5, 0.0),
+        ]
+        breakdown = compute_phase_breakdown(records)
+        assert breakdown[IndexPhase.CREATION].queries == 2
+        assert breakdown[IndexPhase.CREATION].elapsed_seconds == pytest.approx(3.0)
+        assert breakdown[IndexPhase.CREATION].indexing_seconds == pytest.approx(0.75)
+        assert breakdown[IndexPhase.CONVERGED].queries == 1
+
 
 class TestDecisionTree:
     def test_point_queries_recommend_lsd(self):
@@ -153,8 +197,19 @@ class TestDecisionTree:
     def test_memory_constrained_recommends_quicksort(self):
         assert recommend_index(memory_constrained=True).index_class is ProgressiveQuicksort
 
-    def test_non_integer_domain_recommends_quicksort(self):
-        assert recommend_index(integer_domain=False).index_class is ProgressiveQuicksort
+    def test_non_integer_domain_no_longer_forces_quicksort(self):
+        # Since the order-preserving key codecs, float64 columns
+        # radix-cluster exactly: the data type alone no longer routes to
+        # Quicksort — only genuine memory pressure does.
+        assert recommend_index(integer_domain=False).index_class is ProgressiveRadixsortMSD
+        assert (
+            recommend_index(integer_domain=False, skewed_data=True).index_class
+            is ProgressiveBucketsort
+        )
+        assert (
+            recommend_index(integer_domain=False, memory_constrained=True).index_class
+            is ProgressiveQuicksort
+        )
 
     def test_recommendation_creates_index(self, uniform_column):
         recommendation = recommend_index()

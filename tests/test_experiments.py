@@ -115,6 +115,41 @@ class TestCostModelValidation:
         assert "Correlation" in text and "PB" in text
 
 
+class TestGreedyVsFixed:
+    def test_greedy_rows_and_tau_contract(self, quick_config):
+        from repro.experiments import run_greedy_vs_fixed
+        from repro.experiments.reporting import render_greedy_validation
+
+        result = run_greedy_vs_fixed(quick_config, algorithms=("PQ", "PMSD"))
+        assert result.algorithms() == ["PMSD", "PQ"]
+        for algorithm in result.algorithms():
+            row = result.rows[algorithm]
+            assert row.tau_seconds > 0
+            # The greedy policy's contract: pre-convergence predictions land
+            # within tau (modulo the minimum-delta tolerance).
+            assert row.within_tau_fraction == pytest.approx(1.0)
+            assert row.greedy_convergence_query is not None
+        text = render_greedy_validation(result)
+        assert "tau" in text and "PMSD" in text
+
+    def test_phase_breakdown_rendering(self, quick_config):
+        from repro.core.budget import FixedBudget
+        from repro.engine import WorkloadExecutor, create_index
+        from repro.experiments.reporting import render_phase_breakdown
+        from repro.storage.column import Column
+        from repro.workloads import generate_pattern
+
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 10_000, size=8_000)
+        workload = generate_pattern("Random", 0, 10_000, 25, rng=rng)
+        execution = WorkloadExecutor().run(
+            create_index("PQ", Column(data, name="v"), budget=FixedBudget(0.5)),
+            workload,
+        )
+        text = render_phase_breakdown(execution.phase_breakdown())
+        assert "Phase" in text and "creation" in text
+
+
 class TestSkyServerComparison:
     def test_table2_rows(self, quick_config):
         result = run_skyserver_comparison(quick_config, algorithms=("FS", "PQ", "STD"))

@@ -1,6 +1,9 @@
-"""Tests for the index life-cycle phases."""
+"""Tests for the index life-cycle phases and the shared lifecycle driver."""
 
-from repro.core.phase import IndexPhase
+import pytest
+
+from repro.core.phase import IndexLifecycle, IndexPhase
+from repro.errors import IndexStateError
 
 
 def test_phase_ordering_is_monotone():
@@ -33,3 +36,68 @@ def test_comparison_with_other_types_is_rejected():
 def test_order_values_are_unique():
     orders = {phase.order for phase in IndexPhase}
     assert len(orders) == len(list(IndexPhase))
+
+
+class TestIndexLifecycle:
+    def test_starts_inactive(self):
+        lifecycle = IndexLifecycle()
+        assert lifecycle.phase is IndexPhase.INACTIVE
+        assert not lifecycle.converged
+        assert lifecycle.transitions == []
+
+    def test_advances_through_canonical_sequence(self):
+        lifecycle = IndexLifecycle()
+        for query_number, phase in enumerate(
+            [IndexPhase.CREATION, IndexPhase.REFINEMENT,
+             IndexPhase.CONSOLIDATION, IndexPhase.CONVERGED],
+            start=1,
+        ):
+            lifecycle.advance(phase, query_number)
+        assert lifecycle.converged
+        assert [phase for _, phase in lifecycle.transitions] == [
+            IndexPhase.CREATION, IndexPhase.REFINEMENT,
+            IndexPhase.CONSOLIDATION, IndexPhase.CONVERGED,
+        ]
+        assert [number for number, _ in lifecycle.transitions] == [1, 2, 3, 4]
+
+    def test_phases_may_be_skipped_forward(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.CONVERGED)  # a bulk-built baseline
+        assert lifecycle.converged
+
+    def test_rejects_backward_transition(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.REFINEMENT)
+        with pytest.raises(IndexStateError):
+            lifecycle.advance(IndexPhase.CREATION)
+
+    def test_rejects_self_transition(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.CREATION)
+        with pytest.raises(IndexStateError):
+            lifecycle.advance(IndexPhase.CREATION)
+
+    def test_rejects_non_phase(self):
+        with pytest.raises(IndexStateError):
+            IndexLifecycle().advance("creation")
+
+    def test_per_phase_accounting(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.CREATION)
+        lifecycle.note_query(IndexPhase.CREATION, indexing_seconds=0.5)
+        lifecycle.note_query(IndexPhase.CREATION, indexing_seconds=0.25)
+        lifecycle.advance(IndexPhase.REFINEMENT)
+        lifecycle.note_query(IndexPhase.REFINEMENT)
+        assert lifecycle.queries_in(IndexPhase.CREATION) == 2
+        assert lifecycle.indexing_seconds_in(IndexPhase.CREATION) == pytest.approx(0.75)
+        assert lifecycle.queries_in(IndexPhase.REFINEMENT) == 1
+        assert lifecycle.indexing_seconds_in(IndexPhase.REFINEMENT) == 0.0
+
+    def test_snapshot_lists_visited_phases_in_order(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.CREATION)
+        lifecycle.note_query(IndexPhase.CREATION, indexing_seconds=0.5)
+        lifecycle.advance(IndexPhase.CONVERGED)
+        snapshot = lifecycle.snapshot()
+        assert list(snapshot) == ["creation", "converged"]
+        assert snapshot["creation"] == {"queries": 1, "indexing_seconds": 0.5}

@@ -1,0 +1,370 @@
+"""Tests for the budget-policy layer and the budget controller.
+
+Covers the cost-model-greedy solve (exact, against a linear ``predict``),
+the deterministic clock-driven feedback loops, the pooled batch policy's
+mapping from per-query policies, the controller's clamping contract, and
+the convergence / interactivity properties of every registry algorithm
+under each policy flavour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostBreakdown
+from repro.core.phase import IndexPhase
+from repro.core.policy import (
+    MINIMUM_DELTA,
+    ManualClock,
+    BatchPool,
+    BudgetController,
+    BudgetPolicy,
+    CostModelGreedy,
+    DeltaRequest,
+    FixedDelta,
+    FixedTime,
+    TimeAdaptive,
+)
+from repro.core.query import Predicate
+from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS, create_index
+from repro.errors import InvalidBudgetError
+from repro.storage.column import Column
+from repro.workloads.distributions import uniform_data
+
+
+def linear_predict(base: float, slope: float):
+    """A linear-in-delta cost function, like every per-phase formula."""
+    return lambda delta: CostBreakdown(scan=base, lookup=0.0, indexing=delta * slope)
+
+
+# ----------------------------------------------------------------------
+# CostModelGreedy
+# ----------------------------------------------------------------------
+class TestCostModelGreedy:
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(InvalidBudgetError):
+            CostModelGreedy()
+        with pytest.raises(InvalidBudgetError):
+            CostModelGreedy(interactivity_budget=1.0, scan_fraction=0.2)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidBudgetError):
+            CostModelGreedy(interactivity_budget=0.0)
+        with pytest.raises(InvalidBudgetError):
+            CostModelGreedy(scan_fraction=-0.5)
+
+    def test_scan_fraction_requires_registration(self):
+        policy = CostModelGreedy(scan_fraction=0.2)
+        with pytest.raises(InvalidBudgetError):
+            policy.next_delta(1.0)
+
+    def test_tau_resolution_from_scan_fraction(self):
+        policy = CostModelGreedy(scan_fraction=0.2)
+        policy.register_scan_time(1.0)
+        assert policy.tau == pytest.approx(1.2)
+
+    def test_solves_exactly_against_linear_predict(self):
+        # tau = 2.0, base = 1.0, full work adds 4.0 -> delta = 0.25 lands
+        # the predicted total exactly on tau.
+        policy = CostModelGreedy(interactivity_budget=2.0)
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(full_work_time=4.0, base_cost=predict(0.0), predict=predict)
+        delta = policy.choose(request)
+        assert delta == pytest.approx(0.25)
+        assert predict(delta).total == pytest.approx(2.0)
+
+    def test_no_slack_falls_back_to_minimum_delta(self):
+        policy = CostModelGreedy(interactivity_budget=1.0)
+        predict = linear_predict(base=5.0, slope=4.0)
+        request = DeltaRequest(full_work_time=4.0, base_cost=predict(0.0), predict=predict)
+        assert policy.choose(request) == pytest.approx(MINIMUM_DELTA)
+
+    def test_caps_at_one(self):
+        policy = CostModelGreedy(interactivity_budget=100.0)
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(full_work_time=4.0, base_cost=predict(0.0), predict=predict)
+        assert policy.choose(request) == 1.0
+
+    def test_next_delta_matches_slack_formula(self):
+        policy = CostModelGreedy(interactivity_budget=2.0)
+        assert policy.next_delta(4.0, query_base_cost=1.0) == pytest.approx(0.25)
+
+    def test_no_clock_means_no_correction(self):
+        policy = CostModelGreedy(interactivity_budget=2.0)
+        policy.observe(100.0, 1.0)  # would be a huge miss
+        assert policy.correction_for(IndexPhase.CREATION) == 1.0
+
+    def test_backoff_when_predictions_miss(self):
+        # Measured times 2x the prediction: the correction rises, the
+        # effective tau falls, delta shrinks.
+        clock = ManualClock()
+        policy = CostModelGreedy(interactivity_budget=2.0, clock=clock)
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        )
+        first = policy.choose(request)
+        policy.observe(elapsed_seconds=4.0, predicted_seconds=2.0)  # 2x miss
+        backed_off = policy.choose(request)
+        assert backed_off < first
+        assert policy.correction_for(IndexPhase.CREATION) > 1.0
+
+    def test_default_correction_is_backoff_only(self):
+        clock = ManualClock()
+        policy = CostModelGreedy(interactivity_budget=2.0, clock=clock)
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        )
+        policy.choose(request)
+        # Queries running faster than predicted must not inflate delta with
+        # the default (backoff-only) correction range.
+        policy.observe(elapsed_seconds=0.5, predicted_seconds=2.0)
+        assert policy.correction_for(IndexPhase.CREATION) == 1.0
+
+    def test_symmetric_range_reclaims_slack(self):
+        clock = ManualClock()
+        policy = CostModelGreedy(
+            interactivity_budget=2.0, correction_range=(0.25, 4.0), clock=clock
+        )
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        )
+        first = policy.choose(request)
+        policy.observe(elapsed_seconds=0.5, predicted_seconds=2.0)
+        assert policy.choose(request) > first
+
+    def test_corrections_are_per_phase(self):
+        clock = ManualClock()
+        policy = CostModelGreedy(interactivity_budget=2.0, clock=clock)
+        predict = linear_predict(base=1.0, slope=4.0)
+        creation = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        )
+        refinement = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.REFINEMENT,
+        )
+        policy.choose(creation)
+        policy.observe(4.0, 2.0)  # creation misses by 2x
+        assert policy.correction_for(IndexPhase.CREATION) > 1.0
+        assert policy.correction_for(IndexPhase.REFINEMENT) == 1.0
+        # Refinement decisions are unaffected by the creation miss.
+        assert policy.choose(refinement) == pytest.approx(0.25)
+
+    def test_correction_is_clamped(self):
+        clock = ManualClock()
+        policy = CostModelGreedy(interactivity_budget=2.0, clock=clock)
+        predict = linear_predict(base=1.0, slope=4.0)
+        request = DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        )
+        for _ in range(50):
+            policy.choose(request)
+            policy.observe(1000.0, 1.0)
+        assert policy.correction_for(IndexPhase.CREATION) <= policy.correction_range[1]
+
+    def test_describe(self):
+        assert "0.2" in CostModelGreedy(scan_fraction=0.2).describe()
+        assert "tau" in CostModelGreedy(interactivity_budget=0.5).describe()
+
+
+# ----------------------------------------------------------------------
+# BudgetController
+# ----------------------------------------------------------------------
+class TestBudgetController:
+    def test_rejects_non_policy(self):
+        with pytest.raises(InvalidBudgetError):
+            BudgetController(object())
+
+    def test_decide_clamps_to_max_delta(self):
+        controller = BudgetController(FixedDelta(0.8))
+        predict = linear_predict(base=0.0, slope=1.0)
+        decision = controller.decide(
+            DeltaRequest(full_work_time=1.0, base_cost=predict(0.0),
+                         predict=predict, max_delta=0.3)
+        )
+        assert decision.delta == pytest.approx(0.3)
+        assert decision.predicted.total == pytest.approx(0.3)
+
+    def test_decide_without_predict_has_no_prediction(self):
+        controller = BudgetController(FixedDelta(0.5))
+        decision = controller.decide(DeltaRequest(full_work_time=1.0))
+        assert decision.predicted is None
+        assert decision.predicted_seconds is None
+
+    def test_swap_policy_resolves_against_known_scan_time(self):
+        controller = BudgetController(FixedDelta(0.5))
+        controller.register_scan_time(1.0)
+        incoming = TimeAdaptive(scan_fraction=0.2)
+        previous = controller.swap_policy(incoming)
+        assert previous.delta == 0.5
+        # The swapped-in policy was resolved immediately.
+        assert incoming.budget_seconds == pytest.approx(0.2)
+        assert incoming.next_delta(1.0, query_base_cost=0.4) == pytest.approx(0.8)
+
+    def test_swap_policy_rejects_non_policy(self):
+        controller = BudgetController(FixedDelta(0.5))
+        with pytest.raises(InvalidBudgetError):
+            controller.swap_policy("nope")
+
+    def test_query_timing_flows_into_policy(self):
+        clock = ManualClock()
+        policy = CostModelGreedy(interactivity_budget=2.0, clock=clock)
+        controller = BudgetController(policy)
+        predict = linear_predict(base=1.0, slope=4.0)
+        controller.decide(DeltaRequest(
+            full_work_time=4.0, base_cost=predict(0.0), predict=predict,
+            phase=IndexPhase.CREATION,
+        ))
+        started = controller.query_started()
+        clock.advance(4.0)
+        controller.query_finished(started, predicted_seconds=2.0)
+        assert policy.correction_for(IndexPhase.CREATION) > 1.0
+
+    def test_no_clock_no_timing(self):
+        controller = BudgetController(FixedDelta(0.5))
+        assert controller.query_started() is None
+        controller.query_finished(None, predicted_seconds=1.0)  # no-op
+
+
+# ----------------------------------------------------------------------
+# BatchPool
+# ----------------------------------------------------------------------
+class TestBatchPool:
+    def test_for_index_maps_greedy_to_interactivity_slack(self, uniform_column):
+        index = create_index("PQ", uniform_column,
+                             budget=CostModelGreedy(interactivity_budget=3.0))
+        pool = BatchPool.for_index(index, n_queries=10)
+        pool.register_scan_time(1.0)
+        # Per-query slack is tau - t_scan = 2.0 seconds.
+        assert pool.pool_seconds == pytest.approx(20.0)
+
+    def test_for_index_maps_greedy_scan_fraction(self, uniform_column):
+        index = create_index("PQ", uniform_column,
+                             budget=CostModelGreedy(scan_fraction=0.5))
+        pool = BatchPool.for_index(index, n_queries=4)
+        pool.register_scan_time(2.0)
+        # tau = (1 + 0.5) * 2 = 3; slack per query = 1.
+        assert pool.pool_seconds == pytest.approx(4.0)
+
+    def test_for_index_maps_time_adaptive(self, uniform_column):
+        index = create_index("PQ", uniform_column,
+                             budget=TimeAdaptive(budget_seconds=0.5))
+        pool = BatchPool.for_index(index, n_queries=8)
+        pool.register_scan_time(1.0)
+        assert pool.pool_seconds == pytest.approx(4.0)
+
+    def test_for_index_maps_fixed_time(self, uniform_column):
+        index = create_index("PQ", uniform_column, budget=FixedTime(0.25))
+        pool = BatchPool.for_index(index, n_queries=4)
+        pool.register_scan_time(1.0)
+        assert pool.pool_seconds == pytest.approx(1.0)
+
+    def test_reservoir_drains_and_exhausts(self):
+        pool = BatchPool(2, per_query_seconds=1.0)
+        assert pool.next_delta(4.0) == pytest.approx(0.5)
+        assert pool.remaining_seconds == pytest.approx(0.0)
+        assert pool.exhausted
+        assert pool.next_delta(4.0) == 0.0
+
+    def test_interactivity_budget_below_scan_yields_empty_pool(self):
+        pool = BatchPool(5, interactivity_budget=0.5)
+        pool.register_scan_time(1.0)
+        assert pool.pool_seconds == pytest.approx(0.0)
+        assert pool.exhausted
+
+
+# ----------------------------------------------------------------------
+# Registry-wide policy properties
+# ----------------------------------------------------------------------
+N_PROPERTY_ELEMENTS = 3_000
+MAX_PROPERTY_QUERIES = 150
+
+#: The policy flavours of the tentpole, each generous enough to converge a
+#: progressive index well within MAX_PROPERTY_QUERIES.
+POLICY_FACTORIES = {
+    "fixed_delta": lambda: FixedDelta(0.5),
+    "time_adaptive": lambda: TimeAdaptive(scan_fraction=4.0),
+    "cost_model_greedy": lambda: CostModelGreedy(scan_fraction=4.0),
+}
+
+
+def property_workload(data: np.ndarray, rng: np.random.Generator):
+    low, high = int(data.min()), int(data.max())
+    span = max(1, high - low)
+    predicates = []
+    for query_number in range(MAX_PROPERTY_QUERIES):
+        if query_number % 3 == 0:
+            value = int(data[rng.integers(0, data.size)])
+            predicates.append(Predicate(value, value))
+        else:
+            start = int(rng.integers(low, high))
+            predicates.append(Predicate(start, start + span // 5))
+    return predicates
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_registry_algorithms_run_under_every_policy(name, policy_name):
+    """Every algorithm accepts every policy; progressive ones converge.
+
+    The lifecycle also proves the phase order stayed monotone: its
+    transition history is ordered by construction (advance() raises on a
+    backward move), so reaching CONVERGED means the canonical sequence was
+    walked forward only.
+    """
+    rng = np.random.default_rng(97)
+    data = uniform_data(N_PROPERTY_ELEMENTS, rng=rng)
+    index = create_index(name, Column(data, name="value"),
+                         budget=POLICY_FACTORIES[policy_name]())
+    for predicate in property_workload(data, rng):
+        index.query(predicate)
+        if index.converged:
+            break
+    if name in PROGRESSIVE_ALGORITHMS or name == "FI":
+        assert index.converged, f"{name} failed to converge under {policy_name}"
+        orders = [phase.order for _, phase in index.lifecycle.transitions]
+        assert orders == sorted(orders)
+        assert index.lifecycle.transitions[-1][1] is IndexPhase.CONVERGED
+    else:
+        # Baselines / cracking never converge but must stay functional.
+        assert not index.converged
+
+
+@pytest.mark.parametrize("name", sorted(PROGRESSIVE_ALGORITHMS))
+def test_greedy_keeps_predicted_totals_within_tau(name):
+    """Pre-convergence, the greedy policy's predicted totals land on tau."""
+    rng = np.random.default_rng(11)
+    data = uniform_data(N_PROPERTY_ELEMENTS, rng=rng)
+    policy = CostModelGreedy(scan_fraction=4.0)
+    index = create_index(name, Column(data, name="value"), budget=policy)
+    # Tolerance: the minimum-delta floor and the creation cap (delta can
+    # never exceed the uncopied fraction) may push a query marginally off.
+    for predicate in property_workload(data, rng):
+        converged_before = index.converged
+        index.query(predicate)
+        if converged_before:
+            break
+        assert index.last_stats.predicted_cost is not None
+        assert index.last_stats.predicted_cost <= policy.tau * 1.05, (
+            f"{name}: predicted {index.last_stats.predicted_cost} "
+            f"exceeds tau {policy.tau}"
+        )
+
+
+def test_legacy_budget_aliases_point_at_policy_classes():
+    from repro.core import budget as legacy
+
+    assert legacy.IndexingBudget is BudgetPolicy
+    assert legacy.FixedBudget is FixedDelta
+    assert legacy.FixedTimeBudget is FixedTime
+    assert legacy.AdaptiveBudget is TimeAdaptive
+    assert legacy.BatchBudget is BatchPool

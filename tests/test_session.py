@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.budget import AdaptiveBudget
+from repro.core.policy import CostModelGreedy
 from repro.engine import IndexingSession
 from repro.errors import ExperimentError, IndexStateError
 from repro.storage import Column, Table
@@ -109,3 +110,31 @@ class TestSessionQueries:
                 break
         assert session.index_for("uniform").converged
         assert session.status()["uniform"]["converged"]
+
+
+class TestInteractivityBudget:
+    def test_create_index_with_interactivity_budget(self, table):
+        session = IndexingSession(table)
+        index = session.create_index("uniform", method="PQ", interactivity_budget=0.5)
+        assert isinstance(index.budget, CostModelGreedy)
+        assert index.budget.interactivity_budget == pytest.approx(0.5)
+        result = session.between("uniform", 100, 5_000)
+        assert result.count >= 0
+
+    def test_budget_parameters_are_mutually_exclusive(self, table):
+        session = IndexingSession(table)
+        with pytest.raises(ExperimentError):
+            session.create_index(
+                "uniform", method="PQ", fixed_delta=0.1, interactivity_budget=0.5
+            )
+
+    def test_status_reports_phase_stats(self, table):
+        session = IndexingSession(table)
+        session.create_index("uniform", method="PMSD", fixed_delta=0.5)
+        for low in range(0, 2_000, 100):
+            session.between("uniform", low, low + 500)
+        status = session.status()["uniform"]
+        assert "phase_stats" in status and "budget" in status
+        phase_stats = status["phase_stats"]
+        assert sum(stats["queries"] for stats in phase_stats.values()) == 20
+        assert any(stats["indexing_seconds"] > 0 for stats in phase_stats.values())
