@@ -10,8 +10,11 @@ Data Analysis" (PVLDB 12(13), 2019) as a stand-alone Python library:
   (:mod:`repro.cracking`) and the full-scan / full-index baselines
   (:mod:`repro.baselines`);
 * the B+-tree substrate (:mod:`repro.btree`);
-* the synthetic and SkyServer-like workload generators
-  (:mod:`repro.workloads`);
+* the mutable column substrate — delta-store writes with snapshot-versioned
+  reads and budget-priced progressive merging (:mod:`repro.storage`,
+  :mod:`repro.core.overlay`);
+* the synthetic and SkyServer-like workload generators, including the
+  ``MixedReadWrite`` update-heavy pattern (:mod:`repro.workloads`);
 * the execution engine, metrics and the Figure 11 decision tree
   (:mod:`repro.engine`);
 * drivers regenerating every table and figure of the paper's evaluation
@@ -79,9 +82,10 @@ from repro.progressive import (
     ProgressiveRadixsortLSD,
     ProgressiveRadixsortMSD,
 )
-from repro.storage import Column, Table
+from repro.storage import Column, ColumnSnapshot, DeltaStore, Table
 from repro.workloads import (
     Workload,
+    WriteOp,
     conjunctive_queries,
     generate_pattern,
     iter_batches,
@@ -106,10 +110,12 @@ __all__ = [
     "CascadeTree",
     "CoarseGranularIndex",
     "Column",
+    "ColumnSnapshot",
     "CostBreakdown",
     "CostModelGreedy",
     "ConjunctionResult",
     "CostConstants",
+    "DeltaStore",
     "CostModel",
     "FixedBudget",
     "FixedDelta",
@@ -132,6 +138,7 @@ __all__ = [
     "Table",
     "TimeAdaptive",
     "Workload",
+    "WriteOp",
     "WorkloadExecutor",
     "calibrate",
     "conjunctive_queries",

@@ -12,11 +12,13 @@ import numpy as np
 
 from repro.btree.bplus_tree import DEFAULT_FANOUT, BPlusTree
 from repro.core.calibration import CostConstants
+from repro.core.cost_model import CostBreakdown
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult, search_sorted_many
 from repro.storage.column import Column
+from repro.storage.delta import merge_sorted_with_delta
 
 
 class FullIndex(BaseIndex):
@@ -33,6 +35,9 @@ class FullIndex(BaseIndex):
     name = "FI"
     description = "A-priori full index (sort + B+-tree bulk load on first query)"
     eager_batch = True
+    #: The sorted backbone makes delta folding a single merge + bulk reload,
+    #: so the baseline participates in the budget-priced MERGE phase.
+    can_fold = True
 
     def __init__(
         self,
@@ -61,8 +66,13 @@ class FullIndex(BaseIndex):
             self._build()
             self.last_stats.elements_indexed = n
         result = self._tree.query(predicate)
-        lookup = self._cost_model.binary_search_time(n)
-        self.last_stats.predicted_cost = lookup + self._cost_model.scan_time(result.count)
+        breakdown = CostBreakdown(
+            scan=self._cost_model.scan_time(result.count),
+            lookup=self._cost_model.binary_search_time(n),
+            indexing=0.0,
+        )
+        self.last_stats.predicted_breakdown = breakdown
+        self.last_stats.predicted_cost = breakdown.total
         return result
 
     def _build(self) -> None:
@@ -76,7 +86,7 @@ class FullIndex(BaseIndex):
         self._tree = BPlusTree.bulk_load(self._sorted_values, fanout=self.fanout)
         self._advance_phase(IndexPhase.CONVERGED)
 
-    def search_many(self, lows, highs):
+    def _search_many(self, lows, highs):
         """Batched answering over the sorted array backing the B+-tree.
 
         Builds the index first if this batch is the very first operation —
@@ -88,3 +98,19 @@ class FullIndex(BaseIndex):
             self._sorted_values, lows, highs, self._batch_prefix
         )
         return sums, counts
+
+    def _fold_delta(self, inserts_sorted, tombstones_sorted) -> bool:
+        """Merge the buffered delta into the sorted array, bulk reload the tree."""
+        if self._tree is None:
+            return False
+        self._sorted_values = merge_sorted_with_delta(
+            self._sorted_values, inserts_sorted, tombstones_sorted
+        )
+        self._tree = BPlusTree.bulk_load(self._sorted_values, fanout=self.fanout)
+        self._batch_prefix = None
+        return True
+
+    def _fold_base_size(self) -> int:
+        if self._sorted_values is None:
+            return len(self._column)
+        return int(self._sorted_values.size)

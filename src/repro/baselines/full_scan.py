@@ -19,7 +19,11 @@ class FullScan(BaseIndex):
     """Answer every query with a predicated scan of the base column.
 
     A full scan never builds an index, so its lifecycle never leaves the
-    inactive state; it also never converges.
+    inactive state; it also never converges.  On a mutable column the scan
+    covers the pinned snapshot and the shared delta overlay corrects for
+    subsequent writes — there is no structure to fold them into, so the
+    overlay's sorted buffers hold them permanently (still answered in
+    ``O(log d)`` per query).
     """
 
     name = "FS"
@@ -42,7 +46,7 @@ class FullScan(BaseIndex):
         self.last_stats.predicted_cost = breakdown.total
         return self._scan_column(predicate)
 
-    def search_many(self, lows, highs):
+    def _search_many(self, lows, highs):
         """Batched scans: sort a scratch copy once, then binary-search all.
 
         Per-query answering stays a predicated scan (the baseline's defining

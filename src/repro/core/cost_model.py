@@ -40,16 +40,28 @@ class CostBreakdown:
         binary search, B+-tree descent).
     indexing:
         Time spent on index construction or refinement (the indexing budget).
+    merge:
+        Time spent merging delta-store writes into the index (the
+        mutable-substrate extension of the indexing budget: budget policies
+        price merge work with exactly the same machinery that paces
+        construction, so :class:`~repro.core.policy.CostModelGreedy` trades
+        scanning vs. indexing vs. merging under one interactivity budget).
     """
 
     scan: float
     lookup: float
     indexing: float
+    merge: float = 0.0
 
     @property
     def total(self) -> float:
         """Total predicted query time in seconds."""
-        return self.scan + self.lookup + self.indexing
+        return self.scan + self.lookup + self.indexing + self.merge
+
+    @property
+    def maintenance(self) -> float:
+        """Budgeted work of the query: construction plus delta merging."""
+        return self.indexing + self.merge
 
 
 class CostModel:
@@ -160,6 +172,27 @@ class CostModel:
         ``t_equiheight = t_bucket + scatter * N``.
         """
         return self.bucket_write_time(n_elements) + self.constants.scatter * n_elements
+
+    # Delta maintenance -------------------------------------------------
+    def delta_absorb_time(self, n_delta: int) -> float:
+        """Sort ``n_delta`` raw delta rows into the overlay's sorted buffers.
+
+        One segment-sort-scale pass plus the sequential write of the merged
+        buffer — the tier-1 merge every index family performs.
+        """
+        return self.segment_sort_time(n_delta) + self.write_time(n_delta)
+
+    def delta_fold_time(self, n_base: int, n_delta: int) -> float:
+        """Fold ``n_delta`` sorted delta rows into a structure of ``n_base``.
+
+        A merge is one read-write pass over both inputs plus rebuilding the
+        sampled cascade levels on top (a ``1/fanout`` fraction of the data,
+        priced as one more strided copy of the merged size for simplicity).
+        """
+        merged = n_base + n_delta
+        return self.scan_time(merged) + self.write_time(merged) + self.constants.phi * (
+            merged / DEFAULT_BLOCK_SIZE
+        )
 
     # Consolidation -----------------------------------------------------
     def btree_copy_count(self, n_elements: int, fanout: int) -> int:

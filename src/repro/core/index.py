@@ -30,11 +30,12 @@ from typing import Callable
 from repro.core.budget import FixedBudget
 from repro.core.calibration import CostConstants
 from repro.core.cost_model import CostBreakdown, CostModel
+from repro.core.overlay import DeltaOverlay
 from repro.core.phase import IndexLifecycle, IndexPhase
 from repro.core.policy import BudgetController, BudgetPolicy, DeltaDecision, DeltaRequest
 from repro.core.query import Predicate, QueryResult
 from repro.errors import IndexStateError
-from repro.storage.column import Column
+from repro.storage.column import Column, ColumnSnapshot
 
 
 @dataclass
@@ -70,19 +71,36 @@ class QueryStats:
 
     @property
     def indexing_seconds(self) -> float:
-        """Predicted indexing budget this query spent (``0`` if unknown)."""
+        """Predicted budgeted work this query spent (``0`` if unknown).
+
+        Construction *and* delta-merge budget: both are paid out of the
+        same per-query indexing allowance.
+        """
         if self.predicted_breakdown is None:
             return 0.0
-        return self.predicted_breakdown.indexing
+        return self.predicted_breakdown.maintenance
 
 
-class BaseIndex(abc.ABC):
+class BaseIndex(DeltaOverlay, abc.ABC):
     """Abstract base class of all indexes.
+
+    Every index builds its structures against an immutable
+    :class:`~repro.storage.column.ColumnSnapshot` pinned at construction
+    time (``self._column`` — subclasses never see mutable state), while the
+    live mutable :class:`~repro.storage.column.Column` is tracked by the
+    shared :class:`~repro.core.overlay.DeltaOverlay` mixin: every
+    :meth:`query` and :meth:`search_many` answer is corrected with the
+    delta-store writes the structures have not absorbed yet, and converged
+    foldable families progressively merge those writes in under the same
+    budget policies that paced construction.
 
     Parameters
     ----------
     column:
-        The column to index.
+        The column to index: a live :class:`~repro.storage.column.Column`
+        (mutable behavior via the delta overlay), a frozen
+        :class:`~repro.storage.column.ColumnSnapshot` (immutable), or raw
+        array-like data (wrapped into a live column).
     budget:
         Budget policy (or legacy budget controller object); defaults to a
         fixed ``delta = 0.1``.  Baselines ignore the budget.
@@ -107,21 +125,40 @@ class BaseIndex(abc.ABC):
         budget: BudgetPolicy | None = None,
         constants: CostConstants | None = None,
     ) -> None:
-        if not isinstance(column, Column):
-            column = Column(column)
-        self._column = column
+        if isinstance(column, ColumnSnapshot):
+            live = None
+            snapshot = column
+        else:
+            if not isinstance(column, Column):
+                column = Column(column)
+            live = column
+            snapshot = column.snapshot()
+        #: The pinned snapshot all structural reads go through.  Subclasses
+        #: use ``self._column`` exactly as they did when columns were
+        #: immutable; writes after the pin are the overlay's concern.
+        self._column = snapshot
         self._controller = BudgetController(budget or FixedBudget(0.1))
         self._cost_model = CostModel(constants)
         self._lifecycle = IndexLifecycle()
         self._queries_executed = 0
         self.last_stats = QueryStats()
+        self._init_overlay(live, snapshot)
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     @property
     def column(self) -> Column:
-        """The column this index answers queries for."""
+        """The column this index answers queries for.
+
+        The live mutable column when the index was created from one, else
+        the frozen snapshot it was pinned to.
+        """
+        return self._live if self._live is not None else self._column
+
+    @property
+    def base(self) -> ColumnSnapshot:
+        """The pinned snapshot the index structures were built against."""
         return self._column
 
     @property
@@ -175,8 +212,12 @@ class BaseIndex(abc.ABC):
     def query(self, predicate: Predicate) -> QueryResult:
         """Answer ``predicate``, spending at most the budgeted indexing time.
 
-        Returns the exact aggregate over the column regardless of how much of
-        the index has been built.
+        Returns the exact aggregate over the column's *currently visible*
+        rows regardless of how much of the index has been built: the
+        structural answer over the pinned snapshot is corrected with the
+        pending delta-store writes, and — for converged foldable indexes —
+        part of the budget is spent progressively merging those writes in
+        (the ``MERGE`` life-cycle stage).
         """
         if not isinstance(predicate, Predicate):
             raise IndexStateError(
@@ -188,6 +229,13 @@ class BaseIndex(abc.ABC):
         )
         started = self._controller.query_started()
         result = self._execute(predicate)
+        if self._overlay_active():
+            correction = self._overlay_correction(predicate)
+            if correction is not None:
+                result = result + correction
+            # Maintenance runs strictly after the correction: a fold changes
+            # the watermark the *next* query's correction is computed from.
+            self._merge_maintenance(predicate)
         self._controller.query_finished(started, self.last_stats.predicted_cost)
         self._lifecycle.note_query(
             self.last_stats.phase, self.last_stats.indexing_seconds
@@ -215,6 +263,19 @@ class BaseIndex(abc.ABC):
         Unlike :meth:`query`, batched answering performs no budgeted
         progressive refinement and does not advance ``queries_executed``;
         the batch executor accounts for the batch as one bulk operation.
+        The structural batch answer (:meth:`_search_many`) is corrected for
+        pending delta-store writes before being returned.
+        """
+        answered = self._search_many(lows, highs)
+        if answered is None:
+            return None
+        return self._overlay_correct_many(lows, highs, answered)
+
+    def _search_many(self, lows, highs):
+        """Family-specific vectorized batch answering over the snapshot.
+
+        The default cannot answer batches; subclasses override this (never
+        the public :meth:`search_many`, which owns the delta correction).
         """
         return None
 

@@ -12,7 +12,14 @@ algorithm moves through:
 ``CONSOLIDATION``
     The sorted array is progressively turned into a B+-tree.
 ``CONVERGED``
-    The B+-tree is complete; no further indexing work is performed.
+    The B+-tree is complete; no further construction work is performed.
+``MERGE``
+    The mutable-substrate extension of the paper's life cycle: writes have
+    landed in the column's delta store after the index converged, and
+    queries now spend their indexing budget progressively *merging* those
+    delta rows into the finished structures.  ``MERGE`` is the one phase a
+    lifecycle may leave backwards (back to ``CONVERGED`` once the pending
+    delta is folded in) — and re-enter when the next write burst arrives.
 
 ``INACTIVE`` is the state before the first query touches the column (no
 memory has been allocated yet), matching the paper's premise that an index is
@@ -35,6 +42,7 @@ class IndexPhase(enum.Enum):
     REFINEMENT = "refinement"
     CONSOLIDATION = "consolidation"
     CONVERGED = "converged"
+    MERGE = "merge"
 
     @property
     def does_indexing_work(self) -> bool:
@@ -43,6 +51,7 @@ class IndexPhase(enum.Enum):
             IndexPhase.CREATION,
             IndexPhase.REFINEMENT,
             IndexPhase.CONSOLIDATION,
+            IndexPhase.MERGE,
         )
 
     @property
@@ -67,6 +76,7 @@ _PHASE_ORDER = {
     IndexPhase.REFINEMENT: 2,
     IndexPhase.CONSOLIDATION: 3,
     IndexPhase.CONVERGED: 4,
+    IndexPhase.MERGE: 5,
 }
 
 
@@ -83,7 +93,12 @@ class IndexLifecycle:
     session stats and the experiment reports.
 
     Phases may be skipped forward — a baseline that bulk-builds jumps
-    straight from ``INACTIVE`` to ``CONVERGED`` — but never revisited.
+    straight from ``INACTIVE`` to ``CONVERGED`` — but never revisited, with
+    one deliberate exception introduced by the mutable column substrate:
+    ``MERGE -> CONVERGED`` is a legal backward transition (folding the
+    pending delta completes the merge and the index is fully built again),
+    and ``CONVERGED -> MERGE`` may then happen again on the next write
+    burst.  Construction phases remain strictly monotone.
     """
 
     def __init__(self, initial: IndexPhase = IndexPhase.INACTIVE) -> None:
@@ -121,10 +136,14 @@ class IndexLifecycle:
             raise IndexStateError(
                 f"advance() expects an IndexPhase, got {type(phase).__name__}"
             )
-        if phase.order <= self._phase.order:
+        merge_completed = (
+            self._phase is IndexPhase.MERGE and phase is IndexPhase.CONVERGED
+        )
+        if phase.order <= self._phase.order and not merge_completed:
             raise IndexStateError(
                 f"illegal phase transition {self._phase.value!r} -> {phase.value!r}; "
-                "progressive indexes only move forward through the life cycle"
+                "progressive indexes only move forward through the life cycle "
+                "(the one backward edge is merge -> converged)"
             )
         self._phase = phase
         self.transitions.append((int(query_number), phase))

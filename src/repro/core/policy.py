@@ -29,11 +29,21 @@ share:
 
 :class:`BudgetController`
     The one controller every budget decision routes through — single
-    queries, multi-column ``where()`` driving queries, and batch execution
-    alike.  It builds the per-query :class:`DeltaRequest` (base cost,
-    remaining-work cost, and a ``predict(delta)`` callable backed by the
-    index's cost model), clamps the policy's answer to the phase's feasible
-    range, and feeds measured wall-clock durations back into the policy.
+    queries, multi-column ``where()`` driving queries, batch execution,
+    and the mutable substrate's delta-merge decisions alike.  It builds
+    the per-query :class:`DeltaRequest` (base cost, remaining-work cost,
+    and a ``predict(delta)`` callable backed by the index's cost model),
+    clamps the policy's answer to the phase's feasible range, and feeds
+    measured wall-clock durations back into the policy.
+
+Merge work is priced through the same machinery: during the ``MERGE``
+life-cycle stage the ``predict(delta)`` callable reports the pending
+delta-fold cost in the ``merge`` component of the
+:class:`~repro.core.cost_model.CostBreakdown`, so
+:class:`CostModelGreedy` trades scanning vs. indexing vs. merging under
+one interactivity budget τ, fixed/adaptive budgets pace merging exactly
+as they pace construction, and a :class:`BatchPool` front-loads pending
+merges into the first queries of a batch.
 
 All model-space costs are in seconds.  Policies never read the wall clock
 directly: time only enters through the injectable ``clock`` callable, so

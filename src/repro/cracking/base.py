@@ -5,6 +5,16 @@ for copying the column into a :class:`~repro.cracking.cracker_column.CrackerColu
 every query physically reorganises some pieces of that copy, and the answer is
 aggregated from the (partially) reorganised data.  The variants only differ in
 *where* they crack, which is the single method subclasses implement.
+
+Mutable columns are handled by the shared
+:class:`~repro.core.overlay.DeltaOverlay` mixin (inherited through
+:class:`~repro.core.index.BaseIndex`): the cracker column is materialised
+from the snapshot pinned at index creation, and every answer is corrected
+with the delta-store writes that arrived afterwards.  Cracking never
+converges — it refines forever — so it never folds the delta into its
+pieces either: absorbed writes stay in the overlay's sorted side buffers,
+answered with binary searches, which matches cracking's
+pay-only-for-what-you-touch philosophy (no bulk reorganisation, ever).
 """
 
 from __future__ import annotations
@@ -70,7 +80,7 @@ class CrackingIndexBase(BaseIndex):
     def memory_footprint(self) -> int:
         return self._cracker.memory_footprint() if self._cracker is not None else 0
 
-    def search_many(self, lows, highs):
+    def _search_many(self, lows, highs):
         """Batched answering via one crack per distinct bound of the batch.
 
         Materialises the cracker column if this is the first operation (the

@@ -11,13 +11,20 @@ treats the workload as the unit of execution:
    the batch and drained greedily — the first queries of the batch
    front-load the progressive construction the whole batch is entitled to;
 2. queries are dispatched per-query only while the index still has budgeted
-   progressive work to do; as soon as the index converges (or the pool is
-   exhausted and the index can answer batches read-only), the **entire
-   remainder of the batch** is answered by one vectorized
-   ``search_many`` call — NumPy binary searches plus prefix-sum differences
-   instead of Python-level dispatch;
+   progressive work to do — construction *or* pending delta merges: on a
+   mutable column, an index sitting in the ``MERGE`` life-cycle stage keeps
+   receiving per-query dispatch, and every such query's merge decision
+   drains the same pooled reservoir, so the first queries of a batch
+   front-load the delta folding exactly like they front-load construction;
+   as soon as the index converges (or the pool is exhausted and the index
+   can answer batches read-only), the **entire remainder of the batch** is
+   answered by one vectorized ``search_many`` call — NumPy binary searches
+   plus prefix-sum differences instead of Python-level dispatch, with the
+   remaining unfolded delta corrected vectorized from the overlay's sorted
+   buffers;
 3. answers are exact at every point of the interleaving, so the batch
-   returns results identical to issuing the same queries sequentially.
+   returns results identical to issuing the same queries sequentially —
+   including any delta-store writes that landed before the batch.
 
 Multi-column batches (sequences of ``(column_name, predicate)`` pairs) are
 grouped per column/index first, executed group by group, and reassembled in
@@ -168,7 +175,14 @@ class BatchExecutor:
         try:
             position = 0
             while position < n_queries:
-                if index.eager_batch or index.converged or pool.exhausted:
+                # Per-query dispatch continues while budgeted work remains:
+                # construction (not yet converged) or pending delta merges
+                # (converged, but a trigger-crossing write burst is waiting
+                # — `has_pending_merge`).  Both drain the pooled reservoir,
+                # front-loading convergence *and* folding before the
+                # vectorized tail.
+                done_indexing = index.converged and not index.has_pending_merge()
+                if index.eager_batch or done_indexing or pool.exhausted:
                     answered = index.search_many(
                         vector.lows[position:], vector.highs[position:]
                     )

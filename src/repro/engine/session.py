@@ -17,6 +17,14 @@ Beyond single queries, the session speaks two workload-level dialects:
   selective indexed column and post-filtering the remaining columns with
   vectorized masks.
 
+The session also speaks the mutable substrate's write dialect:
+:meth:`IndexingSession.insert` / :meth:`IndexingSession.delete` /
+:meth:`IndexingSession.update` land rows in the columns' append-only delta
+stores (row-aligned across the table), every read answers over base ∪ delta
+exactly, and the indexes absorb the writes progressively under their budget
+policies instead of being rebuilt.  :meth:`IndexingSession.status` surfaces
+the write/merge counters in a JSON-serializable form.
+
 Example
 -------
 >>> import numpy as np
@@ -43,10 +51,27 @@ from repro.core.query import ConjunctionResult, Predicate, QueryResult
 from repro.engine.batch import BatchExecutor
 from repro.engine.decision_tree import recommend_index
 from repro.engine.registry import create_index
-from repro.errors import ExperimentError, IndexStateError
+from repro.errors import ExperimentError, IndexStateError, PendingDeltaError
 from repro.storage.column import Column
 from repro.storage.table import Table
 from repro.workloads.workload import Workload
+
+
+def _json_safe(value):
+    """Recursively coerce NumPy scalars/arrays so ``json.dumps`` accepts it."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    return value
 
 
 class IndexingSession:
@@ -137,6 +162,15 @@ class IndexingSession:
         if column_name in self._indexes:
             raise ExperimentError(f"column {column_name!r} is already indexed")
         column = self._table.column(column_name)
+        if column.delta is not None:
+            foreign = column.delta.foreign_handles(self)
+            if foreign:
+                raise PendingDeltaError(
+                    f"column {column_name!r} has pending uncommitted deltas from "
+                    f"{len(foreign)} other write handle(s); the writing session "
+                    "must call commit_writes() before another handle may index "
+                    "this column"
+                )
         provided = [
             value
             for value in (budget, budget_fraction, fixed_delta, interactivity_budget)
@@ -171,6 +205,99 @@ class IndexingSession:
     def drop_index(self, column_name: str) -> None:
         """Remove the index on ``column_name`` (no error if absent)."""
         self._indexes.pop(column_name, None)
+
+    # ------------------------------------------------------------------
+    # Writes (delta-store; indexes absorb them via budget-priced merging)
+    # ------------------------------------------------------------------
+    def insert(self, values, column_name: Optional[str] = None) -> np.ndarray:
+        """Insert rows; returns the stable row ids of the new rows.
+
+        Two forms are accepted:
+
+        * a mapping ``{"col": values, ...}`` covering **every** column of
+          the table (full rows — the only alignment-safe form for
+          multi-column tables);
+        * a bare value or sequence, targeting ``column_name`` (defaults to
+          the table's only column).
+
+        The rows land in the column delta stores immediately — every
+        subsequent query sees them — and existing indexes absorb them
+        progressively under their budget policies (the ``MERGE`` phase)
+        instead of being rebuilt.
+        """
+        if isinstance(values, Mapping):
+            return self._table.insert_rows(values, handle=self)
+        target = column_name or self._single_column_for_write("insert")
+        self._table.column(target)  # raises UnknownColumnError when absent
+        return self._table.insert_rows({target: values}, handle=self)
+
+    def delete(self, column_name: str, low, high=None) -> int:
+        """Delete every row whose ``column_name`` value lies in ``[low, high]``.
+
+        ``high`` defaults to ``low`` (point delete).  Returns the number of
+        rows deleted.  The deletion applies to the whole row: every column
+        of the table tombstones the same stable rids, keeping multi-column
+        conjunctions consistent.
+        """
+        if high is None:
+            high = low
+        return self._table.delete_where(column_name, low, high, handle=self)
+
+    def update(self, column_name: str, low, high, value) -> int:
+        """Set ``column_name`` to ``value`` for every row in ``[low, high]``.
+
+        Implemented as delete + insert (the classic column-store write
+        path): the matching rows are tombstoned and re-inserted with the
+        target column substituted, all other column values preserved.
+        Returns the number of rows updated.
+        """
+        return self._table.update_where(column_name, low, high, value, handle=self)
+
+    def commit_writes(self) -> None:
+        """Mark this session's pending writes committed.
+
+        Other sessions may not ``create_index`` on a column while this
+        session has uncommitted deltas on it
+        (:class:`~repro.errors.PendingDeltaError`).
+        """
+        for name in self._table.column_names:
+            delta = self._table.column(name).delta
+            if delta is not None:
+                delta.commit(self)
+
+    def execute_operations(
+        self, workload: Workload, column_name: Optional[str] = None
+    ) -> List[Optional[QueryResult]]:
+        """Replay a (possibly mixed read/write) workload in order.
+
+        Reads go through :meth:`between` (advancing index construction and
+        delta merging within the budget); writes go through
+        :meth:`insert`/:meth:`delete`/:meth:`update`.  Returns one entry per
+        operation: a :class:`~repro.core.query.QueryResult` for reads,
+        ``None`` for writes.
+        """
+        target = column_name or self._default_column()
+        operations = workload.operations
+        if operations is None:
+            operations = list(workload.predicates)
+        results: List[Optional[QueryResult]] = []
+        for operation in operations:
+            if isinstance(operation, Predicate):
+                results.append(self.between(target, operation.low, operation.high))
+            else:
+                operation.apply(self, target)
+                results.append(None)
+        return results
+
+    def _single_column_for_write(self, operation: str) -> str:
+        names = list(self._table.column_names)
+        if len(names) == 1:
+            return names[0]
+        raise ExperimentError(
+            f"{operation}() without a column mapping requires a single-column "
+            f"table; this table has {len(names)} columns — pass a "
+            "{column: values} mapping covering all of them"
+        )
 
     # ------------------------------------------------------------------
     def between(self, column_name: str, low, high) -> QueryResult:
@@ -400,16 +527,24 @@ class IndexingSession:
         return best_name
 
     def status(self) -> Dict[str, dict]:
-        """Per-index construction status (phase, queries, convergence).
+        """Per-index construction and write/merge status.
 
         ``phase_stats`` summarises every visited life-cycle phase: how many
         queries it answered and how much indexing budget (model seconds) was
         spent in it, as accounted by the shared
-        :class:`~repro.core.phase.IndexLifecycle` driver.
+        :class:`~repro.core.phase.IndexLifecycle` driver.  ``writes``
+        reports the mutable-substrate counters of the column and the
+        index's delta overlay (pending / absorbed / folded rows, merge
+        budget spent).
+
+        The returned structure is fully JSON-serializable — NumPy scalars
+        are coerced to native Python types — so external monitors can ship
+        it as-is (``json.dumps(session.status())``).
         """
         report = {}
         for column_name, index in self._indexes.items():
-            report[column_name] = {
+            column = self._table.column(column_name)
+            entry = {
                 "algorithm": index.name,
                 "phase": index.phase.value,
                 "queries_executed": index.queries_executed,
@@ -417,5 +552,17 @@ class IndexingSession:
                 "memory_bytes": index.memory_footprint(),
                 "budget": index.budget.describe(),
                 "phase_stats": index.lifecycle.snapshot(),
+                "writes": index.overlay_stats(),
             }
-        return report
+            delta = column.delta
+            if delta is not None:
+                entry["writes"].update(
+                    {
+                        "column_inserts": delta.n_inserts,
+                        "column_deletes": delta.n_deletes,
+                        "visible_rows": len(column),
+                        "delta_bytes": delta.memory_footprint(),
+                    }
+                )
+            report[column_name] = entry
+        return _json_safe(report)

@@ -20,6 +20,33 @@ class InvalidColumnError(ProgressiveIndexError):
     """
 
 
+class UnknownColumnError(InvalidColumnError):
+    """Raised when an operation references a column the table does not have.
+
+    Subclasses :class:`InvalidColumnError` so existing callers that catch the
+    broader error keep working; write paths (``insert``/``delete``/``update``)
+    raise this instead of a bare ``KeyError`` when the column name is unknown.
+    """
+
+
+class DroppedColumnError(InvalidColumnError):
+    """Raised when a write or read targets a column that has been dropped.
+
+    A stale handle to a dropped column must fail loudly rather than silently
+    accepting writes that no query will ever see.
+    """
+
+
+class PendingDeltaError(ProgressiveIndexError):
+    """Raised by ``create_index`` on a column with foreign uncommitted deltas.
+
+    When another session (write handle) has pending delta-store writes on the
+    column, building an index would silently snapshot data the other handle
+    has not committed yet.  The writing session commits its deltas with
+    ``commit_writes()`` before another handle may index the column.
+    """
+
+
 class InvalidPredicateError(ProgressiveIndexError):
     """Raised when a query predicate is malformed (e.g. ``low > high``)."""
 

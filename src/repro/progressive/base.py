@@ -21,13 +21,22 @@ all of it:
 
 Subclasses implement the creation and refinement phases plus their cost
 formulas (:meth:`_creation_cost`, :meth:`_refinement_cost`).
+
+Mutable columns ride on the shared :class:`~repro.core.overlay.DeltaOverlay`
+mixin (inherited through :class:`~repro.core.index.BaseIndex`): structures
+are built over the snapshot pinned at creation, answers are corrected with
+the pending delta, and — because every progressive index converges to a
+sorted array under a B+-tree cascade — the converged family implements the
+overlay's *fold*: the buffered inserts/tombstones are merged into the leaf
+array and the cascade levels are resampled, paid for by the ``MERGE``-phase
+budget decisions the same way creation/refinement/consolidation work was.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.btree.cascade import DEFAULT_FANOUT
+from repro.btree.cascade import DEFAULT_FANOUT, CascadeTree
 from repro.core.calibration import CostConstants
 from repro.core.cost_model import CostBreakdown
 from repro.core.index import BaseIndex
@@ -36,6 +45,7 @@ from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
 from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.storage.column import Column
+from repro.storage.delta import merge_sorted_with_delta
 
 
 class ProgressiveIndexBase(BaseIndex):
@@ -101,6 +111,8 @@ class ProgressiveIndexBase(BaseIndex):
             return self._consolidation_cost(predicate, delta)
         if phase is IndexPhase.CONVERGED:
             return self._converged_cost(predicate)
+        if phase is IndexPhase.MERGE:
+            return self._merge_phase_cost(predicate, delta)
         return None
 
     # ------------------------------------------------------------------
@@ -191,3 +203,36 @@ class ProgressiveIndexBase(BaseIndex):
         self.last_stats.predicted_breakdown = breakdown
         self.last_stats.predicted_cost = breakdown.total
         return result
+
+    # ------------------------------------------------------------------
+    # Merge phase (mutable substrate; shared by all four algorithms)
+    # ------------------------------------------------------------------
+    #: A converged progressive index owns a sorted leaf array, so the
+    #: buffered delta can be folded in and the budget-priced MERGE phase
+    #: applies.
+    can_fold = True
+
+    def _merge_phase_cost(self, predicate: Predicate, delta: float) -> CostBreakdown:
+        """Converged answering plus ``delta`` of the remaining merge work."""
+        base = self._converged_cost(predicate)
+        return CostBreakdown(
+            scan=base.scan,
+            lookup=base.lookup,
+            indexing=0.0,
+            merge=delta * self._merge_full_work_time(),
+        )
+
+    def _fold_delta(self, inserts_sorted: np.ndarray, tombstones_sorted: np.ndarray) -> bool:
+        """Merge the buffered delta into the leaf array, resample the cascade."""
+        if self._cascade is None:
+            return False
+        merged = merge_sorted_with_delta(
+            self._cascade.leaf_values, inserts_sorted, tombstones_sorted
+        )
+        self._cascade = CascadeTree(merged, fanout=self.fanout)
+        return True
+
+    def _fold_base_size(self) -> int:
+        if self._cascade is None:
+            return len(self._column)
+        return int(self._cascade.leaf_values.size)

@@ -22,15 +22,17 @@ from repro.core.query import search_sorted_many
 
 
 class ConsolidatedBatchSearch:
-    """Mixin implementing ``search_many`` via ``_cascade`` / ``_final_array``.
+    """Mixin implementing ``_search_many`` via ``_cascade`` / ``_final_array``.
 
     Host classes provide ``_cascade`` (set when converged), ``_final_array``
     (the sorted array, available from consolidation onwards) and ``phase``.
+    The public ``search_many`` wrapper on :class:`~repro.core.index.BaseIndex`
+    corrects the structural answer for pending delta-store writes.
     """
 
     _batch_prefix: np.ndarray | None = None
 
-    def search_many(self, lows, highs):
+    def _search_many(self, lows, highs):
         """Vectorized batch answering once a fully sorted array exists.
 
         Available from the consolidation phase onwards; returns ``None`` in

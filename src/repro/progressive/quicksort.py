@@ -98,7 +98,7 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
             total += sum(level.nbytes for level in self._consolidator.levels)
         return total
 
-    def search_many(self, lows, highs):
+    def _search_many(self, lows, highs):
         """Vectorized batch answering once the index array is fully sorted.
 
         Available from the consolidation phase onwards (the sorter's range —

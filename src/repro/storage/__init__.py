@@ -2,12 +2,24 @@
 
 The paper operates on a single integer attribute of a large table (e.g. the
 Right Ascension column of SkyServer's ``PhotoObjAll``).  This package provides
-the minimal columnar storage layer the indexes are built on: an immutable
-:class:`~repro.storage.column.Column` plus a simple named-column
+the mutable columnar storage layer the indexes are built on: a versioned
+:class:`~repro.storage.column.Column` (read-optimized base array plus an
+append-only :class:`~repro.storage.delta.DeltaStore` absorbing
+insert/delete/update writes), frozen
+:class:`~repro.storage.column.ColumnSnapshot` views the indexes build their
+structures against, and a row-oriented named-column
 :class:`~repro.storage.table.Table`.
 """
 
-from repro.storage.column import Column
+from repro.storage.column import Column, ColumnSnapshot
+from repro.storage.delta import DeltaStore, merge_sorted_with_delta, remove_tombstones
 from repro.storage.table import Table
 
-__all__ = ["Column", "Table"]
+__all__ = [
+    "Column",
+    "ColumnSnapshot",
+    "DeltaStore",
+    "Table",
+    "merge_sorted_with_delta",
+    "remove_tombstones",
+]

@@ -1,68 +1,54 @@
-"""Immutable column of numeric values.
+"""Mutable column of numeric values: read-optimized base + delta store.
 
-A :class:`Column` is the unit every index in this library operates on.  It is
-a thin wrapper around a contiguous one-dimensional NumPy array that
+A :class:`Column` is the unit every index in this library operates on.  Since
+the mutable-substrate refactor it is no longer a frozen array but a *versioned*
+pair of
 
-* validates the input (non-empty, one-dimensional, numeric),
-* exposes cached ``min``/``max`` statistics (used for pivot selection and
-  radix domain computation, mirroring the paper's use of ``[min, max]``),
-* provides the vectorised scan primitives shared by all indexes
-  (:meth:`scan_range` and :meth:`scan_count`), which implement the paper's
-  predicated full-scan baseline.
+* a contiguous, read-only **base array** (the read-optimized majority of the
+  data — indexes build their structures from it), and
+* an append-only :class:`~repro.storage.delta.DeltaStore` absorbing every
+  ``insert``/``delete``/``update`` without ever reorganising the base
+  (updates are a delete plus an insert, mirroring column stores).
 
-The column is treated as immutable: indexes copy data out of it but never
-write back into it.  The underlying array is flagged read-only to make
-accidental mutation an error rather than a silent bug.
+Reads are **snapshot-versioned**: :meth:`Column.snapshot` freezes the rows
+visible at a version into a :class:`ColumnSnapshot`, which exposes the exact
+read API the old immutable column had (``data``, ``min``/``max``,
+``scan_range``, ``copy_data``).  Indexes pin a snapshot at creation time and
+answer structural queries against it; the per-index delta overlay corrects
+their answers with whatever writes happened after the pinned version, and
+merge work moves those writes into the structures under the same budget
+policies that pace construction.
+
+The live column's own read API (``data``, ``scan_range`` …) always reflects
+the *current* visible rows — base minus deleted plus inserted — caching the
+materialized array per version so read-heavy phases pay the compaction once
+per write burst.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 import numpy as np
 
-from repro.errors import InvalidColumnError
+from repro.errors import DroppedColumnError, InvalidColumnError
+from repro.storage.delta import DeltaStore
 
 ArrayLike = Union[np.ndarray, list, tuple]
 
 
-class Column:
-    """An immutable, contiguous column of numeric values.
+class _ReadableColumn:
+    """Shared read API over a one-dimensional numeric array.
 
-    Parameters
-    ----------
-    values:
-        One-dimensional numeric data.  Integer data is stored as ``int64``
-        (the paper uses 8-byte integers); floating point data is stored as
-        ``float64``.
-    name:
-        Optional attribute name, used only for display purposes.
+    Subclasses provide :meth:`_view` returning the array the reads should
+    target; min/max are cached by the subclass's invalidation policy.
     """
 
-    def __init__(self, values: ArrayLike, name: str = "value") -> None:
-        array = np.asarray(values)
-        if array.ndim != 1:
-            raise InvalidColumnError(
-                f"column data must be one-dimensional, got shape {array.shape}"
-            )
-        if array.size == 0:
-            raise InvalidColumnError("column data must not be empty")
-        if array.dtype.kind in ("i", "u", "b"):
-            array = array.astype(np.int64, copy=False)
-        elif array.dtype.kind == "f":
-            array = array.astype(np.float64, copy=False)
-        else:
-            raise InvalidColumnError(
-                f"column data must be numeric, got dtype {array.dtype}"
-            )
-        self._data = np.ascontiguousarray(array)
-        self._data.setflags(write=False)
-        self._name = str(name)
-        self._min = None
-        self._max = None
+    _name: str
 
-    # ------------------------------------------------------------------
-    # Basic accessors
+    def _view(self) -> np.ndarray:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
@@ -71,43 +57,40 @@ class Column:
 
     @property
     def data(self) -> np.ndarray:
-        """Read-only view of the underlying array."""
-        return self._data
+        """Read-only view of the visible values."""
+        return self._view()
 
     @property
     def dtype(self) -> np.dtype:
         """NumPy dtype of the stored values (``int64`` or ``float64``)."""
-        return self._data.dtype
+        return self._view().dtype
 
     def __len__(self) -> int:
-        return int(self._data.size)
+        return int(self._view().size)
 
     def __iter__(self) -> Iterator:
-        return iter(self._data)
+        return iter(self._view())
 
     def __getitem__(self, item):
-        return self._data[item]
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Column(name={self._name!r}, size={len(self)}, dtype={self.dtype})"
+        return self._view()[item]
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def min(self):
-        """Smallest value in the column (cached after the first call)."""
+        """Smallest visible value (cached until the next write)."""
         if self._min is None:
-            self._min = self._data.min()
+            self._min = self._view().min()
         return self._min
 
     def max(self):
-        """Largest value in the column (cached after the first call)."""
+        """Largest visible value (cached until the next write)."""
         if self._max is None:
-            self._max = self._data.max()
+            self._max = self._view().max()
         return self._max
 
     def value_range(self):
-        """Return ``(min, max)`` of the column."""
+        """Return ``(min, max)`` of the visible values."""
         return self.min(), self.max()
 
     # ------------------------------------------------------------------
@@ -127,14 +110,14 @@ class Column:
         start, stop:
             Optional element offsets restricting the scan to
             ``data[start:stop]``; used by partial indexes that only need to
-            scan the not-yet-indexed tail of the column.
+            scan the not-yet-indexed tail of their snapshot.
 
         Returns
         -------
         tuple
             ``(matching_sum, matching_count)``.
         """
-        segment = self._data[start:stop]
+        segment = self._view()[start:stop]
         mask = (segment >= low) & (segment <= high)
         count = int(np.count_nonzero(mask))
         if count == 0:
@@ -143,9 +126,247 @@ class Column:
 
     def scan_count(self, low, high, start: int = 0, stop: int | None = None) -> int:
         """Count of values in ``[low, high]`` within ``data[start:stop]``."""
-        segment = self._data[start:stop]
+        segment = self._view()[start:stop]
         mask = (segment >= low) & (segment <= high)
         return int(np.count_nonzero(mask))
+
+    def copy_data(self) -> np.ndarray:
+        """Return a writable copy of the visible values.
+
+        Indexes that physically reorganise data (cracking, progressive
+        quicksort) call this to obtain their private working array.
+        """
+        return self._view().copy()
+
+
+def _coerce(values: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Validate and normalise column data to a contiguous int64/float64 array."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise InvalidColumnError(
+            f"column data must be one-dimensional, got shape {array.shape}"
+        )
+    if dtype is not None:
+        if array.dtype.kind not in ("i", "u", "b", "f"):
+            raise InvalidColumnError(
+                f"column data must be numeric, got dtype {array.dtype}"
+            )
+        if np.dtype(dtype).kind == "i" and array.dtype.kind == "f":
+            # Casting 2.7 into an int64 column would silently store 2 — the
+            # row the user wrote would never match the predicate they query.
+            if not np.all(np.isfinite(array)) or not np.array_equal(
+                array, np.trunc(array)
+            ):
+                raise InvalidColumnError(
+                    "cannot write non-integral float values into an int64 "
+                    "column; convert the values (or the column) explicitly"
+                )
+        return np.ascontiguousarray(array.astype(dtype, copy=False))
+    if array.dtype.kind in ("i", "u", "b"):
+        array = array.astype(np.int64, copy=False)
+    elif array.dtype.kind == "f":
+        array = array.astype(np.float64, copy=False)
+    else:
+        raise InvalidColumnError(
+            f"column data must be numeric, got dtype {array.dtype}"
+        )
+    return np.ascontiguousarray(array)
+
+
+class Column(_ReadableColumn):
+    """A mutable, versioned column of numeric values.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional numeric data.  Integer data is stored as ``int64``
+        (the paper uses 8-byte integers); floating point data is stored as
+        ``float64``.
+    name:
+        Optional attribute name, used only for display purposes.
+    """
+
+    def __init__(self, values: ArrayLike, name: str = "value") -> None:
+        array = _coerce(values)
+        if array.size == 0:
+            raise InvalidColumnError("column data must not be empty")
+        self._base = array
+        self._base.setflags(write=False)
+        self._name = str(name)
+        self._min = None
+        self._max = None
+        self._delta: Optional[DeltaStore] = None
+        self._dropped = False
+        # (version, array) cache of the materialized visible rows.
+        self._visible_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    @property
+    def base_data(self) -> np.ndarray:
+        """The read-only base array (excludes all delta-store writes)."""
+        return self._base
+
+    @property
+    def base_size(self) -> int:
+        """Number of rows in the base array."""
+        return int(self._base.size)
+
+    @property
+    def version(self) -> int:
+        """Monotone write version (0 = never written to)."""
+        return 0 if self._delta is None else self._delta.version
+
+    @property
+    def delta(self) -> Optional[DeltaStore]:
+        """The write log (``None`` until the first write)."""
+        return self._delta
+
+    @property
+    def dropped(self) -> bool:
+        """Whether this column has been dropped from its table."""
+        return self._dropped
+
+    def _view(self) -> np.ndarray:
+        if self._delta is None or self._delta.version == 0:
+            return self._base
+        cached = self._visible_cache
+        if cached is not None and cached[0] == self._delta.version:
+            return cached[1]
+        visible = self._delta.visible_array()
+        if visible is not self._base:
+            visible = np.ascontiguousarray(visible)
+            visible.setflags(write=False)
+        self._visible_cache = (self._delta.version, visible)
+        return visible
+
+    def snapshot(self, version: Optional[int] = None) -> "ColumnSnapshot":
+        """Freeze the rows visible at ``version`` (default: now).
+
+        With no writes this is zero-copy (the snapshot shares the base
+        array); after writes the visible rows are materialized once.
+        """
+        if version is None:
+            version = self.version
+        if self._delta is None or version == 0:
+            return ColumnSnapshot(self._base, self._name, 0, self)
+        array = self._delta.visible_array(version)
+        if array is self._base:
+            return ColumnSnapshot(self._base, self._name, version, self)
+        array = np.ascontiguousarray(array)
+        array.setflags(write=False)
+        return ColumnSnapshot(array, self._name, version, self)
+
+    # ------------------------------------------------------------------
+    # Write operations
+    # ------------------------------------------------------------------
+    def _writable_delta(self) -> DeltaStore:
+        if self._dropped:
+            raise DroppedColumnError(
+                f"column {self._name!r} has been dropped; writes are rejected"
+            )
+        if self._delta is None:
+            self._delta = DeltaStore(self._base)
+        return self._delta
+
+    def _invalidate(self) -> None:
+        self._min = None
+        self._max = None
+
+    def insert(self, values, handle=None) -> np.ndarray:
+        """Append rows; returns the stable row ids of the new rows."""
+        delta = self._writable_delta()
+        coerced = _coerce(np.atleast_1d(np.asarray(values)), dtype=self._base.dtype)
+        rids = delta.insert(coerced, handle=handle)
+        self._invalidate()
+        return rids
+
+    def delete_rows(self, rids, handle=None) -> int:
+        """Delete the rows with the given stable row ids."""
+        delta = self._writable_delta()
+        deleted = delta.delete(rids, handle=handle)
+        if deleted:
+            self._invalidate()
+        return deleted
+
+    def delete_where(self, low, high, handle=None) -> np.ndarray:
+        """Delete all visible rows with values in ``[low, high]``.
+
+        Returns the rids of the deleted rows (empty when nothing matched).
+        """
+        rids = self.rids_where(low, high)
+        if rids.size:
+            self.delete_rows(rids, handle=handle)
+        return rids
+
+    def update_rows(self, rids, values, handle=None) -> np.ndarray:
+        """Replace the values of ``rids``; returns the *new* rids.
+
+        An update is a delete plus an insert — the old rows become
+        tombstones and the new values land in the insert log with fresh
+        stable rids, exactly how a column store absorbs in-place writes.
+        """
+        rids = np.atleast_1d(np.asarray(rids, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(values))
+        if values.size == 1 and rids.size > 1:
+            values = np.repeat(values, rids.size)
+        if values.size != rids.size:
+            raise InvalidColumnError(
+                f"update_rows() got {rids.size} rids but {values.size} values"
+            )
+        # Insert before deleting so an update touching every visible row
+        # never passes through an empty column state.
+        new_rids = self.insert(values, handle=handle)
+        self.delete_rows(rids, handle=handle)
+        return new_rids
+
+    def update_where(self, low, high, value, handle=None) -> np.ndarray:
+        """Set every visible row in ``[low, high]`` to ``value``; returns new rids."""
+        rids = self.rids_where(low, high)
+        if rids.size == 0:
+            return rids
+        return self.update_rows(rids, np.repeat(np.asarray(value), rids.size), handle=handle)
+
+    def rids_where(self, low, high) -> np.ndarray:
+        """Stable rids of the currently visible rows in ``[low, high]``."""
+        if self._delta is None or self._delta.version == 0:
+            mask = (self._base >= low) & (self._base <= high)
+            return np.flatnonzero(mask).astype(np.int64)
+        delta = self._delta
+        base_mask = (self._base >= low) & (self._base <= high)
+        alive = delta.visible_base_mask()
+        if alive is not None:
+            base_mask &= alive
+        base_rids = np.flatnonzero(base_mask).astype(np.int64)
+        ins_values = delta.insert_values
+        ins_mask = (
+            delta.visible_insert_mask() & (ins_values >= low) & (ins_values <= high)
+        )
+        ins_rids = delta.base_size + np.flatnonzero(ins_mask).astype(np.int64)
+        return np.concatenate([base_rids, ins_rids])
+
+    def values_at(self, rids) -> np.ndarray:
+        """Current values of the rows with the given stable rids."""
+        rids = np.atleast_1d(np.asarray(rids, dtype=np.int64))
+        if self._delta is None:
+            if rids.size and (rids.min() < 0 or rids.max() >= self._base.size):
+                raise InvalidColumnError(
+                    f"row id out of range (0 .. {self._base.size - 1})"
+                )
+            return self._base[rids]
+        return self._delta.values_at(rids)
+
+    def drop(self) -> None:
+        """Mark the column dropped; subsequent writes raise loudly."""
+        self._dropped = True
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Column(name={self._name!r}, size={len(self)}, dtype={self.dtype}, "
+            f"version={self.version})"
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -155,10 +376,37 @@ class Column:
         """Build a column that wraps ``array`` (copying only when required)."""
         return cls(array, name=name)
 
-    def copy_data(self) -> np.ndarray:
-        """Return a writable copy of the column data.
 
-        Indexes that physically reorganise data (cracking, progressive
-        quicksort) call this to obtain their private working array.
-        """
-        return self._data.copy()
+class ColumnSnapshot(_ReadableColumn):
+    """A frozen, versioned view of a column's visible rows.
+
+    Quacks exactly like the pre-refactor immutable column, which is what the
+    index implementations build their structures against: the snapshot array
+    never changes, so every cached statistic and derived structure stays
+    valid no matter how many writes land on the live column afterwards.
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        name: str,
+        version: int,
+        source: Optional[Column] = None,
+    ) -> None:
+        self._data = array
+        self._name = str(name)
+        self._min = None
+        self._max = None
+        #: Version of the live column this snapshot froze.
+        self.version = int(version)
+        #: The live column the snapshot was taken from (``None`` if detached).
+        self.source = source
+
+    def _view(self) -> np.ndarray:
+        return self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ColumnSnapshot(name={self._name!r}, size={len(self)}, "
+            f"version={self.version})"
+        )

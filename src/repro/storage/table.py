@@ -1,9 +1,17 @@
-"""A minimal named-column table.
+"""A minimal named-column table with row-oriented writes.
 
 The paper's experiments only touch a single attribute, but a downstream user
 of the library typically starts from a table.  :class:`Table` groups columns
 by name and is the entry point used by the high-level
 :class:`repro.engine.session.IndexingSession` API.
+
+Writes are **row oriented**: :meth:`Table.insert_rows`,
+:meth:`Table.delete_rows` and :meth:`Table.update_where` apply the same
+stable row ids to *every* column in lockstep, so the columns' delta stores
+stay aligned and multi-column conjunctions (``session.where``) remain
+correct after any interleaving of writes.  Writing to a single column of a
+multi-column table directly (``table.column("a").insert(...)``) would break
+that alignment — always go through the table-level methods.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from typing import Dict, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import InvalidColumnError
+from repro.errors import InvalidColumnError, UnknownColumnError
 from repro.storage.column import Column
 
 
@@ -43,7 +51,6 @@ class Table:
                     f"column {col_name!r} has length {len(column)}, expected {length}"
                 )
             self._columns[str(col_name)] = column
-        self._length = int(length)
 
     # ------------------------------------------------------------------
     @property
@@ -57,7 +64,7 @@ class Table:
         return tuple(self._columns.keys())
 
     def __len__(self) -> int:
-        return self._length
+        return len(next(iter(self._columns.values())))
 
     def __contains__(self, column_name: str) -> bool:
         return column_name in self._columns
@@ -67,7 +74,7 @@ class Table:
         try:
             return self._columns[column_name]
         except KeyError:
-            raise InvalidColumnError(
+            raise UnknownColumnError(
                 f"table {self._name!r} has no column {column_name!r}; "
                 f"available columns: {sorted(self._columns)}"
             ) from None
@@ -76,7 +83,96 @@ class Table:
         return self.column(column_name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Table(name={self._name!r}, rows={self._length}, columns={list(self._columns)})"
+        return f"Table(name={self._name!r}, rows={len(self)}, columns={list(self._columns)})"
+
+    # ------------------------------------------------------------------
+    # Row-oriented writes
+    # ------------------------------------------------------------------
+    def insert_rows(self, values_by_column: Mapping[str, object], handle=None) -> np.ndarray:
+        """Insert full rows; returns the stable rids of the new rows.
+
+        ``values_by_column`` must provide a value (or equal-length sequence
+        of values) for **every** column of the table — partial rows would
+        leave the columns misaligned.
+        """
+        unknown = set(values_by_column) - set(self._columns)
+        if unknown:
+            raise UnknownColumnError(
+                f"insert_rows() references unknown columns {sorted(unknown)}; "
+                f"available: {sorted(self._columns)}"
+            )
+        missing = set(self._columns) - set(values_by_column)
+        if missing:
+            raise InvalidColumnError(
+                f"insert_rows() must cover every column; missing {sorted(missing)}"
+            )
+        arrays = {
+            name: np.atleast_1d(np.asarray(values))
+            for name, values in values_by_column.items()
+        }
+        sizes = {array.size for array in arrays.values()}
+        if len(sizes) != 1:
+            raise InvalidColumnError(
+                f"insert_rows() received ragged row data (lengths {sorted(sizes)})"
+            )
+        rids = None
+        for name, column in self._columns.items():
+            rids = column.insert(arrays[name], handle=handle)
+        return rids
+
+    def delete_rows(self, rids, handle=None) -> int:
+        """Delete the rows with the given stable rids from every column."""
+        deleted = 0
+        for column in self._columns.values():
+            deleted = column.delete_rows(rids, handle=handle)
+        return deleted
+
+    def delete_where(self, column_name: str, low, high, handle=None) -> int:
+        """Delete every row whose ``column_name`` value lies in ``[low, high]``."""
+        rids = self.column(column_name).rids_where(low, high)
+        if rids.size:
+            self.delete_rows(rids, handle=handle)
+        return int(rids.size)
+
+    def update_where(self, column_name: str, low, high, value, handle=None) -> int:
+        """Set ``column_name`` to ``value`` for every row in ``[low, high]``.
+
+        The matching rows are deleted and re-inserted with the target column
+        substituted, so every column sees the same delete + insert pair and
+        the stable-rid alignment across columns is preserved.
+        """
+        target = self.column(column_name)
+        rids = target.rids_where(low, high)
+        if rids.size == 0:
+            return 0
+        replacements = {
+            name: (
+                np.repeat(np.asarray(value), rids.size)
+                if name == column_name
+                else column.values_at(rids)
+            )
+            for name, column in self._columns.items()
+        }
+        # Insert before deleting so an update touching every visible row
+        # never passes through an empty column state.
+        self.insert_rows(replacements, handle=handle)
+        self.delete_rows(rids, handle=handle)
+        return int(rids.size)
+
+    def drop_column(self, column_name: str) -> None:
+        """Remove ``column_name`` from the table and mark it dropped.
+
+        Writes through stale references to the dropped column raise
+        :class:`~repro.errors.DroppedColumnError` instead of silently
+        mutating data no query will see.
+        """
+        if len(self._columns) == 1:
+            raise InvalidColumnError(
+                f"cannot drop {column_name!r}: a table requires at least one column"
+            )
+        column = self.column(column_name)
+        column.drop()
+        del self._columns[column_name]
 
     # ------------------------------------------------------------------
     @classmethod

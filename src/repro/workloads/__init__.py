@@ -4,7 +4,9 @@
   (uniform random unique integers, and the skewed distribution with 90% of
   the data concentrated in the middle of the domain).
 * :mod:`repro.workloads.patterns` — the eight synthetic query patterns of
-  Figure 6 (taken from Halim et al.) plus their point-query variants.
+  Figure 6 (taken from Halim et al.) plus their point-query variants, and
+  the ``MixedReadWrite`` pattern interleaving delta-store writes at a
+  configurable write ratio.
 * :mod:`repro.workloads.skyserver` — a SkyServer-like data set and query log
   reproducing the *shape* of Figure 5 (multi-modal value distribution,
   spatially clustered and drifting query ranges).
@@ -17,8 +19,10 @@
 from repro.workloads.batch import conjunctive_queries, iter_batches, predicate_vector
 from repro.workloads.distributions import skewed_data, uniform_data
 from repro.workloads.patterns import (
+    MIXED_PATTERNS,
     SYNTHETIC_PATTERNS,
     generate_pattern,
+    mixed_read_write_workload,
     periodic_workload,
     random_workload,
     seq_over_workload,
@@ -29,14 +33,17 @@ from repro.workloads.patterns import (
     zoom_out_alternate_workload,
 )
 from repro.workloads.skyserver import skyserver_data, skyserver_workload
-from repro.workloads.workload import Workload
+from repro.workloads.workload import Workload, WriteOp
 
 __all__ = [
+    "MIXED_PATTERNS",
     "SYNTHETIC_PATTERNS",
     "Workload",
+    "WriteOp",
     "conjunctive_queries",
     "generate_pattern",
     "iter_batches",
+    "mixed_read_write_workload",
     "predicate_vector",
     "periodic_workload",
     "random_workload",

@@ -31,6 +31,11 @@ The patterns:
 ``SeqZoomIn``
     Splits the domain into consecutive sections and performs a short zoom-in
     inside each section before moving to the next.
+``MixedReadWrite``
+    The mutable-substrate pattern: a base read pattern (default ``Random``)
+    interleaved with inserts, value-range deletes and value-range updates at
+    a configurable write ratio — the update-heavy workload the delta-store
+    write path is benchmarked against.
 
 Point-query variants replace each range with its centre value.
 """
@@ -42,7 +47,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workloads.workload import Workload
+from repro.workloads.workload import Workload, WriteOp
 
 #: Default selectivity of the synthetic range queries (paper: 0.1).
 DEFAULT_SELECTIVITY = 0.1
@@ -288,6 +293,81 @@ def seq_zoom_in_workload(
     )
 
 
+def mixed_read_write_workload(
+    domain_low: float,
+    domain_high: float,
+    n_queries: int,
+    selectivity: float = DEFAULT_SELECTIVITY,
+    rng: np.random.Generator | None = None,
+    write_ratio: float = 0.1,
+    base_pattern: str = "Random",
+    insert_batch: int = 8,
+    write_selectivity: float = 0.001,
+) -> Workload:
+    """Reads from ``base_pattern`` interleaved with writes (``MixedReadWrite``).
+
+    ``n_queries`` is the number of *reads*; on top of them,
+    ``write_ratio / (1 - write_ratio)`` writes per read are shuffled into
+    the operation stream so the overall mix has the requested write
+    fraction.  Writes rotate through the three kinds:
+
+    * **insert** — ``insert_batch`` fresh values drawn uniformly from the
+      domain;
+    * **delete** — a value range of ``write_selectivity`` of the domain;
+    * **update** — the same narrow range rewritten to a random domain value.
+
+    The resulting :class:`~repro.workloads.workload.Workload` carries the
+    full interleaving in ``operations`` while ``predicates`` stays the
+    read-only view every existing consumer expects.
+    """
+    _validate(domain_low, domain_high, n_queries, selectivity)
+    if not 0.0 <= write_ratio < 1.0:
+        raise WorkloadError(f"write_ratio must be in [0, 1), got {write_ratio}")
+    rng = rng or np.random.default_rng(0)
+    reads = SYNTHETIC_PATTERNS[base_pattern](
+        domain_low, domain_high, n_queries, selectivity, rng
+    )
+    n_writes = int(round(n_queries * write_ratio / (1.0 - write_ratio)))
+    domain = domain_high - domain_low
+    write_width = max(write_selectivity * domain, 1e-9)
+    writes: List[WriteOp] = []
+    for write_number in range(n_writes):
+        kind = write_number % 3
+        if kind == 0:
+            # Integral values keep the inserts valid for int64 columns
+            # (non-integral floats are rejected by the safe-cast guard)
+            # while remaining exact on float columns.
+            values = np.floor(domain_low + rng.uniform(0.0, domain, size=insert_batch))
+            writes.append(WriteOp("insert", values=tuple(values.tolist())))
+        else:
+            start = domain_low + rng.uniform(0.0, max(domain - write_width, 1e-9))
+            if kind == 1:
+                writes.append(WriteOp("delete", low=start, high=start + write_width))
+            else:
+                target = float(np.floor(domain_low + rng.uniform(0.0, domain)))
+                writes.append(
+                    WriteOp(
+                        "update", low=start, high=start + write_width, value=target
+                    )
+                )
+    operations: List[object] = list(reads.predicates) + list(writes)
+    order = rng.permutation(len(operations))
+    operations = [operations[position] for position in order]
+    predicates = [op for op in operations if not isinstance(op, WriteOp)]
+    return Workload(
+        name="MixedReadWrite",
+        predicates=predicates,
+        domain_low=domain_low,
+        domain_high=domain_high,
+        metadata={
+            "write_ratio": write_ratio,
+            "base_pattern": base_pattern,
+            "n_writes": n_writes,
+        },
+        operations=operations,
+    )
+
+
 # ----------------------------------------------------------------------
 # Registry and helpers
 # ----------------------------------------------------------------------
@@ -304,6 +384,13 @@ SYNTHETIC_PATTERNS: Dict[str, PatternGenerator] = {
     "Periodic": periodic_workload,
     "ZoomInAlt": zoom_in_alternate_workload,
     "ZoomIn": zoom_in_workload,
+}
+
+#: Read/write patterns of the mutable substrate, kept out of
+#: :data:`SYNTHETIC_PATTERNS` so the paper's read-only Figure 6 sweeps are
+#: untouched; :func:`generate_pattern` resolves both registries.
+MIXED_PATTERNS: Dict[str, PatternGenerator] = {
+    "MixedReadWrite": mixed_read_write_workload,
 }
 
 #: Patterns used for the point-query experiments (the paper omits the
@@ -328,14 +415,19 @@ def generate_pattern(
     point_queries: bool = False,
 ) -> Workload:
     """Generate a named pattern, optionally converted to point queries."""
-    try:
-        generator = SYNTHETIC_PATTERNS[name]
-    except KeyError:
+    generator = SYNTHETIC_PATTERNS.get(name) or MIXED_PATTERNS.get(name)
+    if generator is None:
+        available = sorted(SYNTHETIC_PATTERNS) + sorted(MIXED_PATTERNS)
         raise WorkloadError(
-            f"unknown workload pattern {name!r}; available: {sorted(SYNTHETIC_PATTERNS)}"
+            f"unknown workload pattern {name!r}; available: {available}"
         ) from None
     workload = generator(domain_low, domain_high, n_queries, selectivity, rng)
     if point_queries:
+        if workload.is_mixed:
+            raise WorkloadError(
+                f"pattern {name!r} interleaves writes and cannot be converted "
+                "to point queries"
+            )
         workload = to_point_queries(workload)
     return workload
 

@@ -1,19 +1,68 @@
-"""The :class:`Workload` container: an ordered sequence of predicates.
+"""The :class:`Workload` container: an ordered sequence of operations.
 
 A workload couples the query sequence with the metadata the experiment
 drivers need (its name, the domain it was generated for, and whether it
 consists of point queries).
+
+Since the mutable column substrate, a workload may also interleave
+**writes**: a :class:`WriteOp` describes an insert, a value-range delete,
+or a value-range update, and :attr:`Workload.operations` is the full
+ordered mix of predicates and writes.  Read-only consumers are untouched —
+iteration and ``predicates`` still expose only the queries — while
+update-aware drivers (``session.execute_operations``, the update-throughput
+benchmark, the mutation oracle) replay :attr:`Workload.operations`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.query import Predicate
 from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One write of a mixed read/write workload.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"``, ``"delete"`` or ``"update"``.
+    values:
+        The values to insert (``insert`` only).
+    low, high:
+        Inclusive value range selecting the victim rows (``delete`` and
+        ``update``).
+    value:
+        The replacement value (``update`` only).
+    """
+
+    kind: str
+    values: tuple = ()
+    low: float = 0.0
+    high: float = 0.0
+    value: float = 0.0
+
+    _KINDS = ("insert", "delete", "update")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise WorkloadError(
+                f"unknown write kind {self.kind!r}; expected one of {self._KINDS}"
+            )
+
+    def apply(self, session, column_name: str) -> None:
+        """Apply this write to ``session``'s table."""
+        if self.kind == "insert":
+            session.insert(list(self.values), column_name=column_name)
+        elif self.kind == "delete":
+            session.delete(column_name, self.low, self.high)
+        else:
+            session.update(column_name, self.low, self.high, self.value)
 
 
 @dataclass
@@ -38,10 +87,42 @@ class Workload:
     domain_high: float = 1.0
     point_queries: bool = False
     metadata: dict = field(default_factory=dict)
+    #: Full ordered mix of :class:`Predicate` and :class:`WriteOp` entries
+    #: for read/write workloads; ``None`` for read-only workloads.
+    operations: Optional[List[object]] = None
 
     def __post_init__(self) -> None:
         if not self.predicates:
             raise WorkloadError(f"workload {self.name!r} has no queries")
+        if self.operations is not None:
+            reads = [op for op in self.operations if isinstance(op, Predicate)]
+            if reads != self.predicates:
+                raise WorkloadError(
+                    f"workload {self.name!r}: operations and predicates disagree "
+                    "(the predicates must be exactly the reads of the operation mix, "
+                    "in order)"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_mixed(self) -> bool:
+        """Whether the workload interleaves writes with its queries."""
+        return self.operations is not None and any(
+            isinstance(op, WriteOp) for op in self.operations
+        )
+
+    @property
+    def writes(self) -> List["WriteOp"]:
+        """The write operations of the mix (empty for read-only workloads)."""
+        if self.operations is None:
+            return []
+        return [op for op in self.operations if isinstance(op, WriteOp)]
+
+    def write_ratio(self) -> float:
+        """Fraction of operations that are writes."""
+        if self.operations is None:
+            return 0.0
+        return len(self.writes) / len(self.operations)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -65,7 +146,22 @@ class Workload:
         return float(self.selectivities().mean())
 
     def head(self, n_queries: int) -> "Workload":
-        """A new workload containing only the first ``n_queries`` queries."""
+        """A new workload containing only the first ``n_queries`` queries.
+
+        For a mixed read/write workload the operation mix is truncated at
+        the ``n_queries``-th read, keeping every write interleaved before it
+        — a truncated smoke run replays the same semantics, just shorter.
+        """
+        operations = None
+        if self.operations is not None:
+            operations = []
+            reads = 0
+            for operation in self.operations:
+                if isinstance(operation, Predicate):
+                    if reads >= n_queries:
+                        break
+                    reads += 1
+                operations.append(operation)
         return Workload(
             name=self.name,
             predicates=list(self.predicates[:n_queries]),
@@ -73,6 +169,7 @@ class Workload:
             domain_high=self.domain_high,
             point_queries=self.point_queries,
             metadata=dict(self.metadata),
+            operations=operations,
         )
 
     @classmethod

@@ -22,8 +22,9 @@ import pytest
 
 from repro.baselines.full_scan import FullScan
 from repro.core.budget import FixedBudget
+from repro.core.phase import IndexPhase
 from repro.core.policy import CostModelGreedy, FixedDelta, TimeAdaptive
-from repro.core.query import Predicate
+from repro.core.query import Predicate, QueryResult
 from repro.engine.batch import BatchExecutor
 from repro.engine.registry import ALGORITHMS, PROGRESSIVE_ALGORITHMS, create_index
 from repro.storage.column import Column
@@ -209,3 +210,169 @@ def test_batch_execution_matches_oracle_on_float64(name):
     for query_number, (want, got) in enumerate(zip(expected, batch.results)):
         assert got.count == want.count, f"{name}: float batch query {query_number}"
         assert got.approximately_equals(want), f"{name}: float batch query {query_number}"
+
+
+# ----------------------------------------------------------------------
+# Mutation oracle: random write/query interleavings on the mutable substrate
+# ----------------------------------------------------------------------
+
+#: Smaller column for the mutation grid (13 algorithms x 3 policies).
+N_MUTATION_ELEMENTS = 4_000
+
+#: Writes per mutation step are chunky enough that the pending delta crosses
+#: the merge trigger of converged foldable indexes, so the MERGE life-cycle
+#: stage (budget-priced folding) is genuinely exercised, not just the
+#: overlay correction.
+INSERT_BATCH = 12
+
+
+def apply_random_write(rng: np.random.Generator, columns, low: int, high: int) -> str:
+    """Apply one random insert/delete/update to every column in ``columns``."""
+    kind = int(rng.integers(0, 3))
+    if kind == 0:
+        values = rng.integers(low, high + 1, size=INSERT_BATCH)
+        for column in columns:
+            column.insert(values)
+        return "insert"
+    start = int(rng.integers(low, high))
+    width = int((high - low) * 0.01) + 1
+    if kind == 1:
+        for column in columns:
+            column.delete_where(start, start + width)
+        return "delete"
+    target = int(rng.integers(low, high))
+    for column in columns:
+        column.update_where(start, start + width, target)
+    return "update"
+
+
+def reference_answer(reference: Column, predicate: Predicate):
+    """FullScan over the mutable reference column (the oracle)."""
+    return reference.scan_range(predicate.low, predicate.high)
+
+
+def assert_matches_reference(name, policy_name, index, reference, predicate, step):
+    got = index.query(predicate)
+    want_sum, want_count = reference_answer(reference, predicate)
+    assert got.count == want_count, (
+        f"{name}/{policy_name}: count mismatch at mutation step {step} "
+        f"({predicate}) in phase {index.phase}"
+    )
+    assert got.value_sum == want_sum, (
+        f"{name}/{policy_name}: sum mismatch at mutation step {step} "
+        f"({predicate}) in phase {index.phase}"
+    )
+
+
+def random_read(rng: np.random.Generator, low: int, high: int) -> Predicate:
+    kind = int(rng.integers(0, 3))
+    if kind == 0:  # point query
+        value = int(rng.integers(low - 5, high + 5))
+        return Predicate(value, value)
+    if kind == 1:  # narrow range
+        start = int(rng.integers(low, high))
+        return Predicate(start, start + max(1, (high - low) // 100))
+    start = int(rng.integers(low - 50, high))  # wide range, may leave domain
+    return Predicate(start, start + (high - low) // 4)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_mutation_oracle_matches_mutable_full_scan(name, policy_name):
+    """Any interleaving of writes and queries equals the mutable reference.
+
+    Stage 1 drives the index through construction (progressive indexes
+    converge), stage 2 interleaves random inserts / range deletes / range
+    updates with range and point queries, and stage 3 keeps querying so
+    budget-priced merging runs to completion — answers must equal a
+    FullScan over an identically mutated reference column at *every* step,
+    before and after convergence.
+    """
+    rng = np.random.default_rng(20_260_801)
+    data = uniform_data(N_MUTATION_ELEMENTS, rng=rng)
+    low, high = int(data.min()), int(data.max())
+    column = Column(data, name="value")
+    reference = Column(data.copy(), name="reference")
+    index = create_index(name, column, budget=POLICIES[policy_name]())
+
+    # Stage 1: read-only construction drive.
+    for step in range(25):
+        assert_matches_reference(
+            name, policy_name, index, reference, random_read(rng, low, high), step
+        )
+    if name in PROGRESSIVE_ALGORITHMS:
+        assert index.converged, (
+            f"{name} failed to converge before the mutation stage under {policy_name}"
+        )
+
+    # Stage 2: random write/query interleaving.
+    for step in range(25, 65):
+        if rng.random() < 0.45:
+            apply_random_write(rng, (column, reference), low, high)
+        assert_matches_reference(
+            name, policy_name, index, reference, random_read(rng, low, high), step
+        )
+
+    # Stage 3: drain — budget-priced merging completes under every policy.
+    for step in range(65, 85):
+        assert_matches_reference(
+            name, policy_name, index, reference, random_read(rng, low, high), step
+        )
+    if name in PROGRESSIVE_ALGORITHMS or name == "FI":
+        visited = {phase for _, phase in index.lifecycle.transitions}
+        assert IndexPhase.MERGE in visited, (
+            f"{name}/{policy_name}: the budget-priced MERGE stage never ran "
+            f"(transitions: {index.lifecycle.transitions})"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_mutation_oracle_batch_path(name):
+    """Batches interleaved with writes equal the mutable reference."""
+    rng = np.random.default_rng(97)
+    data = uniform_data(N_MUTATION_ELEMENTS, rng=rng)
+    low, high = int(data.min()), int(data.max())
+    column = Column(data, name="value")
+    reference = Column(data.copy(), name="reference")
+    index = create_index(name, column, budget=FixedDelta(0.5))
+    executor = BatchExecutor()
+    for round_number in range(6):
+        if round_number > 0:
+            for _ in range(3):
+                apply_random_write(rng, (column, reference), low, high)
+        predicates = [random_read(rng, low, high) for _ in range(20)]
+        batch = executor.execute(index, predicates)
+        for query_number, (predicate, got) in enumerate(zip(predicates, batch.results)):
+            want_sum, want_count = reference_answer(reference, predicate)
+            assert got.count == want_count, (
+                f"{name}: batch round {round_number} query {query_number} "
+                f"({predicate}) in phase {index.phase}"
+            )
+            assert got.value_sum == want_sum, (
+                f"{name}: batch round {round_number} query {query_number}"
+            )
+
+
+def test_mutation_oracle_float64_columns():
+    """The mutable substrate is exact on float columns too (PQ + cracking)."""
+    rng = np.random.default_rng(5)
+    data = rng.normal(0.0, 1_000.0, size=N_MUTATION_ELEMENTS)
+    for name in ("PQ", "STD", "FS", "FI"):
+        column = Column(data.copy(), name="value")
+        reference = Column(data.copy(), name="reference")
+        index = create_index(name, column, budget=FixedDelta(0.5))
+        for step in range(40):
+            if 10 < step and rng.random() < 0.4:
+                start = float(rng.uniform(-2_000, 2_000))
+                column.insert(np.array([start, start + 0.5]))
+                reference.insert(np.array([start, start + 0.5]))
+                column.delete_where(start - 50.0, start - 10.0)
+                reference.delete_where(start - 50.0, start - 10.0)
+            lo = float(rng.uniform(-3_000, 2_500))
+            predicate = Predicate(lo, lo + float(rng.uniform(0, 500)))
+            got = index.query(predicate)
+            want_sum, want_count = reference.scan_range(predicate.low, predicate.high)
+            assert got.count == want_count, f"{name}: float mutation step {step}"
+            assert got.approximately_equals(QueryResult(want_sum, want_count)), (
+                f"{name}: float mutation step {step}"
+            )

@@ -1,0 +1,499 @@
+"""Tests for the mutable column substrate and its engine integration.
+
+Covers the storage layer (delta store, snapshot-versioned reads, row-aligned
+table writes), the MERGE life-cycle stage and budget-priced folding, the
+session write API with its error guards, the JSON-serializable ``status()``
+regression, and the ``MixedReadWrite`` workload pattern.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import IndexingSession, Table
+from repro.core.phase import IndexLifecycle, IndexPhase
+from repro.core.policy import CostModelGreedy, FixedDelta
+from repro.core.query import Predicate
+from repro.engine.registry import create_index
+from repro.errors import (
+    DroppedColumnError,
+    IndexStateError,
+    InvalidColumnError,
+    PendingDeltaError,
+    UnknownColumnError,
+    WorkloadError,
+)
+from repro.storage import Column, ColumnSnapshot, merge_sorted_with_delta, remove_tombstones
+from repro.workloads.patterns import MIXED_PATTERNS, generate_pattern, mixed_read_write_workload
+from repro.workloads.workload import Workload, WriteOp
+
+
+class TestDeltaStoreColumn:
+    def test_insert_returns_stable_rids(self):
+        column = Column([5, 1, 9])
+        rids = column.insert([7, 8])
+        assert rids.tolist() == [3, 4]
+        assert column.insert([6]).tolist() == [5]
+        assert len(column) == 6
+        assert column.version == 3
+
+    def test_visible_data_reflects_writes(self):
+        column = Column([5, 1, 9, 1])
+        column.delete_where(1, 1)
+        column.insert([2])
+        assert sorted(column.data.tolist()) == [2, 5, 9]
+        assert column.min() == 2 and column.max() == 9
+
+    def test_update_is_delete_plus_insert(self):
+        column = Column([10, 20, 30])
+        new_rids = column.update_where(20, 20, 25)
+        assert new_rids.tolist() == [3]
+        assert sorted(column.data.tolist()) == [10, 25, 30]
+        # the old rid is dead, the new rid carries the new value
+        assert not column.delta.is_alive(1)
+        assert column.values_at(new_rids).tolist() == [25]
+
+    def test_delete_unknown_or_dead_rid_raises(self):
+        column = Column([1, 2, 3])
+        with pytest.raises(InvalidColumnError):
+            column.delete_rows([99])
+        column.delete_rows([1])
+        with pytest.raises(InvalidColumnError):
+            column.delete_rows([1])
+
+    def test_scan_range_matches_visible_rows(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, 500)
+        column = Column(data)
+        column.delete_where(10, 30)
+        column.insert([15, 16, 17])
+        visible = column.data
+        mask = (visible >= 5) & (visible <= 40)
+        total, count = column.scan_range(5, 40)
+        assert count == mask.sum()
+        assert total == visible[mask].sum()
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        column = Column([1, 2, 3])
+        frozen = column.snapshot()
+        column.insert([100])
+        column.delete_where(2, 2)
+        assert frozen.data.tolist() == [1, 2, 3]
+        assert frozen.version == 0
+        assert sorted(column.data.tolist()) == [1, 3, 100]
+
+    def test_snapshot_at_version_zero_is_zero_copy(self):
+        column = Column([1, 2, 3])
+        frozen = column.snapshot()
+        assert isinstance(frozen, ColumnSnapshot)
+        assert frozen.data is column.base_data
+
+    def test_delta_windows(self):
+        column = Column([1, 2, 3])
+        column.insert([10])
+        mark = column.version
+        column.insert([20])
+        column.delete_where(2, 2)
+        delta = column.delta
+        assert delta.insert_window(mark, column.version).tolist() == [20]
+        assert delta.delete_window(mark, column.version).tolist() == [2]
+        assert delta.insert_window(0, mark).tolist() == [10]
+
+    def test_deleting_every_visible_row_is_rejected(self):
+        column = Column([1, 2, 3])
+        with pytest.raises(InvalidColumnError):
+            column.delete_where(0, 10)
+        # ... and the column is untouched by the failed delete.
+        assert len(column) == 3
+        assert column.min() == 1
+
+    def test_update_of_every_row_is_allowed(self):
+        column = Column([1, 2, 3])
+        column.update_where(0, 10, 7)
+        assert column.data.tolist() == [7, 7, 7]
+        table = Table({"a": [1, 2], "b": [3, 4]})
+        table.update_where("a", 0, 10, 9)
+        assert table["a"].data.tolist() == [9, 9]
+        assert sorted(table["b"].data.tolist()) == [3, 4]
+
+    def test_non_integral_floats_rejected_by_int_columns(self):
+        column = Column([1, 2, 3])
+        with pytest.raises(InvalidColumnError):
+            column.insert([2.7])
+        with pytest.raises(InvalidColumnError):
+            column.update_where(2, 2, 2.5)
+        column.insert([4.0])  # integral floats are exact -> allowed
+        assert sorted(column.data.tolist()) == [1, 2, 3, 4]
+
+    def test_float_column_writes(self):
+        column = Column(np.array([1.5, -2.25, 3.75]))
+        column.insert(np.array([0.125]))
+        column.delete_where(-3.0, -2.0)
+        total, count = column.scan_range(0.0, 4.0)
+        assert count == 3
+        assert total == pytest.approx(1.5 + 3.75 + 0.125)
+
+
+class TestMergeHelpers:
+    def test_remove_tombstones_removes_one_occurrence_each(self):
+        values = np.array([1, 2, 2, 2, 5, 7])
+        out = remove_tombstones(values, np.array([2, 2, 7]))
+        assert out.tolist() == [1, 2, 5]
+
+    def test_merge_sorted_with_delta(self):
+        out = merge_sorted_with_delta(
+            np.array([1, 3, 5, 7]), np.array([2, 6]), np.array([3, 7])
+        )
+        assert out.tolist() == [1, 2, 5, 6]
+
+
+class TestRowAlignedTable:
+    def test_insert_rows_requires_every_column(self):
+        table = Table({"a": [1], "b": [2]})
+        with pytest.raises(InvalidColumnError):
+            table.insert_rows({"a": [5]})
+        with pytest.raises(UnknownColumnError):
+            table.insert_rows({"a": [5], "b": [6], "c": [7]})
+
+    def test_update_preserves_other_columns(self):
+        table = Table({"a": [1, 2, 3], "b": [10, 20, 30]})
+        table.update_where("a", 2, 2, 99)
+        a, b = table["a"].data, table["b"].data
+        assert b[a.tolist().index(99)] == 20
+
+    def test_len_tracks_writes(self):
+        table = Table({"a": [1, 2, 3], "b": [4, 5, 6]})
+        table.insert_rows({"a": 9, "b": 9})
+        table.delete_where("b", 4, 5)
+        assert len(table) == 2
+
+    def test_drop_column_guards_stale_writes(self):
+        table = Table({"a": [1], "b": [2]})
+        stale = table.column("b")
+        table.drop_column("b")
+        assert "b" not in table
+        with pytest.raises(UnknownColumnError):
+            table.column("b")
+        with pytest.raises(DroppedColumnError):
+            stale.insert([3])
+        with pytest.raises(InvalidColumnError):
+            table.drop_column("a")  # last column must stay
+
+
+class TestMergeLifecycle:
+    def test_merge_backward_edge_is_the_only_one(self):
+        lifecycle = IndexLifecycle()
+        lifecycle.advance(IndexPhase.CONVERGED)
+        lifecycle.advance(IndexPhase.MERGE)
+        lifecycle.advance(IndexPhase.CONVERGED)  # legal: fold completed
+        lifecycle.advance(IndexPhase.MERGE)  # next write burst
+        with pytest.raises(IndexStateError):
+            lifecycle.advance(IndexPhase.REFINEMENT)
+
+    def test_merge_phase_does_indexing_work(self):
+        assert IndexPhase.MERGE.does_indexing_work
+        assert IndexPhase.CONVERGED < IndexPhase.MERGE
+
+    def test_converged_index_folds_pending_delta(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 10_000, 20_000)
+        column = Column(data)
+        index = create_index("PQ", column, budget=FixedDelta(0.5))
+        probe = Predicate(100, 2_000)
+        while not index.converged:
+            index.query(probe)
+        # Write past the merge trigger, then query until the fold lands.
+        column.insert(rng.integers(0, 10_000, 200))
+        column.delete_where(5_000, 5_100)
+        assert index.pending_delta_rows() > 0
+        for _ in range(50):
+            index.query(probe)
+            if index.converged and index.pending_delta_rows() == 0:
+                break
+        stats = index.overlay_stats()
+        assert stats["folds_completed"] >= 1
+        assert stats["pending_rows"] == 0
+        visited = {phase for _, phase in index.lifecycle.transitions}
+        assert IndexPhase.MERGE in visited
+        # The folded cascade answers without any overlay correction.
+        visible = column.data
+        mask = (visible >= probe.low) & (visible <= probe.high)
+        result = index.query(probe)
+        assert result.count == mask.sum()
+
+    def test_small_delta_stays_buffered_below_trigger(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 10_000, 50_000)
+        column = Column(data)
+        index = create_index("PQ", column, budget=FixedDelta(0.5))
+        probe = Predicate(0, 500)
+        while not index.converged:
+            index.query(probe)
+        column.insert([1, 2, 3])  # far below the trigger
+        for _ in range(5):
+            index.query(probe)
+        assert index.phase is IndexPhase.CONVERGED
+        assert index.overlay_stats()["folds_completed"] == 0
+        # ... but the answers include the buffered rows regardless.
+        assert index.query(Predicate(1, 3)).count == int(
+            np.count_nonzero((column.data >= 1) & (column.data <= 3))
+        )
+
+    def test_batch_execution_interleaves_pending_merges(self):
+        from repro.engine.batch import BatchExecutor
+
+        rng = np.random.default_rng(8)
+        data = rng.integers(0, 10_000, 20_000)
+        column = Column(data)
+        index = create_index("PQ", column, budget=FixedDelta(0.5))
+        probe = Predicate(100, 2_000)
+        while not index.converged:
+            index.query(probe)
+        column.insert(rng.integers(0, 10_000, 300))  # past the merge trigger
+        predicates = [
+            Predicate(int(low), int(low) + 500)
+            for low in rng.integers(0, 9_000, 40)
+        ]
+        batch = BatchExecutor().execute(index, predicates)
+        # The pooled budget front-loads the fold: some queries were driven
+        # per-query (spending merge budget), the tail went vectorized.
+        assert batch.driven_queries >= 1
+        assert batch.vectorized_queries >= 1
+        assert index.overlay_stats()["folds_completed"] >= 1
+        visible = column.data
+        for predicate, got in zip(predicates, batch.results):
+            mask = (visible >= predicate.low) & (visible <= predicate.high)
+            assert got.count == mask.sum()
+            assert got.value_sum == visible[mask].sum()
+
+    def test_merge_budget_is_priced_by_the_policy(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 10_000, 20_000)
+        column = Column(data)
+        index = create_index(
+            "PQ", column, budget=CostModelGreedy(scan_fraction=2.0)
+        )
+        probe = Predicate(100, 2_000)
+        while not index.converged:
+            index.query(probe)
+        column.insert(rng.integers(0, 10_000, 500))
+        for _ in range(30):
+            index.query(probe)
+            if index.overlay_stats()["folds_completed"]:
+                break
+        stats = index.overlay_stats()
+        assert stats["folds_completed"] >= 1
+        assert stats["merge_budget_seconds"] > 0.0
+        merge_query = next(
+            (number, phase)
+            for number, phase in index.lifecycle.transitions
+            if phase is IndexPhase.MERGE
+        )
+        assert merge_query is not None
+
+
+class TestSessionWrites:
+    def make_session(self, n=5_000, seed=0):
+        rng = np.random.default_rng(seed)
+        table = Table({"v": rng.integers(0, 1_000, n)})
+        return IndexingSession(table), table
+
+    def test_insert_delete_update_roundtrip(self):
+        session, table = self.make_session()
+        session.create_index("v", method="PQ", fixed_delta=0.5)
+        before = session.between("v", 0, 1_000).count
+        session.insert([5, 6, 7])
+        deleted = session.delete("v", 100, 110)
+        updated = session.update("v", 200, 210, 205)
+        result = session.between("v", 0, 1_000)
+        visible = table["v"].data
+        assert result.count == visible.size == before + 3 - deleted
+        assert result.value_sum == visible.sum()
+        assert updated == int(np.count_nonzero(visible == 205)) or updated >= 0
+
+    def test_writes_to_unknown_column_raise(self):
+        session, _ = self.make_session()
+        with pytest.raises(UnknownColumnError):
+            session.delete("nope", 0, 1)
+        with pytest.raises(UnknownColumnError):
+            session.update("nope", 0, 1, 5)
+        with pytest.raises(UnknownColumnError):
+            session.insert([1], column_name="nope")
+        with pytest.raises(UnknownColumnError):
+            session.insert({"nope": [1]})
+
+    def test_create_index_rejects_foreign_pending_deltas(self):
+        writer, table = self.make_session()
+        reader = IndexingSession(table)
+        writer.insert([42])
+        with pytest.raises(PendingDeltaError):
+            reader.create_index("v", method="PQ")
+        writer.commit_writes()
+        reader.create_index("v", method="PQ")  # committed -> allowed
+
+    def test_garbage_collected_writer_auto_commits(self):
+        import gc
+
+        _, table = self.make_session()
+        writer = IndexingSession(table)
+        writer.insert([42])
+        reader = IndexingSession(table)
+        with pytest.raises(PendingDeltaError):
+            reader.create_index("v", method="PQ")
+        del writer
+        gc.collect()
+        # The abandoned writer no longer blocks indexing.
+        reader.create_index("v", method="PQ")
+
+    def test_own_pending_deltas_do_not_block_create_index(self):
+        session, _ = self.make_session()
+        session.insert([42])
+        index = session.create_index("v", method="PQ", fixed_delta=0.5)
+        # the snapshot already contains the session's own write
+        assert index.query(Predicate(42, 42)).count >= 1
+
+    def test_batch_execution_sees_writes(self):
+        session, table = self.make_session()
+        session.create_index("v", method="PLSD", fixed_delta=0.5)
+        session.execute_batch([(0, 999)] * 3, column_name="v")
+        session.insert([5_000, 5_001])
+        results = session.execute_batch([(4_999, 5_002)], column_name="v")
+        assert results[0].count == 2
+
+    def test_where_after_writes_stays_aligned(self):
+        rng = np.random.default_rng(4)
+        table = Table(
+            {"ra": rng.integers(0, 100, 2_000), "dec": rng.integers(0, 100, 2_000)}
+        )
+        session = IndexingSession(table)
+        session.create_index("ra", method="PQ", fixed_delta=0.5)
+        session.insert({"ra": [10, 11], "dec": [50, 51]})
+        session.delete("dec", 0, 5)
+        session.update("ra", 20, 25, 22)
+        result = session.where({"ra": (0, 50), "dec": (40, 60)})
+        ra, dec = table["ra"].data, table["dec"].data
+        mask = (ra >= 0) & (ra <= 50) & (dec >= 40) & (dec <= 60)
+        assert result.count == mask.sum()
+        assert result.sum_of("ra") == ra[mask].sum()
+        assert result.sum_of("dec") == dec[mask].sum()
+
+    def test_execute_operations_replays_mixed_workload(self):
+        session, table = self.make_session()
+        session.create_index("v", method="PQ", fixed_delta=0.5)
+        workload = mixed_read_write_workload(
+            0, 999, n_queries=20, write_ratio=0.25, rng=np.random.default_rng(7)
+        )
+        results = session.execute_operations(workload, "v")
+        assert len(results) == len(workload.operations)
+        reads = [r for r in results if r is not None]
+        assert len(reads) == len(workload.predicates)
+        # final state is exact
+        total = session.between("v", -10**9, 10**9)
+        assert total.count == len(table)
+
+
+class TestStatusSerialization:
+    def test_status_is_json_serializable_with_write_counters(self):
+        rng = np.random.default_rng(0)
+        table = Table({"v": rng.integers(0, 1_000, 4_000)})
+        session = IndexingSession(table)
+        session.create_index("v", method="PB", interactivity_budget=0.001)
+        for _ in range(8):
+            session.between("v", 10, 500)
+        session.insert(rng.integers(0, 1_000, 100))
+        session.delete("v", 700, 720)
+        for _ in range(10):
+            session.between("v", 10, 500)
+        status = session.status()
+        payload = json.dumps(status)  # must not raise on numpy scalars
+        decoded = json.loads(payload)
+        entry = decoded["v"]
+        assert entry["algorithm"] == "PB"
+        assert entry["phase"] in {phase.value for phase in IndexPhase}
+        writes = entry["writes"]
+        assert writes["mutable"] is True
+        assert writes["column_inserts"] >= 100
+        assert writes["column_deletes"] >= 1
+        for value in (
+            writes["pending_rows"],
+            writes["rows_absorbed"],
+            writes["folds_completed"],
+            entry["queries_executed"],
+            entry["memory_bytes"],
+        ):
+            assert isinstance(value, int)
+        assert isinstance(writes["merge_budget_seconds"], float)
+
+    def test_status_json_safe_without_writes(self):
+        session = IndexingSession(Table({"v": [1, 2, 3]}))
+        session.create_index("v", method="FS")
+        session.between("v", 1, 2)
+        decoded = json.loads(json.dumps(session.status()))
+        writes = decoded["v"]["writes"]
+        assert writes["mutable"] is True
+        assert writes["pending_rows"] == 0
+        assert "column_inserts" not in writes  # no delta store yet
+
+
+class TestMixedReadWritePattern:
+    def test_generator_respects_write_ratio(self):
+        workload = mixed_read_write_workload(
+            0, 10_000, n_queries=90, write_ratio=0.1, rng=np.random.default_rng(0)
+        )
+        assert workload.is_mixed
+        assert len(workload.predicates) == 90
+        assert workload.write_ratio() == pytest.approx(0.1, abs=0.02)
+        kinds = {op.kind for op in workload.writes}
+        assert kinds == {"insert", "delete", "update"}
+
+    def test_zero_ratio_is_read_only(self):
+        workload = mixed_read_write_workload(
+            0, 10_000, n_queries=20, write_ratio=0.0, rng=np.random.default_rng(0)
+        )
+        assert not workload.is_mixed
+        assert workload.writes == []
+
+    def test_registered_and_rejects_point_conversion(self):
+        assert "MixedReadWrite" in MIXED_PATTERNS
+        workload = generate_pattern("MixedReadWrite", 0, 1_000, 30)
+        assert workload.name == "MixedReadWrite"
+        with pytest.raises(WorkloadError):
+            generate_pattern("MixedReadWrite", 0, 1_000, 30, point_queries=True)
+
+    def test_head_preserves_the_operation_mix(self):
+        workload = mixed_read_write_workload(
+            0, 10_000, n_queries=60, write_ratio=0.3, rng=np.random.default_rng(1)
+        )
+        truncated = workload.head(10)
+        assert len(truncated.predicates) == 10
+        assert truncated.operations is not None
+        reads = [op for op in truncated.operations if isinstance(op, Predicate)]
+        assert reads == truncated.predicates
+        # the interleaved writes before the 10th read survive
+        assert truncated.operations[: len(truncated.operations)] == (
+            workload.operations[: len(truncated.operations)]
+        )
+
+    def test_insert_values_are_integral(self):
+        workload = mixed_read_write_workload(
+            0, 10_000, n_queries=30, write_ratio=0.3, rng=np.random.default_rng(2)
+        )
+        for op in workload.writes:
+            if op.kind == "insert":
+                assert all(value == int(value) for value in op.values)
+            elif op.kind == "update":
+                assert op.value == int(op.value)
+
+    def test_operations_must_contain_the_reads(self):
+        reads = [Predicate(0, 1)]
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="bad",
+                predicates=reads,
+                operations=[Predicate(2, 3), WriteOp("insert", values=(1,))],
+            )
+
+    def test_write_op_validates_kind(self):
+        with pytest.raises(WorkloadError):
+            WriteOp("upsert")
