@@ -1,0 +1,201 @@
+"""Restart warm-up: cold index rebuild vs. warm checkpoint resume.
+
+The durability subsystem's whole point is that the construction cost a
+progressive index amortized into past queries is not re-paid after a
+restart.  This benchmark measures exactly that, per algorithm:
+
+* **setup** — a :class:`~repro.persist.database.Database` is created over
+  ``--rows`` rows, an index is built and driven to convergence, and the
+  database is closed (which checkpoints the index state and truncates the
+  WAL).
+
+* **warm** — ``Database.open`` on the same directory: recovery restores the
+  index from the checkpoint (mid-/post-convergence, never RAW) and the
+  timer stops after the first query answer.  *Time-to-first-answer* here is
+  open + checkpoint restore + one lookup.
+
+* **cold** — the same base data without a checkpoint: recovery re-creates
+  the index fresh (RAW), and the timer stops once the index has been driven
+  back to convergence and answered a query — the construction cost a
+  restart without checkpoints re-pays.  *Queries-to-reconvergence* counts
+  the driven queries (warm needs zero).
+
+The full run asserts the acceptance gate — warm restart reaches its first
+answer at least ``--min-speedup`` (default 5x) faster than the cold rebuild
+for every measured algorithm — and writes ``BENCH_persistence.json``.  The
+``--smoke`` mode runs a small scale with a relaxed gate for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_restart_warmup.py
+    PYTHONPATH=src python benchmarks/bench_restart_warmup.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.phase import IndexPhase
+from repro.persist.database import Database
+
+#: Algorithms measured by default: the paper's four progressive indexes —
+#: the structures whose convergence investment the checkpoint preserves.
+#: (The FI baseline re-pays a Python-level B+-tree bulk load on *both* paths,
+#: so its warm/cold gap measures deserialization, not saved construction.)
+DEFAULT_ALGORITHMS = ("PQ", "PMSD", "PLSD", "PB")
+
+#: Queries driven per convergence attempt before giving up.
+MAX_DRIVE_QUERIES = 4096
+
+
+def _predicates(rng: np.random.Generator, domain: int, count: int):
+    lows = rng.integers(0, int(domain * 0.9), size=count)
+    return [(int(low), int(low) + domain // 10) for low in lows]
+
+
+def _drive_to_convergence(db: Database, column: str, predicates) -> int:
+    """Query until the index converges; returns the number of queries."""
+    index = db.index_for(column)
+    for number in range(MAX_DRIVE_QUERIES):
+        if index.phase in (IndexPhase.CONVERGED, IndexPhase.MERGE):
+            return number
+        predicate = predicates[number % len(predicates)]
+        db.between(column, *predicate)
+    return MAX_DRIVE_QUERIES
+
+
+def measure_algorithm(method: str, data: np.ndarray, domain: int, workdir: Path) -> dict:
+    rng = np.random.default_rng(99)
+    predicates = _predicates(rng, domain, 64)
+    warm_dir = str(workdir / f"warm-{method}")
+    cold_dir = str(workdir / f"cold-{method}")
+
+    # Setup: build to convergence, checkpoint, close.
+    db = Database.create(warm_dir, {"ra": data})
+    db.create_index("ra", method=method, fixed_delta=1.0)
+    build_queries = _drive_to_convergence(db, "ra", predicates)
+    db.close()  # checkpoints the converged index
+
+    # Cold control: same data and catalog entry, no checkpoint.
+    db = Database.create(cold_dir, {"ra": data})
+    db.create_index("ra", method=method, fixed_delta=1.0)
+    db.close(checkpoint=False)
+
+    # Warm restart: open + restore + first answer.
+    started = time.perf_counter()
+    db = Database.open(warm_dir)
+    warm_queries = _drive_to_convergence(db, "ra", predicates)
+    warm_result = db.between("ra", *predicates[0])
+    warm_seconds = time.perf_counter() - started
+    warm_phase = db.index_for("ra").phase.value
+    db.close(checkpoint=False)
+
+    # Cold restart: open + full rebuild + first answer.
+    started = time.perf_counter()
+    db = Database.open(cold_dir)
+    cold_queries = _drive_to_convergence(db, "ra", predicates)
+    cold_result = db.between("ra", *predicates[0])
+    cold_seconds = time.perf_counter() - started
+    db.close(checkpoint=False)
+
+    shutil.rmtree(warm_dir)
+    shutil.rmtree(cold_dir)
+    return {
+        "algorithm": method,
+        "build_queries_to_converge": build_queries,
+        "warm_seconds_to_first_answer": warm_seconds,
+        "cold_seconds_to_first_answer": cold_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "warm_queries_to_reconvergence": warm_queries,
+        "cold_queries_to_reconvergence": cold_queries,
+        "warm_phase_after_open": warm_phase,
+        "answers_match": bool(
+            warm_result.count == cold_result.count
+            and float(warm_result.value_sum) == float(cold_result.value_sum)
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--algorithms", default=",".join(DEFAULT_ALGORITHMS),
+        help="comma-separated algorithm acronyms",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small scale + relaxed gate for CI (100k rows, 2x)",
+    )
+    parser.add_argument(
+        "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_persistence.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # At smoke scale the fixed open overheads (catalog, mmap, CRC scan)
+        # dominate the warm path, so the gate only guards against gross
+        # regressions; the 5x acceptance gate is the full 1M-row run.
+        args.rows = min(args.rows, 100_000)
+        args.min_speedup = min(args.min_speedup, 1.3)
+
+    domain = 10_000_000
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, domain, size=args.rows)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-restart-bench-"))
+
+    results = []
+    failures = []
+    try:
+        for method in [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]:
+            entry = measure_algorithm(method, data, domain, workdir)
+            results.append(entry)
+            print(
+                f"{method:5s} cold {entry['cold_seconds_to_first_answer']*1e3:9.1f} ms "
+                f"({entry['cold_queries_to_reconvergence']} queries)   "
+                f"warm {entry['warm_seconds_to_first_answer']*1e3:9.1f} ms "
+                f"({entry['warm_queries_to_reconvergence']} queries)   "
+                f"speedup {entry['speedup']:6.1f}x   phase={entry['warm_phase_after_open']}"
+            )
+            if not entry["answers_match"]:
+                failures.append(f"{method}: warm and cold answers diverge")
+            if entry["warm_phase_after_open"] in ("inactive", "creation"):
+                failures.append(f"{method}: warm restart fell back to phase "
+                                f"{entry['warm_phase_after_open']}")
+            if entry["speedup"] < args.min_speedup:
+                failures.append(
+                    f"{method}: warm speedup {entry['speedup']:.2f}x is below the "
+                    f"{args.min_speedup:.1f}x gate"
+                )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    report = {
+        "benchmark": "restart_warmup",
+        "rows": args.rows,
+        "min_speedup": args.min_speedup,
+        "smoke": bool(args.smoke),
+        "results": results,
+        "failures": failures,
+    }
+    if not args.smoke:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("restart warm-up gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

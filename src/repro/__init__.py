@@ -82,6 +82,7 @@ from repro.progressive import (
     ProgressiveRadixsortLSD,
     ProgressiveRadixsortMSD,
 )
+from repro.persist import Database, WriteAheadLog
 from repro.storage import Column, ColumnSnapshot, DeltaStore, Table
 from repro.workloads import (
     Workload,
@@ -117,6 +118,7 @@ __all__ = [
     "CostConstants",
     "DeltaStore",
     "CostModel",
+    "Database",
     "FixedBudget",
     "FixedDelta",
     "FixedTime",
@@ -138,6 +140,7 @@ __all__ = [
     "Table",
     "TimeAdaptive",
     "Workload",
+    "WriteAheadLog",
     "WriteOp",
     "WorkloadExecutor",
     "calibrate",

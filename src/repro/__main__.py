@@ -1,0 +1,183 @@
+"""Operate a persisted progressive-indexing database from the shell.
+
+::
+
+    python -m repro inspect <dir>           # catalog, WAL size, index phases
+    python -m repro demo [--dir DIR]        # write -> crashless restart -> warm resume
+    python -m repro bench [--rows N] [--dir DIR]   # cold rebuild vs warm resume
+
+``inspect`` prints the durability status of an existing database directory:
+the catalog, per-column base/visible rows, WAL size and pending operations,
+the checkpoint watermark, and every index's life-cycle phase.  ``demo``
+walks the full durability story in a scratch directory; ``bench`` runs the
+restart-warmup measurement at a configurable scale (see
+``benchmarks/bench_restart_warmup.py`` for the CI-gated version).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.persist.database import Database
+
+    db = Database.open(args.directory)
+    try:
+        status = db.status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(f"database   {status['directory']}")
+        print(f"table      {status['table']}  ({status['rows']} visible rows)")
+        for name, column in status["columns"].items():
+            mapped = "mmap" if column["mapped"] else "in-memory"
+            print(
+                f"column     {name}: {column['dtype']}, base={column['base_rows']}, "
+                f"visible={column['visible_rows']}, writes@v{column['write_version']} ({mapped})"
+            )
+        wal = status["wal"]
+        print(
+            f"wal        {wal['size_bytes']} bytes, next op {wal['next_op_id']}, "
+            f"{wal['pending_ops']} uncommitted op(s)"
+        )
+        checkpoint = status["checkpoint"]
+        if checkpoint is None:
+            print("checkpoint none")
+        else:
+            print(
+                f"checkpoint op_id={checkpoint['op_id']}, "
+                f"indexes: {', '.join(checkpoint['indexes']) or 'none'}"
+            )
+        for name, entry in status["indexes"].items():
+            print(
+                f"index      {name}: {entry['algorithm']} phase={entry['phase']} "
+                f"queries={entry['queries_executed']} budget={entry['budget']}"
+            )
+        return 0
+    finally:
+        db.close(checkpoint=False)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.persist.database import Database
+
+    directory = args.directory or tempfile.mkdtemp(prefix="repro-demo-")
+    cleanup = args.directory is None
+    print(f"demo database at {directory}")
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 1_000_000, size=args.rows)
+
+    db = Database.create(directory, {"ra": data})
+    db.create_index("ra", method="PQ", budget_fraction=0.2)
+    for _ in range(8):
+        low = int(rng.integers(0, 900_000))
+        db.between("ra", low, low + 50_000)
+    db.insert([1_234, 5_678])
+    db.delete("ra", 0, 100)
+    db.commit()
+    phase = db.index_for("ra").phase.value
+    print(f"wrote rows, ran 8 queries; index phase before restart: {phase}")
+    db.close()  # checkpoint + WAL truncation
+
+    db = Database.open(directory)
+    index = db.index_for("ra")
+    print(f"reopened: index resumed in phase {index.phase.value} (never raw)")
+    result = db.between("ra", 0, 1_000_000)
+    column = db.table.column("ra").data
+    expected = int(((column >= 0) & (column <= 1_000_000)).sum())
+    print(f"full-range count after recovery: {result.count} (oracle {expected})")
+    db.close()
+    if cleanup:
+        shutil.rmtree(directory)
+        print("scratch directory removed")
+    return 0 if result.count == expected else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.persist.database import Database
+
+    directory = args.directory or tempfile.mkdtemp(prefix="repro-bench-")
+    cleanup = args.directory is None
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 10_000_000, size=args.rows)
+    predicates = [
+        (int(low), int(low) + 100_000) for low in rng.integers(0, 9_000_000, size=32)
+    ]
+
+    db = Database.create(directory, {"ra": data})
+    db.create_index("ra", method=args.method, fixed_delta=1.0)
+    db.between("ra", *predicates[0])
+    db.close()
+
+    started = time.perf_counter()
+    warm = Database.open(directory)
+    warm_result = warm.between("ra", *predicates[1])
+    warm_seconds = time.perf_counter() - started
+    warm_phase = warm.index_for("ra").phase.value
+    warm.close(checkpoint=False)
+
+    started = time.perf_counter()
+    cold_data = np.array(data)
+    cold = Database.create(directory + ".cold", {"ra": cold_data})
+    cold.create_index("ra", method=args.method, fixed_delta=1.0)
+    cold_result = cold.between("ra", *predicates[1])
+    cold_seconds = time.perf_counter() - started
+    cold.close(checkpoint=False)
+    shutil.rmtree(directory + ".cold")
+
+    report = {
+        "rows": args.rows,
+        "method": args.method,
+        "warm_seconds": warm_seconds,
+        "cold_seconds": cold_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "warm_phase": warm_phase,
+        "answers_match": bool(warm_result.count == cold_result.count),
+    }
+    print(json.dumps(report, indent=2))
+    if cleanup:
+        shutil.rmtree(directory)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Operate a persisted progressive-indexing database.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect = commands.add_parser("inspect", help="print a database's durability status")
+    inspect.add_argument("directory", help="database directory")
+    inspect.add_argument("--json", action="store_true", help="emit raw JSON")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    demo = commands.add_parser("demo", help="walk the durability story end to end")
+    demo.add_argument("--dir", dest="directory", default=None, help="database directory")
+    demo.add_argument("--rows", type=int, default=100_000, help="rows in the demo column")
+    demo.set_defaults(handler=_cmd_demo)
+
+    bench = commands.add_parser("bench", help="cold rebuild vs warm checkpoint resume")
+    bench.add_argument("--dir", dest="directory", default=None, help="database directory")
+    bench.add_argument("--rows", type=int, default=200_000, help="rows in the column")
+    bench.add_argument("--method", default="PQ", help="index algorithm acronym")
+    bench.set_defaults(handler=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,23 @@ class FullIndex(BaseIndex):
         )
         return sums, counts
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        state = {"built": self._tree is not None, "fanout": self.fanout}
+        if self._sorted_values is not None:
+            state["sorted_values"] = np.array(self._sorted_values)
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        self.fanout = int(state.get("fanout", self.fanout))
+        if not state.get("built"):
+            return
+        self._sorted_values = np.asarray(state["sorted_values"])
+        self._tree = BPlusTree.bulk_load(self._sorted_values, fanout=self.fanout)
+        self._batch_prefix = None
+
     def _fold_delta(self, inserts_sorted, tombstones_sorted) -> bool:
         """Merge the buffered delta into the sorted array, bulk reload the tree."""
         if self._tree is None:

@@ -32,7 +32,14 @@ from repro.core.calibration import CostConstants
 from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.overlay import DeltaOverlay
 from repro.core.phase import IndexLifecycle, IndexPhase
-from repro.core.policy import BudgetController, BudgetPolicy, DeltaDecision, DeltaRequest
+from repro.core.policy import (
+    BudgetController,
+    BudgetPolicy,
+    DeltaDecision,
+    DeltaRequest,
+    policy_from_state,
+    policy_state_dict,
+)
 from repro.core.query import Predicate, QueryResult
 from repro.errors import IndexStateError
 from repro.storage.column import Column, ColumnSnapshot
@@ -304,6 +311,70 @@ class BaseIndex(DeltaOverlay, abc.ABC):
     def describe(self) -> str:
         """One-line description used in experiment reports."""
         return f"{self.name}: {self.description or type(self).__name__}"
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    #: Version stamp of the ``state_dict`` layout.
+    STATE_FORMAT = 1
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the index: phase, budget and structures.
+
+        The returned tree contains only JSON-able scalars and NumPy arrays
+        (see :func:`repro.persist.pager.encode_state`), never live objects,
+        so a checkpoint can be written and read without pickle.  Loading it
+        into a freshly constructed index over the same column
+        (:meth:`load_state`) resumes construction exactly where it stood:
+        the life-cycle phase, the budget policy's learned corrections, the
+        delta-overlay buffers and the family-specific structures all
+        survive, so a restarted index never falls back to the RAW phase.
+        """
+        return {
+            "format": self.STATE_FORMAT,
+            "algorithm": self.name,
+            "class": type(self).__name__,
+            "queries_executed": int(self._queries_executed),
+            "lifecycle": self._lifecycle.state_dict(),
+            "policy": policy_state_dict(self._controller.policy),
+            "scan_time": self._controller._scan_time,
+            "overlay": self._overlay_state(),
+            "family": self._family_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (fresh) index.
+
+        The index must have been constructed over the same logical column
+        the state was captured from; the pinned snapshot is re-taken at the
+        checkpointed version, so structures and overlay watermarks agree
+        even when the live column has newer (WAL-replayed) writes on top.
+        """
+        if state.get("algorithm") != self.name:
+            raise IndexStateError(
+                f"checkpoint state belongs to algorithm {state.get('algorithm')!r}, "
+                f"cannot load into {self.name!r}"
+            )
+        overlay = state.get("overlay", {})
+        snapshot_version = int(overlay.get("snapshot_version", 0))
+        if self._live is not None and snapshot_version != self._column.version:
+            self._column = self._live.snapshot(snapshot_version)
+        self._queries_executed = int(state.get("queries_executed", 0))
+        self._lifecycle.load_state(state["lifecycle"])
+        self._controller = BudgetController(policy_from_state(state["policy"]))
+        scan_time = state.get("scan_time")
+        if scan_time is not None:
+            self._controller.register_scan_time(float(scan_time))
+        self._load_overlay_state(overlay)
+        self._load_family_state(state.get("family", {}))
+        self.last_stats = QueryStats()
+
+    def _family_state(self) -> dict:
+        """Family-specific structure payload; default has none (FullScan)."""
+        return {}
+
+    def _load_family_state(self, state: dict) -> None:
+        """Restore the family-specific payload; default no-op."""
 
     # ------------------------------------------------------------------
     # Implementation hooks

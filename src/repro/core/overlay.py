@@ -342,6 +342,50 @@ class DeltaOverlay:
         self._buffer_del_prefix = None
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _overlay_state(self) -> dict:
+        """Serializable snapshot of the overlay.
+
+        The raw write window is absorbed into the sorted buffers first
+        (answer-neutral — it is the same tier-1 absorption every batch pays),
+        so the persisted state is just the two sorted buffers plus the
+        watermarks into the column's sequence space.
+        """
+        if self._live is None:
+            return {"mutable": False, "snapshot_version": int(self._column.version)}
+        self._absorb_raw()
+        return {
+            "mutable": True,
+            "snapshot_version": int(self._column.version),
+            "folded_seq": int(self._folded_seq),
+            "absorbed_seq": int(self._absorbed_seq),
+            "buffer_ins": np.array(self._buffer_ins),
+            "buffer_del": np.array(self._buffer_del),
+            "merge_credit": float(self._merge_credit),
+            "rows_absorbed": int(self._rows_absorbed),
+            "rows_folded": int(self._rows_folded),
+            "folds_completed": int(self._folds_completed),
+            "merge_seconds": float(self._merge_seconds),
+        }
+
+    def _load_overlay_state(self, state: dict) -> None:
+        """Restore the overlay watermarks and sorted buffers."""
+        if not state.get("mutable") or self._live is None:
+            return
+        self._folded_seq = int(state["folded_seq"])
+        self._absorbed_seq = int(state["absorbed_seq"])
+        self._buffer_ins = np.asarray(state["buffer_ins"], dtype=self._column.dtype)
+        self._buffer_del = np.asarray(state["buffer_del"], dtype=self._column.dtype)
+        self._buffer_ins_prefix = None
+        self._buffer_del_prefix = None
+        self._merge_credit = float(state.get("merge_credit", 0.0))
+        self._rows_absorbed = int(state.get("rows_absorbed", 0))
+        self._rows_folded = int(state.get("rows_folded", 0))
+        self._folds_completed = int(state.get("folds_completed", 0))
+        self._merge_seconds = float(state.get("merge_seconds", 0.0))
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def overlay_stats(self) -> dict:

@@ -184,5 +184,39 @@ class IndexLifecycle:
             }
         return report
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the phase machine."""
+        return {
+            "phase": self._phase.value,
+            "transitions": [[int(q), phase.value] for q, phase in self.transitions],
+            "queries": {phase.value: int(n) for phase, n in self._queries.items() if n},
+            "indexing_seconds": {
+                phase.value: float(s)
+                for phase, s in self._indexing_seconds.items()
+                if s
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a checkpointed phase machine.
+
+        Sets the phase directly — the monotonicity rule of :meth:`advance`
+        guards *transitions*, not restores: a recovered index legitimately
+        wakes up mid-``REFINEMENT`` or mid-``MERGE``.
+        """
+        self._phase = IndexPhase(state["phase"])
+        self.transitions = [
+            (int(q), IndexPhase(value)) for q, value in state.get("transitions", [])
+        ]
+        self._queries = {phase: 0 for phase in IndexPhase}
+        for value, count in state.get("queries", {}).items():
+            self._queries[IndexPhase(value)] = int(count)
+        self._indexing_seconds = {phase: 0.0 for phase in IndexPhase}
+        for value, seconds in state.get("indexing_seconds", {}).items():
+            self._indexing_seconds[IndexPhase(value)] = float(seconds)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"IndexLifecycle(phase={self._phase.value!r}, transitions={len(self.transitions)})"

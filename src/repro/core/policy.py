@@ -781,6 +781,128 @@ def wall_clock() -> float:
     return time.perf_counter()
 
 
+# ----------------------------------------------------------------------
+# Persistence (checkpointing)
+# ----------------------------------------------------------------------
+def policy_state_dict(policy: BudgetPolicy) -> dict:
+    """Serializable snapshot of a budget policy (configuration + dynamics).
+
+    Clocks are process-local callables and are not persisted: a restored
+    policy wakes up without wall-clock feedback until the caller re-injects
+    one.  The learned corrections *are* persisted, so a restarted adaptive
+    policy resumes from its calibrated state rather than from scratch.
+    """
+    if isinstance(policy, FixedDelta):
+        return {"type": "FixedDelta", "delta": policy.delta}
+    if isinstance(policy, FixedTime):
+        return {
+            "type": "FixedTime",
+            "budget_seconds": policy.budget_seconds,
+            "resolved_delta": policy._delta,
+        }
+    if isinstance(policy, TimeAdaptive):
+        return {
+            "type": "TimeAdaptive",
+            "budget_seconds": policy.budget_seconds,
+            "scan_fraction": policy.scan_fraction,
+            "minimum_delta": policy.minimum_delta,
+            "target_query_cost": policy.target_query_cost,
+            "correction": policy.correction,
+        }
+    if isinstance(policy, CostModelGreedy):
+        corrections = {}
+        for phase, value in policy._corrections.items():
+            key = getattr(phase, "value", None) or "__none__"
+            corrections[str(key)] = float(value)
+        return {
+            "type": "CostModelGreedy",
+            "interactivity_budget": policy.interactivity_budget,
+            "scan_fraction": policy.scan_fraction,
+            "minimum_delta": policy.minimum_delta,
+            "smoothing": policy.smoothing,
+            "correction_range": list(policy.correction_range),
+            "corrections": corrections,
+        }
+    if isinstance(policy, BatchPool):
+        return {
+            "type": "BatchPool",
+            "n_queries": policy.n_queries,
+            "scan_fraction": policy.scan_fraction,
+            "interactivity_budget": policy.interactivity_budget,
+            "pool_seconds": policy.pool_seconds,
+            "spent_seconds": policy.spent_seconds,
+        }
+    raise InvalidBudgetError(
+        f"cannot checkpoint budget policy of type {type(policy).__name__}"
+    )
+
+
+def policy_from_state(state: dict) -> BudgetPolicy:
+    """Rebuild a budget policy from :func:`policy_state_dict` output."""
+    from repro.core.phase import IndexPhase
+
+    kind = state.get("type")
+    if kind == "FixedDelta":
+        return FixedDelta(state["delta"])
+    if kind == "FixedTime":
+        policy = FixedTime(state["budget_seconds"])
+        policy._delta = state.get("resolved_delta")
+        return policy
+    if kind == "TimeAdaptive":
+        if state.get("budget_seconds") is not None and state.get("scan_fraction") is not None:
+            # Fraction policies resolve budget_seconds in place; rebuild from
+            # the fraction and restore the resolved seconds afterwards.
+            policy = TimeAdaptive(
+                scan_fraction=state["scan_fraction"],
+                minimum_delta=state.get("minimum_delta", MINIMUM_DELTA),
+            )
+            policy.budget_seconds = state["budget_seconds"]
+        elif state.get("budget_seconds") is not None:
+            policy = TimeAdaptive(
+                budget_seconds=state["budget_seconds"],
+                minimum_delta=state.get("minimum_delta", MINIMUM_DELTA),
+            )
+        else:
+            policy = TimeAdaptive(
+                scan_fraction=state["scan_fraction"],
+                minimum_delta=state.get("minimum_delta", MINIMUM_DELTA),
+            )
+        policy.target_query_cost = state.get("target_query_cost")
+        policy.correction = float(state.get("correction", 1.0))
+        return policy
+    if kind == "CostModelGreedy":
+        if state.get("interactivity_budget") is not None:
+            policy = CostModelGreedy(
+                interactivity_budget=state["interactivity_budget"],
+                minimum_delta=state.get("minimum_delta", MINIMUM_DELTA),
+                smoothing=state.get("smoothing", 0.4),
+                correction_range=tuple(state.get("correction_range", (1.0, 4.0))),
+            )
+            policy.scan_fraction = state.get("scan_fraction")
+        else:
+            policy = CostModelGreedy(
+                scan_fraction=state["scan_fraction"],
+                minimum_delta=state.get("minimum_delta", MINIMUM_DELTA),
+                smoothing=state.get("smoothing", 0.4),
+                correction_range=tuple(state.get("correction_range", (1.0, 4.0))),
+            )
+        for key, value in state.get("corrections", {}).items():
+            phase = None if key == "__none__" else IndexPhase(key)
+            policy._corrections[phase] = float(value)
+        return policy
+    if kind == "BatchPool":
+        policy = BatchPool(
+            int(state["n_queries"]),
+            scan_fraction=state.get("scan_fraction"),
+            interactivity_budget=state.get("interactivity_budget"),
+        )
+        if state.get("pool_seconds") is not None:
+            policy.pool_seconds = float(state["pool_seconds"])
+        policy.spent_seconds = float(state.get("spent_seconds", 0.0))
+        return policy
+    raise InvalidBudgetError(f"unknown budget-policy state type {kind!r}")
+
+
 class ManualClock:
     """A manually advanced clock for deterministic adaptive runs.
 

@@ -75,6 +75,18 @@ class AdaptiveAdaptiveIndexing(CrackingIndexBase):
         self._sorted_pieces: set = set()
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        state = super()._family_state()
+        state["sorted_pieces"] = [[int(s), int(e)] for s, e in sorted(self._sorted_pieces)]
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        super()._load_family_state(state)
+        self._sorted_pieces = {(int(s), int(e)) for s, e in state.get("sorted_pieces", [])}
+
+    # ------------------------------------------------------------------
     # First query: out-of-place radix partition of the entire column
     # ------------------------------------------------------------------
     def _on_first_query(self) -> None:

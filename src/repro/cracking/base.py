@@ -20,6 +20,7 @@ pay-only-for-what-you-touch philosophy (no bulk reorganisation, ever).
 from __future__ import annotations
 
 import abc
+import json
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.core.phase import IndexPhase
 from repro.core.policy import BudgetPolicy
 from repro.core.query import Predicate, QueryResult
 from repro.cracking.cracker_column import CrackerColumn
+from repro.cracking.cracker_index import CrackerIndex
 from repro.storage.column import Column
 
 
@@ -93,6 +95,36 @@ class CrackingIndexBase(BaseIndex):
         if self._cracker is None:
             self._materialize()
         return self._cracker.search_many(lows, highs)
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing; shared by all five variants)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        state = {"materialized": self._cracker is not None}
+        try:
+            state["rng_state"] = json.dumps(self._rng.bit_generator.state)
+        except TypeError:  # pragma: no cover - exotic bit generators
+            state["rng_state"] = None
+        if self._cracker is not None:
+            state["values"] = np.array(self._cracker.values)
+            state["swaps"] = int(self._cracker.swaps_performed)
+            state["adaptive_kernels"] = bool(self._cracker.adaptive_kernels)
+            state["cracker_index"] = self._cracker.index.state_dict()
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        rng_state = state.get("rng_state")
+        if rng_state:
+            self._rng.bit_generator.state = json.loads(rng_state)
+        if not state.get("materialized"):
+            return
+        cracker = CrackerColumn.__new__(CrackerColumn)
+        cracker._column = self._column
+        cracker.values = np.asarray(state["values"])
+        cracker.index = CrackerIndex.from_state(state["cracker_index"])
+        cracker.adaptive_kernels = bool(state.get("adaptive_kernels", True))
+        cracker.swaps_performed = int(state.get("swaps", 0))
+        self._cracker = cracker
 
     # ------------------------------------------------------------------
     def _materialize(self) -> None:

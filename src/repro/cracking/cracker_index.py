@@ -167,6 +167,34 @@ class CrackerIndex:
         sizes = np.diff(positions, prepend=0, append=self._n)
         return [int(size) for size in sizes]
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the boundary entries and domain bounds."""
+        return {
+            "n": int(self._n),
+            "value_low": float(self._value_low),
+            "value_high": float(self._value_high),
+            "keys": np.array(self._keys[: self._count]),
+            "positions": np.array(self._positions[: self._count]),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CrackerIndex":
+        """Rebuild a cracker index from :meth:`state_dict` output."""
+        index = cls(int(state["n"]), float(state["value_low"]), float(state["value_high"]))
+        keys = np.asarray(state["keys"], dtype=np.float64)
+        positions = np.asarray(state["positions"], dtype=np.int64)
+        if keys.size:
+            capacity = max(_INITIAL_CAPACITY, int(keys.size))
+            index._keys = np.empty(capacity, dtype=np.float64)
+            index._positions = np.empty(capacity, dtype=np.int64)
+            index._keys[: keys.size] = keys
+            index._positions[: keys.size] = positions
+            index._count = int(keys.size)
+        return index
+
 
 class AVLCrackerIndex:
     """The seed's AVL-tree-backed cracker index, kept as a tested reference.

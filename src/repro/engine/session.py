@@ -206,6 +206,27 @@ class IndexingSession:
         """Remove the index on ``column_name`` (no error if absent)."""
         self._indexes.pop(column_name, None)
 
+    def attach_index(self, column_name: str, index: BaseIndex) -> BaseIndex:
+        """Register an externally constructed index for ``column_name``.
+
+        The recovery path of :class:`~repro.persist.database.Database` uses
+        this to install indexes restored from a checkpoint; the index must
+        answer for the named column of this session's table.
+        """
+        if column_name not in self._table:
+            raise ExperimentError(
+                f"cannot attach an index for unknown column {column_name!r}; "
+                f"available: {sorted(self._table.column_names)}"
+            )
+        if column_name in self._indexes:
+            raise ExperimentError(f"column {column_name!r} is already indexed")
+        if not isinstance(index, BaseIndex):
+            raise ExperimentError(
+                f"attach_index() expects a BaseIndex, got {type(index).__name__}"
+            )
+        self._indexes[column_name] = index
+        return index
+
     # ------------------------------------------------------------------
     # Writes (delta-store; indexes absorb them via budget-priced merging)
     # ------------------------------------------------------------------

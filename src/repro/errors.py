@@ -67,6 +67,20 @@ class IndexStateError(ProgressiveIndexError):
     """
 
 
+class PersistenceError(ProgressiveIndexError):
+    """Raised when the durability layer meets a malformed on-disk artifact.
+
+    Covers bad magic prefixes, truncated headers, CRC mismatches past the
+    tolerated torn tail of the WAL, and checkpoint payloads that do not match
+    the catalog.  Recovery never guesses: a file it cannot prove consistent
+    is reported, not silently skipped.
+    """
+
+
+class RecoveryError(PersistenceError):
+    """Raised when WAL replay or checkpoint restore cannot reach a consistent state."""
+
+
 class CalibrationError(ProgressiveIndexError):
     """Raised when hardware-constant calibration produces unusable values."""
 

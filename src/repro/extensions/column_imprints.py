@@ -97,6 +97,28 @@ class ProgressiveColumnImprints(BaseIndex):
     def _bins_of(self, values: np.ndarray) -> np.ndarray:
         return np.searchsorted(self._bin_edges, values, side="right")
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        state = {
+            "initialized": self._imprints is not None,
+            "blocks_imprinted": int(self._blocks_imprinted),
+            "n_blocks": int(self._n_blocks),
+        }
+        if self._imprints is not None:
+            state["bin_edges"] = np.asarray(self._bin_edges, dtype=np.float64)
+            state["imprints"] = np.array(self._imprints)
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        if not state.get("initialized"):
+            return
+        self._bin_edges = np.asarray(state["bin_edges"], dtype=np.float64)
+        self._imprints = np.asarray(state["imprints"], dtype=np.uint64)
+        self._blocks_imprinted = int(state["blocks_imprinted"])
+        self._n_blocks = int(state["n_blocks"])
+
     def _imprint_blocks(self, block_budget: int) -> int:
         built = 0
         data = self._column.data

@@ -64,6 +64,38 @@ class ProgressiveHashIndex(BaseIndex):
         return len(self._table) * 3 * 8
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        keys = np.fromiter(self._table.keys(), dtype=np.int64, count=len(self._table))
+        # Keep the sum dtype of the column: int64 sums persisted as float64
+        # could round above 2**53.
+        sum_dtype = np.int64 if self._column.dtype.kind in ("i", "u") else np.float64
+        sums = np.empty(keys.size, dtype=sum_dtype)
+        counts = np.empty(keys.size, dtype=np.int64)
+        for number, key in enumerate(keys.tolist()):
+            value_sum, count = self._table[key]
+            sums[number] = value_sum
+            counts[number] = int(count)
+        return {
+            "elements_inserted": int(self._elements_inserted),
+            "keys": keys,
+            "sums": sums,
+            "counts": counts,
+        }
+
+    def _load_family_state(self, state: dict) -> None:
+        self._elements_inserted = int(state.get("elements_inserted", 0))
+        keys = np.asarray(state.get("keys", np.empty(0, dtype=np.int64)))
+        sums = np.asarray(state.get("sums", np.empty(0)))
+        counts = np.asarray(state.get("counts", np.empty(0, dtype=np.int64)))
+        int_column = self._column.dtype.kind in ("i", "u")
+        self._table = {
+            int(key): ((int(s) if int_column else float(s)), int(c))
+            for key, s, c in zip(keys.tolist(), sums.tolist(), counts.tolist())
+        }
+
+    # ------------------------------------------------------------------
     def _execute(self, predicate: Predicate) -> QueryResult:
         n = len(self._column)
         if self.phase is IndexPhase.INACTIVE:

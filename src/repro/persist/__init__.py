@@ -1,0 +1,36 @@
+"""Durability subsystem: WAL-backed writes, mmap column storage, checkpoints.
+
+The in-memory engine amortizes index construction into queries; this package
+makes that investment *survive restarts*:
+
+* :mod:`repro.persist.wal` — a CRC-framed write-ahead log recording every
+  delta-store operation with per-op ids and fsynced commit markers;
+* :mod:`repro.persist.pager` — memory-mapped on-disk column base arrays
+  (zero-copy :class:`~repro.storage.column.ColumnSnapshot` views over the
+  file) and the pickle-free state codec shared by the WAL and checkpoints;
+* :mod:`repro.persist.checkpoint` — atomic checkpoints serializing each
+  index's lifecycle phase, budget-controller state and family-specific
+  structures (``state_dict()``/``load_state()`` on every index family), so
+  a restarted index resumes mid-convergence instead of falling back to RAW;
+* :mod:`repro.persist.database` — the :class:`~repro.persist.database.Database`
+  open/close/recover API wrapping :class:`~repro.engine.session.IndexingSession`,
+  with recovery replaying the committed WAL tail into the delta stores and
+  routing post-restart merge work through the existing ``MERGE`` stage.
+
+On-disk format notes live in ``persist/FORMAT.md``.
+"""
+
+from repro.persist.checkpoint import CheckpointManager
+from repro.persist.database import Database
+from repro.persist.pager import ColumnPager, decode_state, encode_state
+from repro.persist.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "CheckpointManager",
+    "ColumnPager",
+    "Database",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_state",
+    "encode_state",
+]

@@ -1,0 +1,116 @@
+"""Atomic checkpoints of delta stores and progressive-index state.
+
+A checkpoint is one self-contained :func:`~repro.persist.pager.encode_state`
+blob (CRC-protected) holding:
+
+* the ``op_id`` high-water mark of the WAL operations it covers — recovery
+  replays only the committed WAL records *after* it, so a crash between
+  "checkpoint published" and "WAL reset" never double-applies a write;
+* every column's delta-store state (insert/tombstone logs, seq counters);
+* every index's full ``state_dict()``: lifecycle phase, budget-policy
+  dynamics, delta-overlay buffers and the family-specific structures.
+
+Publication is crash-atomic: the blob is written to a temp file, fsynced,
+and ``os.replace``d over ``checkpoint.bin`` (plus a directory fsync).  A
+reader therefore sees either the previous checkpoint or the new one, never
+a torn mixture — which the crash-injection suite exercises at the
+``checkpoint-before-publish`` / ``checkpoint-after-publish`` fault points.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Optional
+
+from repro.errors import PersistenceError
+from repro.persist.faults import crash_point
+from repro.persist.pager import (
+    decode_state,
+    encode_state,
+    fsync_directory,
+    fsync_file,
+    peek_state_tree,
+)
+
+CHECKPOINT_MAGIC = b"RPCKPT1\x00"
+_HEADER = struct.Struct("<8sII")
+
+#: File name of the published checkpoint inside a database directory.
+CHECKPOINT_FILE = "checkpoint.bin"
+
+
+class CheckpointManager:
+    """Writes and reads the single published checkpoint of one database."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, CHECKPOINT_FILE)
+
+    # ------------------------------------------------------------------
+    def write(self, state: dict) -> None:
+        """Atomically publish ``state`` as the database's checkpoint.
+
+        ``state`` must carry the ``op_id`` watermark; everything else is the
+        caller's (the :class:`~repro.persist.database.Database`'s) contract.
+        """
+        if "op_id" not in state:
+            raise PersistenceError("a checkpoint state must carry its op_id watermark")
+        payload = encode_state(state)
+        blob = _HEADER.pack(CHECKPOINT_MAGIC, len(payload), zlib.crc32(payload)) + payload
+        temp = self.path + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+            fsync_file(handle)
+        crash_point("checkpoint-before-publish")
+        os.replace(temp, self.path)
+        fsync_directory(self.directory)
+        crash_point("checkpoint-after-publish")
+
+    def load(self) -> Optional[dict]:
+        """Return the published checkpoint state, or ``None`` if absent.
+
+        A checkpoint that fails its CRC is an error, not a silent skip — the
+        atomic publish protocol means a valid file is either fully present
+        or not present at all; a corrupt one indicates storage damage the
+        operator must know about.
+        """
+        if not os.path.exists(self.path):
+            return None
+        return decode_state(self._read_payload())
+
+    def summary(self) -> Optional[dict]:
+        """Cheap introspection: the watermark and index names, no arrays.
+
+        Reads and CRC-checks the file but decodes only the JSON header —
+        the array payloads (potentially hundreds of megabytes of index
+        structures) are never materialized.  Used by ``Database.status()``
+        and the ``inspect`` CLI.
+        """
+        if not os.path.exists(self.path):
+            return None
+        payload = self._read_payload()
+        tree = peek_state_tree(payload)
+        return {
+            "op_id": int(tree["op_id"]),
+            "indexes": sorted(tree.get("indexes", {})),
+        }
+
+    def _read_payload(self) -> bytes:
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        if len(data) < _HEADER.size:
+            raise PersistenceError(f"checkpoint {self.path!r} is truncated")
+        magic, length, crc = _HEADER.unpack_from(data, 0)
+        if magic != CHECKPOINT_MAGIC:
+            raise PersistenceError(f"checkpoint {self.path!r} has a bad magic prefix")
+        payload = data[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise PersistenceError(f"checkpoint {self.path!r} fails its CRC check")
+        return payload
+
+    def remove(self) -> None:
+        """Delete the published checkpoint (used by tests)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,36 @@
+"""Fault-point hooks for crash-injection tests.
+
+The durability guarantees of the WAL/checkpoint protocol are only worth
+anything if they hold when the process dies *between* two steps of the
+protocol.  The crash-injection suite runs a writer in a subprocess with
+``REPRO_CRASH_POINT`` set to one of the named points below; when execution
+reaches that point the process kills itself with ``SIGKILL`` — no ``atexit``
+handlers, no buffered flushes, the closest a test can get to pulling the
+plug.
+
+Production runs never set the variable, so the hook is a dictionary lookup
+per call site — noise-level overhead on paths that also fsync.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+#: Environment variable naming the fault point to die at.
+CRASH_ENV = "REPRO_CRASH_POINT"
+
+#: The named fault points, for discoverability from tests.
+KNOWN_POINTS = (
+    "wal-after-append",          # op logged, no commit marker yet
+    "wal-before-commit-fsync",   # commit marker written but not yet durable
+    "wal-after-commit",          # commit marker durable
+    "checkpoint-before-publish", # checkpoint written to temp, not yet renamed
+    "checkpoint-after-publish",  # checkpoint renamed, WAL not yet reset
+)
+
+
+def crash_point(name: str) -> None:
+    """Die with ``SIGKILL`` iff ``REPRO_CRASH_POINT`` names this point."""
+    if os.environ.get(CRASH_ENV) == name:
+        os.kill(os.getpid(), signal.SIGKILL)

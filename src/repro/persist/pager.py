@@ -1,0 +1,257 @@
+"""On-disk column base arrays and the pickle-free state codec.
+
+Two concerns live here because they share one byte-level vocabulary:
+
+* **Column files.**  A column's read-optimized base array is stored in a raw
+  little-endian file with a small fixed header; :func:`map_column_file`
+  returns a read-only ``np.memmap`` over the data section, so a
+  :class:`~repro.storage.column.Column` built from it (and every
+  :class:`~repro.storage.column.ColumnSnapshot` taken before the first
+  write) reads straight from the page cache with zero copies.
+
+* **State blobs.**  The WAL and the checkpoints both persist nested
+  dictionaries containing NumPy arrays.  :func:`encode_state` walks the
+  tree, hoists every ``ndarray`` into a binary section and replaces it with
+  a placeholder, producing ``JSON header + raw array bytes`` — no pickle,
+  so a corrupted or adversarial file can never execute code on load.
+
+All multi-byte integers in headers are little-endian (``struct`` ``<``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import PersistenceError
+
+#: Magic prefix of a column base file.
+COLUMN_MAGIC = b"RPCOL1\x00\x00"
+
+#: Magic prefix of an encoded state blob.
+STATE_MAGIC = b"RPST1\x00"
+
+_ARRAY_KEY = "__ndarray__"
+
+#: Dtypes a persisted array may carry.  The engine only produces these; the
+#: allowlist keeps a corrupted header from driving ``np.dtype`` with junk.
+_ALLOWED_DTYPES = {
+    "int8", "uint8", "int16", "uint16", "int32", "uint32",
+    "int64", "uint64", "float32", "float64", "bool",
+}
+
+
+def _json_default(value):
+    """Coerce NumPy scalars the state trees routinely contain."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"cannot persist object of type {type(value).__name__}")
+
+
+def fsync_file(handle) -> None:
+    """Flush ``handle`` and force its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# State blobs
+# ----------------------------------------------------------------------
+def encode_state(state) -> bytes:
+    """Serialize a nested dict/list tree that may contain NumPy arrays.
+
+    Layout::
+
+        STATE_MAGIC | u32 header_len | header_json | array bytes...
+
+    The header holds the JSON tree (arrays replaced by ``{"__ndarray__": i}``)
+    and a manifest of ``(dtype, length)`` per array; array payloads follow
+    concatenated in manifest order as raw little-endian bytes.
+    """
+    arrays = []
+    manifest = []
+
+    def walk(node):
+        if isinstance(node, np.ndarray):
+            if node.ndim != 1:
+                raise PersistenceError(
+                    f"persisted arrays must be one-dimensional, got shape {node.shape}"
+                )
+            array = np.ascontiguousarray(node)
+            name = array.dtype.name
+            if name not in _ALLOWED_DTYPES:
+                raise PersistenceError(f"cannot persist array dtype {name!r}")
+            arrays.append(array)
+            manifest.append({"dtype": name, "length": int(array.size)})
+            return {_ARRAY_KEY: len(arrays) - 1}
+        if isinstance(node, dict):
+            return {str(key): walk(item) for key, item in node.items()}
+        if isinstance(node, (list, tuple)):
+            return [walk(item) for item in node]
+        return node
+
+    tree = walk(state)
+    header = json.dumps(
+        {"tree": tree, "arrays": manifest}, default=_json_default
+    ).encode("utf-8")
+    parts = [STATE_MAGIC, struct.pack("<I", len(header)), header]
+    for array in arrays:
+        data = array.astype(array.dtype.newbyteorder("<"), copy=False)
+        parts.append(data.tobytes())
+    return b"".join(parts)
+
+
+def decode_state(blob: bytes):
+    """Inverse of :func:`encode_state`."""
+    if not blob.startswith(STATE_MAGIC):
+        raise PersistenceError("state blob has a bad magic prefix")
+    offset = len(STATE_MAGIC)
+    (header_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    header_end = offset + header_len
+    if header_end > len(blob):
+        raise PersistenceError("state blob header is truncated")
+    header = json.loads(blob[offset:header_end].decode("utf-8"))
+    arrays = []
+    cursor = header_end
+    for entry in header["arrays"]:
+        name = str(entry["dtype"])
+        if name not in _ALLOWED_DTYPES:
+            raise PersistenceError(f"state blob declares illegal dtype {name!r}")
+        dtype = np.dtype(name).newbyteorder("<")
+        nbytes = dtype.itemsize * int(entry["length"])
+        if cursor + nbytes > len(blob):
+            raise PersistenceError("state blob array section is truncated")
+        view = np.frombuffer(blob[cursor : cursor + nbytes], dtype=dtype)
+        # Copy out of the immutable bytes buffer: restored structures (index
+        # arrays, cracker columns) mutate their arrays in place.
+        arrays.append(np.array(view, dtype=np.dtype(name)))
+        cursor += nbytes
+
+    def walk(node):
+        if isinstance(node, dict):
+            if set(node.keys()) == {_ARRAY_KEY}:
+                return arrays[int(node[_ARRAY_KEY])]
+            return {key: walk(item) for key, item in node.items()}
+        if isinstance(node, list):
+            return [walk(item) for item in node]
+        return node
+
+    return walk(header["tree"])
+
+
+def peek_state_tree(blob: bytes):
+    """Return a state blob's JSON tree without decoding the array section.
+
+    Arrays remain ``{"__ndarray__": i}`` placeholders.  Use for cheap
+    introspection (watermarks, key listings) of blobs whose array payloads
+    may be hundreds of megabytes.
+    """
+    if not blob.startswith(STATE_MAGIC):
+        raise PersistenceError("state blob has a bad magic prefix")
+    offset = len(STATE_MAGIC)
+    (header_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    if offset + header_len > len(blob):
+        raise PersistenceError("state blob header is truncated")
+    return json.loads(blob[offset : offset + header_len].decode("utf-8"))["tree"]
+
+
+# ----------------------------------------------------------------------
+# Column files
+# ----------------------------------------------------------------------
+_COLUMN_HEADER = struct.Struct("<8s8sQ")
+
+
+def write_column_file(path: str, array: np.ndarray) -> None:
+    """Write ``array`` as a mappable column base file (fsynced)."""
+    array = np.ascontiguousarray(array)
+    name = array.dtype.name
+    if name not in _ALLOWED_DTYPES:
+        raise PersistenceError(f"cannot persist column dtype {name!r}")
+    with open(path, "wb") as handle:
+        handle.write(
+            _COLUMN_HEADER.pack(COLUMN_MAGIC, name.encode("ascii").ljust(8, b"\x00"), array.size)
+        )
+        handle.write(array.astype(array.dtype.newbyteorder("<"), copy=False).tobytes())
+        fsync_file(handle)
+
+
+def read_column_header(path: str) -> Tuple[np.dtype, int]:
+    """Return ``(dtype, n_rows)`` of a column base file."""
+    with open(path, "rb") as handle:
+        header = handle.read(_COLUMN_HEADER.size)
+    if len(header) != _COLUMN_HEADER.size:
+        raise PersistenceError(f"column file {path!r} is truncated")
+    magic, dtype_bytes, count = _COLUMN_HEADER.unpack(header)
+    if magic != COLUMN_MAGIC:
+        raise PersistenceError(f"column file {path!r} has a bad magic prefix")
+    name = dtype_bytes.rstrip(b"\x00").decode("ascii")
+    if name not in _ALLOWED_DTYPES:
+        raise PersistenceError(f"column file {path!r} declares illegal dtype {name!r}")
+    return np.dtype(name), int(count)
+
+
+def map_column_file(path: str) -> np.ndarray:
+    """Memory-map the data section of a column base file, read-only.
+
+    The returned array is a ``np.memmap`` view: nothing is read until
+    touched, and a :class:`~repro.storage.column.Column` built from it keeps
+    the mapping (``_coerce`` performs no copy for a contiguous array of a
+    native dtype), so snapshots are zero-copy over the file.
+    """
+    dtype, count = read_column_header(path)
+    expected = _COLUMN_HEADER.size + dtype.itemsize * count
+    actual = os.path.getsize(path)
+    if actual < expected:
+        raise PersistenceError(
+            f"column file {path!r} is truncated: {actual} bytes, expected {expected}"
+        )
+    return np.memmap(path, dtype=dtype, mode="r", offset=_COLUMN_HEADER.size, shape=(count,))
+
+
+class ColumnPager:
+    """Manages the ``columns/`` directory of one persisted database."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, column_name: str) -> str:
+        # Column names come from user schemas; encode anything outside a
+        # conservative charset so names can never escape the directory.
+        safe = "".join(
+            ch if ch.isalnum() or ch in ("-", "_") else f"%{ord(ch):02x}"
+            for ch in str(column_name)
+        )
+        return os.path.join(self.directory, f"{safe}.col")
+
+    def store(self, column_name: str, array: np.ndarray) -> str:
+        """Persist a base array; returns the file path."""
+        path = self.path_for(column_name)
+        write_column_file(path, array)
+        return path
+
+    def load(self, column_name: str) -> np.ndarray:
+        """Memory-map a previously stored base array."""
+        return map_column_file(self.path_for(column_name))

@@ -236,3 +236,56 @@ class ProgressiveIndexBase(BaseIndex):
         if self._cascade is None:
             return len(self._column)
         return int(self._cascade.leaf_values.size)
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing; shared consolidation/converged stages)
+    # ------------------------------------------------------------------
+    def _family_state(self) -> dict:
+        state = {"fanout": self.fanout}
+        if self._cascade is not None:
+            state["stage"] = "converged"
+            state["leaf_values"] = np.array(self._cascade.leaf_values)
+        elif self._consolidator is not None:
+            state["stage"] = "consolidation"
+            state["leaf_values"] = np.array(self._consolidator.leaf_values)
+            state["copied"] = int(self._consolidator.copied_elements)
+        else:
+            state["stage"] = "construction"
+            state.update(self._construction_state())
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        stage = state.get("stage")
+        self.fanout = int(state.get("fanout", self.fanout))
+        if stage == "converged":
+            leaf = np.asarray(state["leaf_values"])
+            self._cascade = CascadeTree(leaf, fanout=self.fanout)
+            self._restore_final_array(leaf, sorted_ready=True)
+        elif stage == "consolidation":
+            leaf = np.asarray(state["leaf_values"])
+            self._consolidator = ProgressiveConsolidator(leaf, fanout=self.fanout)
+            # Replaying the copy counter is deterministic and costs exactly
+            # the elements already paid for before the checkpoint.
+            copied = int(state["copied"])
+            if copied:
+                self._consolidator.step(copied)
+            self._restore_final_array(leaf, sorted_ready=True)
+        else:
+            self._load_construction_state(state)
+
+    def _construction_state(self) -> dict:
+        """Creation/refinement payload (subclass hook)."""
+        raise NotImplementedError
+
+    def _load_construction_state(self, state: dict) -> None:
+        """Restore a creation/refinement payload (subclass hook)."""
+        raise NotImplementedError
+
+    def _restore_final_array(self, leaf: np.ndarray, sorted_ready: bool) -> None:
+        """Re-wire the family's alias of the (sorted) index array.
+
+        Called when restoring the shared consolidation/converged stages so
+        family-level attributes (``_index_array``, ``_final_array``) point
+        at the restored leaf array; the default covers families that keep
+        no alias.
+        """

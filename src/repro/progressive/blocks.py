@@ -273,6 +273,35 @@ class BucketSet:
         """Array of bucket sizes."""
         return np.array([len(bucket) for bucket in self.buckets], dtype=np.int64)
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot: every bucket flattened to one array.
+
+        Block boundaries are an allocation detail, not semantics — the
+        restored set holds identical values in identical order, re-blocked.
+        """
+        return {
+            "n_buckets": self.n_buckets,
+            "block_size": self.block_size,
+            "dtype": self.dtype.name,
+            "buckets": [bucket.to_array() for bucket in self.buckets],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BucketSet":
+        """Rebuild a bucket set from :meth:`state_dict` output."""
+        bucket_set = cls(
+            int(state["n_buckets"]),
+            block_size=int(state["block_size"]),
+            dtype=np.dtype(str(state["dtype"])),
+        )
+        for bucket, values in zip(bucket_set.buckets, state["buckets"]):
+            if np.asarray(values).size:
+                bucket.append_array(np.asarray(values, dtype=bucket_set.dtype), owned=True)
+        return bucket_set
+
     def total_allocations(self) -> int:
         """Total number of block allocations across all buckets."""
         return sum(bucket.n_allocations for bucket in self.buckets)

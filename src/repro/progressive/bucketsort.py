@@ -205,9 +205,80 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
         return total
 
     # ------------------------------------------------------------------
-    # Creation phase
+    # Persistence (checkpointing)
     # ------------------------------------------------------------------
-    def _initialize(self) -> None:
+    def _family_state(self) -> dict:
+        state = super()._family_state()
+        if state.get("stage") != "construction" and self._bounds is not None:
+            # Consolidated/converged checkpoints keep the bounds too, so a
+            # restore does not re-pay the quantile sampling pass.
+            state["pb_bounds"] = np.asarray(self._bounds, dtype=np.float64)
+        return state
+
+    def _load_family_state(self, state: dict) -> None:
+        if "pb_bounds" in state:
+            self._bounds = np.asarray(state["pb_bounds"], dtype=np.float64)
+            self._router = BoundsRouter(
+                self._bounds, self._column.min(), self._column.max()
+            )
+        super()._load_family_state(state)
+
+    def _construction_state(self) -> dict:
+        state = {
+            "initialized": self._bounds is not None,
+            "elements_bucketed": int(self._elements_bucketed),
+        }
+        if self._bounds is not None:
+            state["bounds"] = np.asarray(self._bounds, dtype=np.float64)
+        if self._buckets is not None:
+            state["buckets"] = self._buckets.state_dict()
+        if self._merge_buckets is not None:
+            state["final_array"] = np.array(self._final_array)
+            state["merge"] = [
+                {
+                    "state": merge.state.value,
+                    "offset": merge.offset,
+                    "size": merge.size,
+                    "copied": merge.copied,
+                    **(
+                        {"sorter": merge.sorter.state_dict()}
+                        if merge.sorter is not None and merge.state is _BucketState.SORTING
+                        else {}
+                    ),
+                }
+                for merge in self._merge_buckets
+            ]
+        return state
+
+    def _load_construction_state(self, state: dict) -> None:
+        if not state.get("initialized"):
+            return
+        self._bounds = np.asarray(state["bounds"], dtype=np.float64)
+        self._router = BoundsRouter(self._bounds, self._column.min(), self._column.max())
+        self._elements_bucketed = int(state["elements_bucketed"])
+        if "buckets" in state:
+            self._buckets = BucketSet.from_state(state["buckets"])
+        if "merge" not in state:
+            return
+        self._final_array = np.asarray(state["final_array"])
+        self._merge_buckets = []
+        self._worklist = deque()
+        self._unfinished = 0
+        for bucket_id, spec in enumerate(state["merge"]):
+            merge = _MergeBucket(bucket_id, int(spec["offset"]), int(spec["size"]))
+            merge.state = _BucketState(spec["state"])
+            merge.copied = int(spec["copied"])
+            if "sorter" in spec:
+                merge.sorter = ProgressiveSorter.from_state(self._final_array, spec["sorter"])
+            self._merge_buckets.append(merge)
+            if merge.state is not _BucketState.DONE:
+                self._unfinished += 1
+                self._worklist.append(merge)
+
+    def _restore_final_array(self, leaf: np.ndarray, sorted_ready: bool) -> None:
+        self._final_array = leaf
+
+    def _initialize_bounds(self) -> None:
         n = len(self._column)
         data = self._column.data
         if n > self.bounds_sample:
@@ -218,6 +289,12 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
         quantiles = np.linspace(0.0, 1.0, self.n_buckets + 1)[1:-1]
         self._bounds = np.quantile(sample, quantiles)
         self._router = BoundsRouter(self._bounds, self._column.min(), self._column.max())
+
+    # ------------------------------------------------------------------
+    # Creation phase
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        self._initialize_bounds()
         self._buckets = BucketSet(
             self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
         )

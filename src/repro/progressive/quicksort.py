@@ -112,6 +112,51 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
         return None
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _construction_state(self) -> dict:
+        state = {
+            "sort_threshold": self.sort_threshold,
+            "pivot": self._pivot,
+            "elements_copied": int(self._elements_copied),
+        }
+        if self._index_array is not None:
+            state["index_array"] = np.array(self._index_array)
+        if self._sorter is not None:
+            state["sorter"] = self._sorter.state_dict()
+        else:
+            state["low_fill"] = int(self._low_fill)
+            state["high_fill"] = int(self._high_fill)
+        return state
+
+    def _load_construction_state(self, state: dict) -> None:
+        self.sort_threshold = int(state.get("sort_threshold", self.sort_threshold))
+        self._pivot = state.get("pivot")
+        self._elements_copied = int(state.get("elements_copied", 0))
+        array = state.get("index_array")
+        if array is None:
+            return  # INACTIVE: nothing was allocated yet
+        self._index_array = np.asarray(array)
+        sorter_state = state.get("sorter")
+        if sorter_state is not None:
+            self._sorter = ProgressiveSorter.from_state(self._index_array, sorter_state)
+        else:
+            self._low_fill = int(state["low_fill"])
+            self._high_fill = int(state["high_fill"])
+
+    def _restore_final_array(self, leaf: np.ndarray, sorted_ready: bool) -> None:
+        self._index_array = leaf
+        if sorted_ready and self._sorter is None:
+            # Mid-consolidation batch lookups go through the sorter; rebuild
+            # a trivially sorted one over the restored array.
+            sorter = ProgressiveSorter(
+                leaf, sort_threshold=self.sort_threshold
+            )
+            sorter.tree.mark_sorted(sorter.tree.root)
+            sorter._worklist.clear()
+            self._sorter = sorter
+
+    # ------------------------------------------------------------------
     # Creation phase
     # ------------------------------------------------------------------
     def _initialize(self) -> None:

@@ -134,6 +134,65 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
         return total
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _construction_state(self) -> dict:
+        state = {
+            "initialized": self._keyspace is not None,
+            "elements_bucketed": int(self._elements_bucketed),
+            "current_pass": int(self._current_pass),
+            "stage": self._stage.value,
+        }
+        if self._current_set is not None:
+            state["current_set"] = self._current_set.state_dict()
+        if self._stage is _RefinementStage.PASSES:
+            if self._next_set is not None:
+                state["next_set"] = self._next_set.state_dict()
+            state["pass_bucket_cursor"] = int(self._pass_bucket_cursor)
+            state["pass_offset_cursor"] = int(self._pass_offset_cursor)
+            state["pass_moved"] = int(self._pass_moved)
+        else:
+            if self._final_array is not None:
+                state["final_array"] = np.array(self._final_array)
+            state["merge_bucket_cursor"] = int(self._merge_bucket_cursor)
+            state["merge_offset_cursor"] = int(self._merge_offset_cursor)
+            state["merge_position"] = int(self._merge_position)
+        return state
+
+    def _load_construction_state(self, state: dict) -> None:
+        if not state.get("initialized"):
+            return
+        # The keyspace is a pure function of the pinned snapshot's bounds.
+        self._keyspace = RadixKeySpace(
+            self._column.min(), self._column.max(), self._column.dtype, self.bits_per_pass
+        )
+        self._total_passes = self._keyspace.n_digits
+        self._elements_bucketed = int(state["elements_bucketed"])
+        self._current_pass = int(state["current_pass"])
+        self._stage = _RefinementStage(state["stage"])
+        if "current_set" in state:
+            self._current_set = BucketSet.from_state(state["current_set"])
+        if self._stage is _RefinementStage.PASSES:
+            if "next_set" in state:
+                self._next_set = BucketSet.from_state(state["next_set"])
+            self._pass_bucket_cursor = int(state.get("pass_bucket_cursor", 0))
+            self._pass_offset_cursor = int(state.get("pass_offset_cursor", 0))
+            self._pass_moved = int(state.get("pass_moved", 0))
+        else:
+            if "final_array" in state:
+                self._final_array = np.asarray(state["final_array"])
+            self._merge_bucket_cursor = int(state.get("merge_bucket_cursor", 0))
+            self._merge_offset_cursor = int(state.get("merge_offset_cursor", 0))
+            self._merge_position = int(state.get("merge_position", 0))
+
+    def _restore_final_array(self, leaf: np.ndarray, sorted_ready: bool) -> None:
+        self._final_array = leaf
+        self._keyspace = RadixKeySpace(
+            self._column.min(), self._column.max(), self._column.dtype, self.bits_per_pass
+        )
+        self._total_passes = self._keyspace.n_digits
+
+    # ------------------------------------------------------------------
     # Radix helpers
     # ------------------------------------------------------------------
     def _pass_bucket_ids(self, values: np.ndarray, pass_number: int) -> np.ndarray:

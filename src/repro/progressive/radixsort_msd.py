@@ -164,6 +164,104 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
         return total
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def _rebuild_keyspace(self) -> None:
+        self._keyspace = RadixKeySpace(
+            self._column.min(), self._column.max(), self._column.dtype, self.bits_per_level
+        )
+        self._shift = self._keyspace.top_shift
+
+    def _construction_state(self) -> dict:
+        state = {
+            "initialized": self._keyspace is not None,
+            "elements_bucketed": int(self._elements_bucketed),
+        }
+        if self._buckets is not None and self._roots is None:
+            state["buckets"] = self._buckets.state_dict()
+        if self._roots is not None:
+            nodes: list = []
+            ids: dict = {}
+
+            def visit(node: _RadixNode) -> int:
+                number = len(nodes)
+                ids[id(node)] = number
+                spec = {
+                    "offset": node.offset,
+                    "size": node.size,
+                    "value_low": node.value_low,
+                    "shift": node.shift,
+                    "state": node.state.value,
+                    "copied": node.copied,
+                    "moved": node.moved,
+                    "children": None,
+                }
+                if node.state in (
+                    _NodeState.WAITING, _NodeState.COPYING, _NodeState.PARTITIONING
+                ):
+                    spec["source"] = node.source.to_array()
+                if node.state is _NodeState.PARTITIONING and node.child_set is not None:
+                    spec["child_set"] = node.child_set.state_dict()
+                nodes.append(spec)
+                if node.children is not None:
+                    spec["children"] = [visit(child) for child in node.children]
+                return number
+
+            state["roots"] = [visit(root) for root in self._roots]
+            state["nodes"] = nodes
+            state["worklist"] = [ids[id(node)] for node in self._worklist]
+            state["unfinished"] = int(self._unfinished_nodes)
+            if self._final_array is not None:
+                state["final_array"] = np.array(self._final_array)
+        return state
+
+    def _load_construction_state(self, state: dict) -> None:
+        if not state.get("initialized"):
+            return
+        self._rebuild_keyspace()
+        self._elements_bucketed = int(state["elements_bucketed"])
+        if "buckets" in state:
+            self._buckets = BucketSet.from_state(state["buckets"])
+        if "nodes" not in state:
+            return
+        if "final_array" in state:
+            self._final_array = np.asarray(state["final_array"])
+        specs = state["nodes"]
+        built: List[_RadixNode] = []
+        for spec in specs:
+            source = BlockList(block_size=self.block_size, dtype=self._column.dtype)
+            if "source" in spec and np.asarray(spec["source"]).size:
+                source.append_array(
+                    np.asarray(spec["source"], dtype=self._column.dtype), owned=True
+                )
+            node = _RadixNode(
+                source=source,
+                offset=int(spec["offset"]),
+                size=int(spec["size"]),
+                value_low=int(spec["value_low"]),
+                shift=int(spec["shift"]),
+            )
+            node.state = _NodeState(spec["state"])
+            node.copied = int(spec["copied"])
+            node.moved = int(spec["moved"])
+            if "child_set" in spec:
+                node.child_set = BucketSet.from_state(spec["child_set"])
+            built.append(node)
+        for spec, node in zip(specs, built):
+            if spec["children"] is not None:
+                node.children = [built[int(i)] for i in spec["children"]]
+        self._roots = [built[int(i)] for i in state["roots"]]
+        self._worklist = deque(built[int(i)] for i in state.get("worklist", []))
+        self._unfinished_nodes = int(state.get("unfinished", 0))
+        self._buckets = BucketSet(
+            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+        )
+
+    def _restore_final_array(self, leaf: np.ndarray, sorted_ready: bool) -> None:
+        self._final_array = leaf
+        self._rebuild_keyspace()
+
+    # ------------------------------------------------------------------
     # Creation phase
     # ------------------------------------------------------------------
     def _initialize(self) -> None:

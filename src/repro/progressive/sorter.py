@@ -294,6 +294,98 @@ class ProgressiveSorter:
         return min(1.0, touched / self.size)
 
     # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the pivot tree and worklist.
+
+        The covered array range itself is persisted by the owning index;
+        this state only captures the tree structure.  A node caught
+        mid-partition (``PARTITIONING``) is recorded as ``PENDING``: its
+        scratch buffer is process memory and the original array range is
+        still intact by construction, so restarting its partition from
+        scratch is always correct — the checkpoint trades at most one
+        node's worth of progress for never having to persist half-filled
+        scratch buffers.
+        """
+        nodes: list = []
+        ids: dict = {}
+
+        def visit(node: PivotNode) -> int:
+            number = len(nodes)
+            ids[id(node)] = number
+            state = node.state
+            if state is NodeState.PARTITIONING:
+                state = NodeState.PENDING
+            nodes.append(
+                {
+                    "start": node.start,
+                    "end": node.end,
+                    "value_low": node.value_low,
+                    "value_high": node.value_high,
+                    "pivot": node.pivot,
+                    "depth": node.depth,
+                    "state": state.value,
+                    "left": None,
+                    "right": None,
+                }
+            )
+            if node.left is not None:
+                nodes[number]["left"] = visit(node.left)
+            if node.right is not None:
+                nodes[number]["right"] = visit(node.right)
+            return number
+
+        visit(self.tree.root)
+        worklist = [ids[id(node)] for node in self._worklist if id(node) in ids]
+        return {
+            "start": self.start,
+            "end": self.end,
+            "sort_threshold": self.sort_threshold,
+            "max_depth": self.max_depth,
+            "height": self.tree.height,
+            "n_nodes": self.tree.n_nodes,
+            "nodes": nodes,
+            "worklist": worklist,
+        }
+
+    @classmethod
+    def from_state(cls, array: np.ndarray, state: dict) -> "ProgressiveSorter":
+        """Rebuild a sorter over ``array`` from :meth:`state_dict` output."""
+        sorter = cls.__new__(cls)
+        sorter.array = array
+        sorter.start = int(state["start"])
+        sorter.end = int(state["end"])
+        sorter.sort_threshold = int(state["sort_threshold"])
+        sorter.max_depth = int(state["max_depth"])
+        sorter._prefix_sums = None
+        specs = state["nodes"]
+        built: list = []
+        for spec in specs:
+            node = PivotNode(
+                int(spec["start"]),
+                int(spec["end"]),
+                spec["value_low"],
+                spec["value_high"],
+                depth=int(spec["depth"]),
+            )
+            node.pivot = spec["pivot"]
+            node.state = NodeState(spec["state"])
+            built.append(node)
+        for spec, node in zip(specs, built):
+            if spec["left"] is not None:
+                node.left = built[int(spec["left"])]
+                node.left.parent = node
+            if spec["right"] is not None:
+                node.right = built[int(spec["right"])]
+                node.right.parent = node
+        sorter.tree = PivotTree(built[0])
+        sorter.tree.height = int(state.get("height", 1))
+        sorter.tree._n_nodes = int(state.get("n_nodes", len(built)))
+        sorter._worklist = deque(built[int(i)] for i in state.get("worklist", []))
+        return sorter
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _should_sort_directly(self, node: PivotNode) -> bool:

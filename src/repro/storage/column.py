@@ -27,6 +27,7 @@ per write burst.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
 import numpy as np
@@ -35,6 +36,13 @@ from repro.errors import DroppedColumnError, InvalidColumnError
 from repro.storage.delta import DeltaStore
 
 ArrayLike = Union[np.ndarray, list, tuple]
+
+#: Number of materialized snapshot versions a column retains.  Snapshots at
+#: the same version are shared (index creation over a written column pays the
+#: base∪delta materialization once), but a long write stream must not pin
+#: every historical version's array in memory — older entries are LRU-evicted
+#: and later requests for them re-materialize from the delta store.
+SNAPSHOT_CACHE_SIZE = 4
 
 
 class _ReadableColumn:
@@ -199,6 +207,8 @@ class Column(_ReadableColumn):
         self._dropped = False
         # (version, array) cache of the materialized visible rows.
         self._visible_cache: Optional[tuple] = None
+        # version -> ColumnSnapshot LRU (see SNAPSHOT_CACHE_SIZE).
+        self._snapshot_cache: "OrderedDict[int, ColumnSnapshot]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Versioning
@@ -245,18 +255,36 @@ class Column(_ReadableColumn):
         """Freeze the rows visible at ``version`` (default: now).
 
         With no writes this is zero-copy (the snapshot shares the base
-        array); after writes the visible rows are materialized once.
+        array, which may itself be a read-only ``np.memmap`` over a column
+        file); after writes the visible rows are materialized once per
+        version and cached in a small LRU — repeated snapshots of a live
+        version share one array, while versions left behind by a long write
+        stream are evicted instead of retained forever (indexes pinning an
+        evicted snapshot keep it alive through their own reference).
         """
         if version is None:
             version = self.version
         if self._delta is None or version == 0:
             return ColumnSnapshot(self._base, self._name, 0, self)
+        cached = self._snapshot_cache.get(version)
+        if cached is not None:
+            self._snapshot_cache.move_to_end(version)
+            return cached
         array = self._delta.visible_array(version)
         if array is self._base:
-            return ColumnSnapshot(self._base, self._name, version, self)
-        array = np.ascontiguousarray(array)
-        array.setflags(write=False)
-        return ColumnSnapshot(array, self._name, version, self)
+            snapshot = ColumnSnapshot(self._base, self._name, version, self)
+        else:
+            array = np.ascontiguousarray(array)
+            array.setflags(write=False)
+            snapshot = ColumnSnapshot(array, self._name, version, self)
+        self._snapshot_cache[version] = snapshot
+        while len(self._snapshot_cache) > SNAPSHOT_CACHE_SIZE:
+            self._snapshot_cache.popitem(last=False)
+        return snapshot
+
+    def cached_snapshot_versions(self) -> tuple:
+        """Versions currently held by the snapshot LRU (oldest first)."""
+        return tuple(self._snapshot_cache.keys())
 
     # ------------------------------------------------------------------
     # Write operations
@@ -369,12 +397,59 @@ class Column(_ReadableColumn):
         )
 
     # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    def restore_delta(self, state: dict) -> None:
+        """Re-attach a checkpointed delta store (recovery path).
+
+        Only legal on a column that has never been written to in this
+        process — recovery rebuilds the write log *before* replaying the
+        WAL tail on top of it.
+        """
+        if self._delta is not None:
+            raise InvalidColumnError(
+                f"column {self._name!r} already has a live delta store; "
+                "restore_delta() is a recovery-only operation"
+            )
+        self._delta = DeltaStore.from_state(self._base, state)
+        self._invalidate()
+        self._visible_cache = None
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the base array is a memory map over a column file.
+
+        ``_coerce`` turns a contiguous native-dtype ``np.memmap`` into a
+        zero-copy base-class view, so the mapping is found by walking the
+        ``base`` chain rather than an ``isinstance`` check on ``_base``.
+        """
+        array = self._base
+        while array is not None:
+            if isinstance(array, np.memmap):
+                return True
+            array = getattr(array, "base", None)
+        return False
+
+    # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
     def from_numpy(cls, array: np.ndarray, name: str = "value") -> "Column":
         """Build a column that wraps ``array`` (copying only when required)."""
         return cls(array, name=name)
+
+    @classmethod
+    def from_file(cls, path: str, name: str = "value") -> "Column":
+        """Build a column whose base array is memory-mapped from ``path``.
+
+        The file must have been written by
+        :func:`repro.persist.pager.write_column_file`.  The mapping is
+        read-only and zero-copy: the column (and every pre-write snapshot)
+        reads directly from the page cache.
+        """
+        from repro.persist.pager import map_column_file
+
+        return cls(map_column_file(path), name=name)
 
 
 class ColumnSnapshot(_ReadableColumn):

@@ -337,6 +337,49 @@ class DeltaStore:
             total += self._base_dead_seq.nbytes
         return total
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the write log (pending handles excluded).
+
+        Handles are process-local writer identities; after a restart every
+        surviving (checkpointed or WAL-replayed) operation is committed by
+        definition, so they are deliberately not part of the durable state.
+        """
+        state = {
+            "version": int(self.version),
+            "base_size": int(self.base_size),
+            "ins_values": np.array(self._ins_values.values),
+            "ins_seq": np.array(self._ins_seq.values),
+            "ins_dead_seq": np.array(self._ins_dead_seq.values),
+            "del_seq": np.array(self._del_seq.values),
+            "del_values": np.array(self._del_values.values),
+        }
+        if self._base_dead_seq is not None:
+            state["base_dead_seq"] = np.array(self._base_dead_seq)
+        return state
+
+    @classmethod
+    def from_state(cls, base: np.ndarray, state: dict) -> "DeltaStore":
+        """Rebuild a delta store over ``base`` from :meth:`state_dict` output."""
+        store = cls(base)
+        if int(state["base_size"]) != store.base_size:
+            raise InvalidColumnError(
+                f"delta-store state covers a base of {state['base_size']} rows, "
+                f"but the column base holds {store.base_size}"
+            )
+        store._ins_values.append(state["ins_values"])
+        store._ins_seq.append(state["ins_seq"])
+        store._ins_dead_seq.append(state["ins_dead_seq"])
+        store._del_seq.append(state["del_seq"])
+        store._del_values.append(state["del_values"])
+        dead = state.get("base_dead_seq")
+        if dead is not None:
+            store._base_dead_seq = np.array(dead, dtype=np.int64)
+        store.version = int(state["version"])
+        return store
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"DeltaStore(version={self.version}, inserts={self.n_inserts}, "

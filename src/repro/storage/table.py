@@ -134,17 +134,20 @@ class Table:
             self.delete_rows(rids, handle=handle)
         return int(rids.size)
 
-    def update_where(self, column_name: str, low, high, value, handle=None) -> int:
-        """Set ``column_name`` to ``value`` for every row in ``[low, high]``.
+    def update_plan(self, column_name: str, low, high, value):
+        """The insert + delete pair an update decomposes into.
 
-        The matching rows are deleted and re-inserted with the target column
-        substituted, so every column sees the same delete + insert pair and
-        the stable-rid alignment across columns is preserved.
+        Returns ``(rids, replacements)``: the stable rids of the matching
+        rows and the full replacement rows (target column substituted, all
+        other column values preserved).  ``rids`` is empty when nothing
+        matches.  Shared by :meth:`update_where` and the durability layer's
+        write-ahead logging, so the logged operations are exactly the ones
+        the table applies.
         """
         target = self.column(column_name)
         rids = target.rids_where(low, high)
         if rids.size == 0:
-            return 0
+            return rids, {}
         replacements = {
             name: (
                 np.repeat(np.asarray(value), rids.size)
@@ -153,6 +156,18 @@ class Table:
             )
             for name, column in self._columns.items()
         }
+        return rids, replacements
+
+    def update_where(self, column_name: str, low, high, value, handle=None) -> int:
+        """Set ``column_name`` to ``value`` for every row in ``[low, high]``.
+
+        The matching rows are deleted and re-inserted with the target column
+        substituted, so every column sees the same delete + insert pair and
+        the stable-rid alignment across columns is preserved.
+        """
+        rids, replacements = self.update_plan(column_name, low, high, value)
+        if rids.size == 0:
+            return 0
         # Insert before deleting so an update touching every visible row
         # never passes through an empty column state.
         self.insert_rows(replacements, handle=handle)

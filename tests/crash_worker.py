@@ -1,0 +1,92 @@
+"""Subprocess worker for the crash-injection suite.
+
+Runs a deterministic write workload against a persisted database and kills
+itself (``SIGKILL``, via the durability layer's fault-point hooks) at a
+scenario-specific protocol step.  The parent test then recovers the
+directory and asserts the durability contract.
+
+Usage: ``python crash_worker.py <directory> <scenario>``
+
+Scenarios (sentinel values document what must / must not survive):
+
+``uncommitted-lost``
+    Dies mid-append of an *uncommitted* insert (no commit marker).  The
+    committed history (A, B) must survive; the dying insert (C) must not.
+``commit-durable``
+    Dies immediately after B's commit marker fsync.  B must survive.
+``commit-marker-torn``
+    Dies after B's commit marker is written and flushed but *before* its
+    fsync.  Under ``kill -9`` the flushed marker reaches the page cache and
+    survives the process (only power loss could drop it), so B must be
+    recovered — and recovery must treat the boundary consistently either
+    way (no partial replay, no divergence from the oracle).
+``mid-checkpoint``
+    Dies after writing the second checkpoint's temp file but before its
+    atomic publish.  Recovery uses the *first* checkpoint plus WAL replay.
+``checkpoint-published``
+    Dies after the second checkpoint is published but before the WAL is
+    reset — the window where WAL records are also covered by the
+    checkpoint.  Recovery must not double-apply them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.persist.database import Database  # noqa: E402
+from repro.persist.faults import CRASH_ENV  # noqa: E402
+
+#: Sentinel values; the parent asserts on their exact visible counts.
+SENTINEL_A = 9_100_001  # committed before the first checkpoint (3 rows)
+SENTINEL_B = 9_200_002  # committed after the first checkpoint (4 rows)
+SENTINEL_C = 9_300_003  # never committed (5 rows) — must not survive
+
+ROWS = 5_000
+DOMAIN = 1_000_000
+
+
+def base_data() -> np.ndarray:
+    return np.random.default_rng(42).integers(0, DOMAIN, size=ROWS)
+
+
+def main() -> int:
+    directory, scenario = sys.argv[1], sys.argv[2]
+    db = Database.create(directory, {"ra": base_data()})
+    db.create_index("ra", method="PQ", fixed_delta=0.5)
+    for low in (1_000, 250_000, 500_000, 750_000):
+        db.between("ra", low, low + 100_000)
+
+    db.insert([SENTINEL_A] * 3)
+    db.commit()
+    db.checkpoint()  # index state + A are on disk; WAL truncated
+
+    if scenario == "commit-durable":
+        os.environ[CRASH_ENV] = "wal-after-commit"
+    elif scenario == "commit-marker-torn":
+        os.environ[CRASH_ENV] = "wal-before-commit-fsync"
+    db.insert([SENTINEL_B] * 4)
+    db.commit()  # dies here under the two commit scenarios
+
+    if scenario == "mid-checkpoint":
+        os.environ[CRASH_ENV] = "checkpoint-before-publish"
+    elif scenario == "checkpoint-published":
+        os.environ[CRASH_ENV] = "checkpoint-after-publish"
+    if scenario in ("mid-checkpoint", "checkpoint-published"):
+        db.checkpoint()  # dies inside, around the atomic publish
+
+    if scenario == "uncommitted-lost":
+        os.environ[CRASH_ENV] = "wal-after-append"
+    db.insert([SENTINEL_C] * 5)  # dies here under uncommitted-lost
+
+    # A scenario must never fall through to a graceful exit: the parent
+    # asserts on SIGKILL, so reaching this point is a test bug.
+    raise RuntimeError(f"scenario {scenario!r} did not crash")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
