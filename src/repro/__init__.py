@@ -72,10 +72,14 @@ from repro.engine import (
     BatchExecutor,
     BatchResult,
     IndexingSession,
+    ReaderView,
+    SharedEngine,
     WorkloadExecutor,
+    WriterHandle,
     create_index,
     recommend_index,
 )
+from repro.serve import ConnectionClass, QueryServer, ServiceClient
 from repro.progressive import (
     ProgressiveBucketsort,
     ProgressiveQuicksort,
@@ -112,6 +116,7 @@ __all__ = [
     "CoarseGranularIndex",
     "Column",
     "ColumnSnapshot",
+    "ConnectionClass",
     "CostBreakdown",
     "CostModelGreedy",
     "ConjunctionResult",
@@ -135,6 +140,10 @@ __all__ = [
     "ProgressiveRadixsortMSD",
     "ProgressiveStochasticCracking",
     "QueryResult",
+    "QueryServer",
+    "ReaderView",
+    "ServiceClient",
+    "SharedEngine",
     "StandardCracking",
     "StochasticCracking",
     "Table",
@@ -142,6 +151,7 @@ __all__ = [
     "Workload",
     "WriteAheadLog",
     "WriteOp",
+    "WriterHandle",
     "WorkloadExecutor",
     "calibrate",
     "conjunctive_queries",

@@ -35,6 +35,11 @@ class FullIndex(BaseIndex):
     name = "FI"
     description = "A-priori full index (sort + B+-tree bulk load on first query)"
     eager_batch = True
+    #: Once built, batched answering is searchsorted over the frozen sorted
+    #: array (plus an idempotent prefix-sum cache) — safe for concurrent
+    #: reader threads.  The serving scheduler additionally requires the
+    #: converged phase, so the first-touch bulk build stays serialized.
+    concurrent_reads = True
     #: The sorted backbone makes delta folding a single merge + bulk reload,
     #: so the baseline participates in the budget-priced MERGE phase.
     can_fold = True

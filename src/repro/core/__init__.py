@@ -20,6 +20,7 @@ from repro.core.policy import (
     ManualClock,
     BudgetController,
     BudgetPolicy,
+    CappedBudget,
     CostModelGreedy,
     DeltaDecision,
     DeltaRequest,
@@ -45,6 +46,7 @@ __all__ = [
     "BatchPool",
     "BudgetController",
     "BudgetPolicy",
+    "CappedBudget",
     "ConjunctionResult",
     "CostBreakdown",
     "CostConstants",

@@ -125,6 +125,14 @@ class BaseIndex(DeltaOverlay, abc.ABC):
     #: algorithms whose batched answering already performs (or needs) no
     #: budgeted refinement: cracking variants and the non-adaptive baselines.
     eager_batch: bool = False
+    #: Whether a *converged* instance's structural batch lookups
+    #: (:meth:`_search_many`) are safe to run from concurrent reader threads
+    #: without serialization.  True for families whose converged read path
+    #: only consults frozen structures plus idempotent caches (progressive
+    #: sort/cascade families, the full-scan/full-index baselines); False for
+    #: families that reorganise data *on every read* (cracking), which the
+    #: serving scheduler always routes through the exclusive work lane.
+    concurrent_reads: bool = False
 
     def __init__(
         self,

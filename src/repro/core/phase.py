@@ -109,6 +109,22 @@ class IndexLifecycle:
         self._indexing_seconds: Dict[IndexPhase, float] = {
             phase: 0.0 for phase in IndexPhase
         }
+        # Optional callable invoked before any lifecycle mutation.  The
+        # serving layer's scheduler installs one that asserts the calling
+        # thread holds the index's exclusive work lane, turning an
+        # unserialized phase advance (a concurrency bug) into a hard error
+        # instead of silent state corruption.  ``None`` (the default, and
+        # the only value outside a serving context) costs one attribute
+        # check per query.
+        self._mutation_guard = None
+
+    def set_mutation_guard(self, guard) -> None:
+        """Install ``guard()`` to be called before every lifecycle mutation.
+
+        Pass ``None`` to uninstall.  The guard must raise to veto the
+        mutation; its return value is ignored.
+        """
+        self._mutation_guard = guard
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +152,8 @@ class IndexLifecycle:
             raise IndexStateError(
                 f"advance() expects an IndexPhase, got {type(phase).__name__}"
             )
+        if self._mutation_guard is not None:
+            self._mutation_guard()
         merge_completed = (
             self._phase is IndexPhase.MERGE and phase is IndexPhase.CONVERGED
         )
@@ -155,6 +173,8 @@ class IndexLifecycle:
         ``indexing_seconds`` is the (predicted) indexing budget the query
         spent, i.e. the ``delta * t_work`` term of its cost breakdown.
         """
+        if self._mutation_guard is not None:
+            self._mutation_guard()
         self._queries[phase] += 1
         if indexing_seconds > 0.0:
             self._indexing_seconds[phase] += float(indexing_seconds)

@@ -691,6 +691,98 @@ class BatchPool(BudgetPolicy):
         )
 
 
+class CappedBudget(BudgetPolicy):
+    """Admission wrapper clamping the inner policy's per-query grant.
+
+    The serving layer's :class:`~repro.serve.scheduler.ProgressiveScheduler`
+    turns a connection class's interactivity budget (tau) into an
+    *allowance* of indexing seconds for each admitted query.  This wrapper
+    is swapped in front of the index's own policy for the duration of that
+    query: the inner policy still chooses its preferred ``delta`` (so
+    adaptive policies keep learning from an undistorted stream), but the
+    grant is clamped so the predicted indexing work ``delta *
+    full_work_time`` never exceeds the allowance.  The seconds actually
+    granted accumulate in :attr:`granted_seconds`, which the scheduler
+    charges to the connection class's work account — budgets become a
+    fairness currency shared across clients rather than a per-session knob.
+
+    Parameters
+    ----------
+    inner:
+        The index's own policy; every decision and observation is
+        forwarded to it.
+    allowance_seconds:
+        Maximum predicted indexing seconds one query may spend.  Use
+        ``float("inf")`` for no cap (pass-through).
+    """
+
+    def __init__(self, inner: BudgetPolicy, allowance_seconds: float) -> None:
+        if not isinstance(inner, BudgetPolicy):
+            raise InvalidBudgetError(
+                f"CappedBudget expects a BudgetPolicy, got {type(inner).__name__}"
+            )
+        if allowance_seconds < 0:
+            raise InvalidBudgetError(
+                f"allowance_seconds must be >= 0, got {allowance_seconds}"
+            )
+        self.inner = inner
+        self.allowance_seconds = float(allowance_seconds)
+        #: Predicted indexing seconds granted through this wrapper so far.
+        self.granted_seconds = 0.0
+
+    # Delegate the capability flags so engine fast paths (pooled
+    # whole-phase shortcuts, wall-clock feedback) behave exactly as they
+    # would under the inner policy.
+    @property
+    def adaptive(self) -> bool:  # type: ignore[override]
+        return self.inner.adaptive
+
+    @property
+    def pooled(self) -> bool:  # type: ignore[override]
+        return self.inner.pooled
+
+    @property
+    def clock(self):  # type: ignore[override]
+        return self.inner.clock
+
+    def register_scan_time(self, scan_time: float) -> None:
+        self.inner.register_scan_time(scan_time)
+
+    def _cap(self, delta: float, full_work_time: float) -> float:
+        if full_work_time > 0.0 and self.allowance_seconds < float("inf"):
+            delta = min(delta, self.allowance_seconds / full_work_time)
+        delta = max(0.0, min(1.0, float(delta)))
+        self.granted_seconds += delta * max(full_work_time, 0.0)
+        return delta
+
+    def next_delta(self, full_work_time: float, query_base_cost: float = 0.0) -> float:
+        return self._cap(
+            self.inner.next_delta(full_work_time, query_base_cost), full_work_time
+        )
+
+    def choose(self, request: DeltaRequest) -> float:
+        return self._cap(self.inner.choose(request), request.full_work_time)
+
+    def observe(self, elapsed_seconds: float, predicted_seconds: float | None = None) -> None:
+        self.inner.observe(elapsed_seconds, predicted_seconds)
+
+    def describe(self) -> str:
+        if self.allowance_seconds == float("inf"):
+            return f"CappedBudget(uncapped, {self.inner.describe()})"
+        return (
+            f"CappedBudget(allowance={self.allowance_seconds:.2e}s, "
+            f"{self.inner.describe()})"
+        )
+
+    def __getattr__(self, name: str):
+        # Forward policy-specific attributes (``tau``, ``correction_for``,
+        # ``budget_seconds`` ...) so index code that introspects its policy
+        # keeps working while the wrapper is installed.
+        if name == "inner":  # guard half-constructed instances
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
 class BudgetController:
     """The single decision point every budget question routes through.
 

@@ -14,6 +14,11 @@
   Figure 11.
 * :mod:`repro.engine.session` — a small user-facing API for indexing a table
   column and querying it progressively.
+* :mod:`repro.engine.shared` — the concurrent split of the session: a
+  :class:`~repro.engine.shared.SharedEngine` (write gate, committed
+  versions, progressive-work scheduler) serving per-client
+  :class:`~repro.engine.shared.ReaderView` MVCC snapshots and one
+  :class:`~repro.engine.shared.WriterHandle`.
 """
 
 from repro.engine.batch import BatchExecutor, BatchResult, scan_many
@@ -35,6 +40,13 @@ from repro.engine.registry import (
     create_index,
 )
 from repro.engine.session import IndexingSession
+from repro.engine.shared import (
+    ReaderView,
+    SharedEngine,
+    WriterHandle,
+    version_correction,
+    version_correction_many,
+)
 
 __all__ = [
     "ADAPTIVE_ALGORITHMS",
@@ -48,8 +60,11 @@ __all__ = [
     "PROGRESSIVE_ALGORITHMS",
     "PhaseStats",
     "QueryRecord",
+    "ReaderView",
     "Recommendation",
+    "SharedEngine",
     "WorkloadExecutor",
+    "WriterHandle",
     "WorkloadMetrics",
     "compute_metrics",
     "compute_phase_breakdown",
@@ -57,4 +72,6 @@ __all__ = [
     "recommend_index",
     "scan_many",
     "throughput",
+    "version_correction",
+    "version_correction_many",
 ]

@@ -121,6 +121,23 @@ class IndexingSession:
                 "call create_index() first"
             ) from None
 
+    def live_index_for(self, column_name: str) -> Optional[BaseIndex]:
+        """The index on ``column_name`` iff it tracks the live column.
+
+        The concurrent serving layer (:mod:`repro.engine.shared`) answers
+        pinned-version reads through the index only when the index's delta
+        overlay follows this table's live column — an index pinned to a
+        detached frozen snapshot cannot be version-corrected and is ignored
+        in favour of a direct snapshot scan.  Returns ``None`` when the
+        column is unindexed or its index is detached.
+        """
+        index = self._indexes.get(column_name)
+        if index is None:
+            return None
+        if index.live_column is not self._table.column(column_name):
+            return None
+        return index
+
     # ------------------------------------------------------------------
     def create_index(
         self,

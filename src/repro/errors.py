@@ -81,6 +81,26 @@ class RecoveryError(PersistenceError):
     """Raised when WAL replay or checkpoint restore cannot reach a consistent state."""
 
 
+class ConcurrencyError(ProgressiveIndexError):
+    """Raised when the concurrent serving layer detects a coordination bug.
+
+    Covers a second writer trying to attach to a single-writer engine and —
+    the load-bearing case — the scheduler's mutation guard observing an
+    index life-cycle mutation from a thread that does not hold the index's
+    exclusive work lane.  The guard turns silent state corruption under
+    races into a hard, attributable failure.
+    """
+
+
+class ProtocolError(ProgressiveIndexError):
+    """Raised when a serve-layer message violates the JSON-line protocol.
+
+    Covers unparseable frames, oversized lines, unknown operations, and
+    operations illegal for the connection's role (e.g. a reader issuing
+    ``insert``).
+    """
+
+
 class CalibrationError(ProgressiveIndexError):
     """Raised when hardware-constant calibration produces unusable values."""
 

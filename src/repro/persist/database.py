@@ -354,6 +354,38 @@ class Database:
         return self._session.index_for(column_name)
 
     # ------------------------------------------------------------------
+    # Concurrent serving (see repro.engine.shared / repro.serve)
+    # ------------------------------------------------------------------
+    def shared_engine(self):
+        """The :class:`~repro.engine.shared.SharedEngine` over this database.
+
+        Created on first use and cached: every reader view and the serving
+        layer must share ONE engine (one write gate, one scheduler, one
+        committed-version map) per open database.  The exclusive directory
+        flock taken by :meth:`open`/:meth:`create` already guarantees no
+        *other process* is attached, so in-process concurrent readers under
+        this engine are the only readers, period.
+        """
+        self._require_open()
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            from repro.engine.shared import SharedEngine
+
+            engine = SharedEngine.for_database(self)
+            self._engine = engine
+        return engine
+
+    def reader_view(self, connection_class: str = "interactive"):
+        """A new MVCC reader pinned at the current committed versions."""
+        return self.shared_engine().reader(connection_class)
+
+    def serve(self, address=None, **kwargs):
+        """Build (without starting) a query server over this database."""
+        from repro.serve.server import QueryServer
+
+        return QueryServer(engine=self.shared_engine(), address=address, **kwargs)
+
+    # ------------------------------------------------------------------
     # Writes (logged ahead, applied to the delta stores, durable on commit)
     # ------------------------------------------------------------------
     def insert(self, values, column_name: Optional[str] = None) -> np.ndarray:

@@ -64,6 +64,11 @@ class ProgressiveIndexBase(BaseIndex):
         β of the consolidation-phase B+-tree cascade.
     """
 
+    #: Once converged, the sorted array / cascade lookups of this family are
+    #: pure reads over frozen structures (plus idempotent prefix-sum caches),
+    #: so the serving scheduler may run them from concurrent reader threads.
+    concurrent_reads = True
+
     def __init__(
         self,
         column: Column,

@@ -1,0 +1,178 @@
+"""A thin synchronous client for the JSON-line query service.
+
+:class:`ServiceClient` is what the tests, the benchmark and the README
+quickstart use; it is also executable documentation of the wire protocol —
+every method is one request line and one response line.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import read_message, send_message
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServiceError(ProtocolError):
+    """An ``{"ok": false}`` response from the service.
+
+    Carries the server-side error ``code`` (exception class name or
+    protocol error category) alongside the message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`.
+
+    Parameters
+    ----------
+    address:
+        The server's endpoint: a Unix-socket path or ``(host, port)``.
+    role:
+        ``"reader"`` (pinned-snapshot queries) or ``"writer"`` (the single
+        write connection).
+    connection_class:
+        Service class for readers (``"interactive"``, ``"batch"``, ...).
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        role: str = "reader",
+        connection_class: str = "interactive",
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(address)
+        else:
+            host, port = address
+            sock = socket.create_connection((host, port))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self.role = role
+        #: Snapshot versions pinned by the hello (readers) / last commit.
+        self.versions: Dict[str, int] = {}
+        hello = self.request(
+            {"op": "hello", "role": role, "class": connection_class}
+        )
+        self.versions = hello.get("versions", {})
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request and return the (``ok``) response payload.
+
+        Raises :class:`ServiceError` on an error response.
+        """
+        send_message(self._sock, payload)
+        response = read_message(self._file)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not response.get("ok", False):
+            raise ServiceError(
+                str(response.get("error", "unknown")),
+                str(response.get("message", "")),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Reader operations
+    # ------------------------------------------------------------------
+    def between(self, column: str, low, high) -> dict:
+        """Range aggregate at this reader's pinned snapshot version."""
+        return self.request(
+            {"op": "between", "column": column, "low": low, "high": high}
+        )
+
+    def equals(self, column: str, value) -> dict:
+        """Point aggregate at the pinned snapshot version."""
+        return self.request({"op": "equals", "column": column, "value": value})
+
+    def batch(self, column: str, bounds: Sequence[Sequence]) -> dict:
+        """Vectorized batch of ``[low, high]`` ranges at the pinned version."""
+        return self.request(
+            {"op": "batch", "column": column, "bounds": [list(b) for b in bounds]}
+        )
+
+    def where(self, predicates: Dict[str, Sequence]) -> dict:
+        """Multi-column conjunction at the pinned versions."""
+        return self.request(
+            {
+                "op": "where",
+                "predicates": {name: list(pair) for name, pair in predicates.items()},
+            }
+        )
+
+    def refresh(self) -> Dict[str, int]:
+        """Re-pin at the latest committed versions; returns them."""
+        response = self.request({"op": "refresh"})
+        self.versions = response["versions"]
+        return dict(self.versions)
+
+    def status(self) -> dict:
+        """Service status: engine, per-index and scheduler counters."""
+        return self.request({"op": "status"})["status"]
+
+    # ------------------------------------------------------------------
+    # Writer operations
+    # ------------------------------------------------------------------
+    def insert(self, values, column: Optional[str] = None) -> int:
+        """Insert rows; returns the number of rows inserted."""
+        payload = {"op": "insert", "values": values}
+        if column is not None:
+            payload["column"] = column
+        return int(self.request(payload)["rows"])
+
+    def delete(self, column: str, low, high=None) -> int:
+        """Delete rows in ``[low, high]`` (point delete when ``high`` omitted)."""
+        payload = {"op": "delete", "column": column, "low": low}
+        if high is not None:
+            payload["high"] = high
+        return int(self.request(payload)["rows"])
+
+    def update(self, column: str, low, high, value) -> int:
+        """Set ``column`` to ``value`` for rows in ``[low, high]``."""
+        return int(
+            self.request(
+                {"op": "update", "column": column, "low": low, "high": high, "value": value}
+            )["rows"]
+        )
+
+    def commit(self) -> Dict[str, int]:
+        """Commit pending writes; returns the new committed versions."""
+        response = self.request({"op": "commit"})
+        self.versions = response["versions"]
+        return dict(self.versions)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and close the socket."""
+        try:
+            send_message(self._sock, {"op": "bye"})
+            read_message(self._file)
+        except OSError:
+            pass
+        finally:
+            try:
+                self._file.close()
+            finally:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

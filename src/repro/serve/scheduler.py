@@ -1,0 +1,323 @@
+"""The progressive-work scheduler: one index, many clients, no races.
+
+Progressive indexes do construction work *inside* queries — every read may
+move data, advance the life-cycle phase, or fold delta rows.  Under
+concurrent clients that property is a hazard: two queries racing through
+``index.query()`` would interleave partial sorts and corrupt the structures.
+The :class:`ProgressiveScheduler` turns it back into a feature:
+
+* **Work lanes.**  Every index gets a :class:`WorkLane` (a reader–writer
+  lock): all mutating execution — construction deltas, cracking, MERGE
+  folds — runs under the lane's *exclusive* side, forming the per-index
+  serialized work queue the paper's budgets were always implicitly assuming.
+  Converged structural lookups of families that declare
+  ``concurrent_reads`` run under the *shared* side, so pure readers never
+  queue behind each other.
+* **Mutation guard.**  When a lane is created the scheduler installs a
+  guard into the index's :class:`~repro.core.phase.IndexLifecycle` that
+  raises :class:`~repro.errors.ConcurrencyError` if any life-cycle mutation
+  happens on a thread not holding the lane exclusively — an unserialized
+  phase advance becomes a crash in the offending thread instead of silent
+  corruption.  The concurrency test harness leans on this.
+* **Admission tickets.**  Each serialized query is admitted with an
+  *allowance* of indexing seconds derived from its connection class's
+  interactivity budget τ: the index's own policy is wrapped in a
+  :class:`~repro.core.policy.CappedBudget` for the duration of the query,
+  so no single query exceeds its class's τ no matter what the underlying
+  policy wants.  Granted seconds are charged to the class's
+  :class:`WorkAccount` (a τ-refilled token bucket) and to a per
+  ``(class, column)`` fairness ledger; a class consuming more than its
+  weight-proportional share of a hot column's work sees its next
+  allowances scaled down, so a greedy client pays for convergence it
+  already bought instead of starving everyone else.
+
+All accounting is in deterministic model seconds — the same currency the
+cost models and budget policies use — so scheduler behavior is exactly
+reproducible under test.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.phase import IndexPhase
+from repro.core.policy import CappedBudget
+from repro.errors import ConcurrencyError
+from repro.serve.connection import DEFAULT_CLASSES, ConnectionClass
+from repro.serve.sync import RWLock
+
+
+class WorkLane:
+    """The per-index serialization point.
+
+    Exclusive acquisition = a slot in the index's work queue (mutation
+    allowed); shared acquisition = a concurrent converged read (mutation
+    forbidden, enforced by the mutation guard).
+    """
+
+    def __init__(self, index) -> None:
+        #: Strong reference pinning the index (the scheduler keys lanes by
+        #: ``id(index)``, which must stay unique for the lane's lifetime).
+        self.index = index
+        self._rw = RWLock()
+        self._owner: Optional[int] = None
+        #: Number of operations that ran through the exclusive side.
+        self.serialized_ops = 0
+        #: Number of batch lookups that ran through the shared side.
+        self.lockfree_reads = 0
+
+    @contextmanager
+    def exclusive(self):
+        self._rw.acquire_write()
+        self._owner = threading.get_ident()
+        try:
+            yield self
+        finally:
+            self._owner = None
+            self._rw.release_write()
+
+    @contextmanager
+    def shared(self):
+        self._rw.acquire_read()
+        try:
+            yield self
+        finally:
+            self._rw.release_read()
+
+    def assert_exclusive(self) -> None:
+        """Mutation guard hook: the calling thread must own the lane."""
+        if self._owner != threading.get_ident():
+            raise ConcurrencyError(
+                f"index {getattr(self.index, 'name', '?')!r} life-cycle mutation "
+                "from a thread that does not hold the exclusive work lane — "
+                "index work must be serialized through the scheduler"
+            )
+
+
+class WorkAccount:
+    """Token bucket of indexing seconds for one connection class.
+
+    Every admitted query deposits τ (capped at ``burst_queries * τ`` so idle
+    classes cannot hoard unbounded credit); granted indexing work is charged
+    back.  The balance therefore bounds a class's aggregate indexing spend
+    to "number of admitted queries × τ" over any window — exactly the
+    paper's interactivity contract, enforced across clients.
+    """
+
+    def __init__(self, cls: ConnectionClass, burst_queries: int) -> None:
+        self.cls = cls
+        self.balance = 0.0
+        self.deposited = 0.0
+        self.charged = 0.0
+        self.queries_admitted = 0
+        self._cap = (
+            float("inf") if cls.tau is None else burst_queries * cls.tau
+        )
+
+    def deposit(self) -> None:
+        self.queries_admitted += 1
+        if self.cls.tau is None:
+            return
+        self.deposited += self.cls.tau
+        self.balance = min(self.balance + self.cls.tau, self._cap)
+
+    def charge(self, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        self.charged += seconds
+        self.balance = max(0.0, self.balance - seconds)
+
+
+class ProgressiveScheduler:
+    """Shared scheduler coordinating all clients of one engine.
+
+    Parameters
+    ----------
+    classes:
+        The connection classes this scheduler admits; defaults to
+        :data:`~repro.serve.connection.DEFAULT_CLASSES`.
+    burst_queries:
+        Work-account cap in units of τ (how many queries' worth of unused
+        allowance a class may bank).
+    min_throttle:
+        Floor of the fairness scaling factor — even a maximally over-served
+        class keeps this fraction of its allowance, so progress never stops
+        entirely (convergence is good for everyone).
+    """
+
+    def __init__(
+        self,
+        classes: Optional[Iterable[ConnectionClass]] = None,
+        burst_queries: int = 8,
+        min_throttle: float = 0.1,
+    ) -> None:
+        class_list = tuple(classes) if classes is not None else DEFAULT_CLASSES
+        if not class_list:
+            raise ConcurrencyError("a scheduler requires at least one connection class")
+        self._classes: Dict[str, ConnectionClass] = {c.name: c for c in class_list}
+        self._total_weight = sum(c.weight for c in class_list)
+        self._accounts: Dict[str, WorkAccount] = {
+            c.name: WorkAccount(c, burst_queries) for c in class_list
+        }
+        #: Granted indexing seconds per (class, column) — the fairness ledger.
+        self._ledger: Dict[Tuple[str, str], float] = {}
+        self._lanes: Dict[int, WorkLane] = {}
+        self._lock = threading.Lock()
+        self.min_throttle = float(min_throttle)
+
+    # ------------------------------------------------------------------
+    def class_named(self, name: str) -> ConnectionClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ConcurrencyError(
+                f"unknown connection class {name!r}; "
+                f"available: {sorted(self._classes)}"
+            ) from None
+
+    def lane_for(self, index) -> WorkLane:
+        """The index's work lane, created (and guard installed) on first use."""
+        lane = self._lanes.get(id(index))
+        if lane is None:
+            with self._lock:
+                lane = self._lanes.get(id(index))
+                if lane is None:
+                    lane = WorkLane(index)
+                    index.lifecycle.set_mutation_guard(lane.assert_exclusive)
+                    self._lanes[id(index)] = lane
+        return lane
+
+    # ------------------------------------------------------------------
+    # Lock-free converged read path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lockfree_eligible(index) -> bool:
+        """Whether the index's structural batch lookups may run shared.
+
+        Requires the family's ``concurrent_reads`` declaration *and* the
+        converged phase with no merge cycle due: anything still doing
+        construction, cracking or folding mutates on read and must go
+        through the exclusive lane.
+        """
+        return (
+            getattr(index, "concurrent_reads", False)
+            and index.phase is IndexPhase.CONVERGED
+            and not index.has_pending_merge()
+        )
+
+    def read_structural(self, index, lows, highs):
+        """Answer a batch via the shared (lock-free) lane, if possible.
+
+        Returns ``((sums, counts), folded_seq)`` — the structural answer and
+        the delta-sequence watermark it is exact at — or ``None`` when the
+        index is not eligible (caller falls back to the serialized path).
+        Eligibility is re-checked *under* the shared lane: a phase change
+        between the optimistic check and the acquisition routes the query
+        back to the work queue.
+        """
+        if not self.lockfree_eligible(index):
+            return None
+        lane = self.lane_for(index)
+        with lane.shared():
+            if not self.lockfree_eligible(index):
+                return None
+            answered = index._search_many(lows, highs)
+            if answered is None:
+                return None
+            watermark = index._folded_seq
+            lane.lockfree_reads += 1
+            return answered, watermark
+
+    # ------------------------------------------------------------------
+    # Serialized (mutating) path
+    # ------------------------------------------------------------------
+    def run_serialized(
+        self,
+        index,
+        cls: ConnectionClass,
+        column_name: str,
+        fn: Callable[[], object],
+    ):
+        """Run ``fn`` in the index's work queue under an admission ticket.
+
+        The index's budget policy is wrapped in a
+        :class:`~repro.core.policy.CappedBudget` clamped to the admitted
+        allowance for the duration of the call; the indexing seconds the
+        query actually granted are charged to the class's work account and
+        the fairness ledger afterwards.
+        """
+        allowance = self._admit(cls, column_name)
+        lane = self.lane_for(index)
+        with lane.exclusive():
+            capped = CappedBudget(index.budget, allowance)
+            index.swap_budget(capped)
+            try:
+                result = fn()
+            finally:
+                index.swap_budget(capped.inner)
+            lane.serialized_ops += 1
+            granted = capped.granted_seconds
+        self._charge(cls, column_name, granted)
+        return result
+
+    def _admit(self, cls: ConnectionClass, column_name: str) -> float:
+        """Admission ticket: the indexing-seconds allowance for one query."""
+        if cls.name not in self._classes:
+            raise ConcurrencyError(f"unknown connection class {cls.name!r}")
+        with self._lock:
+            account = self._accounts[cls.name]
+            account.deposit()
+            if cls.tau is None:
+                return float("inf")
+            allowance = min(account.balance, cls.tau)
+            # Fairness across hot columns: scale the allowance down when
+            # this class already consumed more than its weight-proportional
+            # share of the column's granted work.
+            total = sum(
+                self._ledger.get((name, column_name), 0.0) for name in self._classes
+            )
+            if total > 0.0:
+                share = self._ledger.get((cls.name, column_name), 0.0) / total
+                fair = cls.weight / self._total_weight
+                if share > fair:
+                    allowance *= max(self.min_throttle, fair / share)
+            return allowance
+
+    def _charge(self, cls: ConnectionClass, column_name: str, granted: float) -> None:
+        if granted <= 0.0:
+            return
+        with self._lock:
+            self._accounts[cls.name].charge(granted)
+            key = (cls.name, column_name)
+            self._ledger[key] = self._ledger.get(key, 0.0) + granted
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-safe scheduler counters for status reporting and tests."""
+        with self._lock:
+            return {
+                "classes": {
+                    name: {
+                        "tau": account.cls.tau,
+                        "weight": account.cls.weight,
+                        "queries_admitted": account.queries_admitted,
+                        "allowance_deposited": account.deposited,
+                        "work_charged": account.charged,
+                        "balance": account.balance,
+                    }
+                    for name, account in self._accounts.items()
+                },
+                "columns": {
+                    f"{cls}:{column}": seconds
+                    for (cls, column), seconds in sorted(self._ledger.items())
+                },
+                "lanes": {
+                    f"{getattr(lane.index, 'name', '?')}@{key:#x}": {
+                        "serialized_ops": lane.serialized_ops,
+                        "lockfree_reads": lane.lockfree_reads,
+                    }
+                    for key, lane in self._lanes.items()
+                },
+            }

@@ -27,6 +27,7 @@ per write burst.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
@@ -207,8 +208,13 @@ class Column(_ReadableColumn):
         self._dropped = False
         # (version, array) cache of the materialized visible rows.
         self._visible_cache: Optional[tuple] = None
-        # version -> ColumnSnapshot LRU (see SNAPSHOT_CACHE_SIZE).
+        # version -> ColumnSnapshot LRU (see SNAPSHOT_CACHE_SIZE).  Both
+        # caches are read from concurrent reader threads while the serving
+        # layer's writer advances the version, so get/insert/evict run under
+        # a lock; ``move_to_end`` on an entry another thread is evicting
+        # would otherwise corrupt the OrderedDict.
         self._snapshot_cache: "OrderedDict[int, ColumnSnapshot]" = OrderedDict()
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Versioning
@@ -239,16 +245,22 @@ class Column(_ReadableColumn):
         return self._dropped
 
     def _view(self) -> np.ndarray:
-        if self._delta is None or self._delta.version == 0:
+        delta = self._delta
+        if delta is None or delta.version == 0:
             return self._base
+        version = delta.version
         cached = self._visible_cache
-        if cached is not None and cached[0] == self._delta.version:
+        if cached is not None and cached[0] == version:
             return cached[1]
-        visible = self._delta.visible_array()
-        if visible is not self._base:
-            visible = np.ascontiguousarray(visible)
-            visible.setflags(write=False)
-        self._visible_cache = (self._delta.version, visible)
+        with self._cache_lock:
+            cached = self._visible_cache
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            visible = delta.visible_array(version)
+            if visible is not self._base:
+                visible = np.ascontiguousarray(visible)
+                visible.setflags(write=False)
+            self._visible_cache = (version, visible)
         return visible
 
     def snapshot(self, version: Optional[int] = None) -> "ColumnSnapshot":
@@ -266,10 +278,14 @@ class Column(_ReadableColumn):
             version = self.version
         if self._delta is None or version == 0:
             return ColumnSnapshot(self._base, self._name, 0, self)
-        cached = self._snapshot_cache.get(version)
-        if cached is not None:
-            self._snapshot_cache.move_to_end(version)
-            return cached
+        with self._cache_lock:
+            cached = self._snapshot_cache.get(version)
+            if cached is not None:
+                self._snapshot_cache.move_to_end(version)
+                return cached
+        # Materialize outside the lock: only cache bookkeeping must be
+        # serialized, and visible_array() over a large delta is the
+        # expensive part concurrent readers should overlap.
         array = self._delta.visible_array(version)
         if array is self._base:
             snapshot = ColumnSnapshot(self._base, self._name, version, self)
@@ -277,14 +293,22 @@ class Column(_ReadableColumn):
             array = np.ascontiguousarray(array)
             array.setflags(write=False)
             snapshot = ColumnSnapshot(array, self._name, version, self)
-        self._snapshot_cache[version] = snapshot
-        while len(self._snapshot_cache) > SNAPSHOT_CACHE_SIZE:
-            self._snapshot_cache.popitem(last=False)
+        with self._cache_lock:
+            raced = self._snapshot_cache.get(version)
+            if raced is not None:
+                # Another thread materialized the same version first; share
+                # its snapshot so equal versions stay identity-comparable.
+                self._snapshot_cache.move_to_end(version)
+                return raced
+            self._snapshot_cache[version] = snapshot
+            while len(self._snapshot_cache) > SNAPSHOT_CACHE_SIZE:
+                self._snapshot_cache.popitem(last=False)
         return snapshot
 
     def cached_snapshot_versions(self) -> tuple:
         """Versions currently held by the snapshot LRU (oldest first)."""
-        return tuple(self._snapshot_cache.keys())
+        with self._cache_lock:
+            return tuple(self._snapshot_cache.keys())
 
     # ------------------------------------------------------------------
     # Write operations

@@ -9,6 +9,12 @@ from repro.core.query import Predicate, QueryResult
 from repro.storage.column import Column
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running soak/stress tests (deselect with -m 'not slow')"
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator."""

@@ -1,0 +1,111 @@
+"""Subprocess worker for the service soak suite.
+
+Stands up a real :class:`~repro.serve.server.QueryServer` over a persisted
+database, floods it with concurrent reader traffic, then drives the single
+writer into one of the durability layer's fault points so the whole process
+dies with ``SIGKILL`` *mid-traffic* — readers blocked in queries, the
+writer blocked in its WAL protocol step.  The parent test recovers the
+directory and asserts the durability contract plus a clean reader
+reconnect against the recovered database.
+
+Usage: ``python serve_worker.py <directory> <scenario> <socket-path>``
+
+Scenarios (sentinels follow :mod:`tests.crash_worker`):
+
+``commit-durable``
+    The writer connection dies right after B's commit-marker fsync.
+    A and B must survive recovery; C was never written.
+``uncommitted-lost``
+    The writer connection dies mid-append of the uncommitted C insert.
+    A and B must survive; C must not.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.persist.database import Database  # noqa: E402
+from repro.persist.faults import CRASH_ENV  # noqa: E402
+from repro.serve.client import ServiceClient  # noqa: E402
+from repro.serve.server import QueryServer  # noqa: E402
+
+#: Sentinel values; the parent asserts on their exact visible counts.
+SENTINEL_A = 9_100_001  # committed before the checkpoint (3 rows)
+SENTINEL_B = 9_200_002  # committed through the service (4 rows)
+SENTINEL_C = 9_300_003  # never committed (5 rows) — must not survive
+
+ROWS = 4_000
+DOMAIN = 1_000_000
+
+
+def base_data() -> np.ndarray:
+    return np.random.default_rng(42).integers(0, DOMAIN, size=ROWS)
+
+
+def reader_traffic(address: str, stop: threading.Event, seed: int) -> None:
+    """One closed-loop reader hammering ranges and re-pinning."""
+    rng = np.random.default_rng(seed)
+    try:
+        client = ServiceClient(address, role="reader", timeout=10.0)
+        while not stop.is_set():
+            low = int(rng.integers(0, DOMAIN - 100_000))
+            client.between("ra", low, low + 100_000)
+            if rng.integers(0, 4) == 0:
+                client.refresh()
+    except Exception:
+        # The process is being SIGKILLed under the reader; any transport
+        # error here is expected collateral, never a worker failure.
+        pass
+
+
+def main() -> int:
+    directory, scenario, socket_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    db = Database.create(directory, {"ra": base_data()})
+    db.create_index("ra", method="PQ", fixed_delta=0.5)
+    for low in (1_000, 250_000, 500_000, 750_000):
+        db.between("ra", low, low + 100_000)
+
+    # Committed + checkpointed baseline, all before the service starts so
+    # the checkpoint itself is single-threaded (it is not part of the
+    # concurrent protocol under test — the WAL commit path is).
+    db.insert([SENTINEL_A] * 3)
+    db.commit()
+    db.checkpoint()
+
+    server = QueryServer(database=db, address=socket_path)
+    server.start()
+
+    stop = threading.Event()
+    readers = [
+        threading.Thread(target=reader_traffic, args=(socket_path, stop, 7 + i))
+        for i in range(2)
+    ]
+    for thread in readers:
+        thread.start()
+
+    writer = ServiceClient(socket_path, role="writer", timeout=30.0)
+    if scenario == "commit-durable":
+        os.environ[CRASH_ENV] = "wal-after-commit"
+        writer.insert([SENTINEL_B] * 4)
+        writer.commit()  # SIGKILL fires inside the server's WAL commit
+    elif scenario == "uncommitted-lost":
+        writer.insert([SENTINEL_B] * 4)
+        writer.commit()
+        os.environ[CRASH_ENV] = "wal-after-append"
+        writer.insert([SENTINEL_C] * 5)  # SIGKILL fires mid-append
+    else:
+        raise SystemExit(f"unknown scenario {scenario!r}")
+
+    # A scenario must never fall through to a graceful exit: the parent
+    # asserts on SIGKILL, so reaching this point is a test bug.
+    raise RuntimeError(f"scenario {scenario!r} did not crash")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Soak test: kill -9 the query service mid-traffic, recover, reconnect.
+
+Extends the crash-injection suite (:mod:`tests.test_crash_recovery`) to the
+serving layer: :mod:`tests.serve_worker` runs a real socket server with
+concurrent reader traffic and drives the single writer into the durability
+layer's fault points, so the ``SIGKILL`` lands while readers are blocked in
+queries and the writer sits inside its WAL protocol step.  Recovery must
+honour the same contract as the single-client suite — committed sentinels
+present, uncommitted ones absent — and a *fresh* server over the recovered
+database must serve readers again immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.persist.database import Database
+from repro.serve.client import ServiceClient
+
+from serve_worker import SENTINEL_A, SENTINEL_B, SENTINEL_C
+
+WORKER = os.path.join(os.path.dirname(__file__), "serve_worker.py")
+
+
+def _run_worker(directory: str, scenario: str, socket_path: str):
+    return subprocess.run(
+        [sys.executable, WORKER, directory, scenario, socket_path],
+        capture_output=True,
+        timeout=180,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", ["commit-durable", "uncommitted-lost"])
+def test_sigkill_mid_traffic_recovers_and_serves(tmp_path, scenario):
+    directory = str(tmp_path / "db")
+    socket_path = str(tmp_path / "svc.sock")
+    proc = _run_worker(directory, scenario, socket_path)
+    assert proc.returncode == -signal.SIGKILL, (
+        f"worker exited {proc.returncode} instead of dying at the fault "
+        f"point:\n{proc.stderr.decode()}"
+    )
+
+    with Database.open(directory) as db:
+        # Committed history survives; the uncommitted insert does not.
+        assert db.between("ra", SENTINEL_A, SENTINEL_A).count == 3
+        # B is committed in both scenarios — right at the fault point under
+        # commit-durable, cleanly before it under uncommitted-lost.
+        assert db.between("ra", SENTINEL_B, SENTINEL_B).count == 4
+        assert db.between("ra", SENTINEL_C, SENTINEL_C).count == 0
+
+        # Clean reader reconnect: a fresh server over the recovered
+        # database answers at the recovered committed versions.
+        server = db.serve(address=str(tmp_path / "svc2.sock"))
+        server.start()
+        try:
+            with ServiceClient(server.endpoint, role="reader") as reader:
+                assert reader.equals("ra", SENTINEL_A)["count"] == 3
+                assert reader.equals("ra", SENTINEL_C)["count"] == 0
+                assert reader.status()["committed_versions"]["ra"] >= 0
+            # The recovered engine also takes writes again.
+            with ServiceClient(server.endpoint, role="writer") as writer:
+                writer.insert([SENTINEL_A])
+                writer.commit()
+            with ServiceClient(server.endpoint, role="reader") as reader:
+                assert reader.equals("ra", SENTINEL_A)["count"] == 4
+        finally:
+            server.stop()
