@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import run_metadata
 from repro.core.calibration import calibrate, simulated_constants
 from repro.core.policy import CostModelGreedy, FixedDelta
 from repro.engine.metrics import robustness
@@ -251,6 +252,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "adaptive_delta",
+        "run": run_metadata(args.n_elements),
         "n_elements": args.n_elements,
         "n_queries": args.n_queries,
         "scan_fraction": args.scan_fraction,

@@ -1,0 +1,22 @@
+"""Shared helpers for the standalone benchmark scripts.
+
+Every ``BENCH_*.json`` writer stamps its payload with :func:`run_metadata`
+so results can be compared across machines and scales: a speedup measured
+with 2 workers on a 16-core box and one measured on a single-core CI
+runner are different experiments, and the JSON should say so.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def run_metadata(rows: int, *, workers: int | None = None,
+                 shards: int | None = None) -> dict:
+    """Machine/scale context recorded by every ``BENCH_*.json`` writer."""
+    return {
+        "rows": int(rows),
+        "workers": int(workers) if workers is not None else None,
+        "shards": int(shards) if shards is not None else None,
+        "cpu_count": os.cpu_count(),
+    }

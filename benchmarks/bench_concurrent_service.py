@@ -49,6 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import run_metadata
 from repro.core.policy import FixedDelta
 from repro.engine.session import IndexingSession
 from repro.serve.client import ServiceClient
@@ -257,6 +258,7 @@ def main(argv=None) -> int:
 
     report = {
         "benchmark": "concurrent_service",
+        "run": run_metadata(ROWS, workers=top["clients"]),
         "rows": ROWS,
         "client_model": (
             "closed-loop with fixed think time per reader (same model at every "

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import run_metadata
 from repro.core.budget import FixedBudget
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate
@@ -254,6 +255,7 @@ def main(argv=None) -> int:
     family_min = min((results[name]["speedup"] for name in family), default=None)
     report = {
         "benchmark": "construction_throughput",
+        "run": run_metadata(args.n_elements),
         "config": {
             "n_elements": args.n_elements,
             "seed": args.seed,

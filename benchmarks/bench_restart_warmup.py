@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import run_metadata
 from repro.core.phase import IndexPhase
 from repro.persist.database import Database
 
@@ -180,6 +181,7 @@ def main(argv=None) -> int:
 
     report = {
         "benchmark": "restart_warmup",
+        "run": run_metadata(args.rows),
         "rows": args.rows,
         "min_speedup": args.min_speedup,
         "smoke": bool(args.smoke),

@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import run_metadata
 from repro.core.calibration import calibrate, simulated_constants
 from repro.core.policy import CostModelGreedy
 from repro.core.query import Predicate
@@ -308,6 +309,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "update_throughput",
+        "run": run_metadata(args.n_elements),
         "n_elements": args.n_elements,
         "n_reads": args.n_reads,
         "method": args.method,

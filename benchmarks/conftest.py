@@ -32,13 +32,44 @@ def pytest_addoption(parser):
         "--bench-queries", type=int, default=150,
         help="number of queries per workload",
     )
+    group.addoption(
+        "--rows", type=int, default=None,
+        help="override the column size of every benchmark (alias of "
+             "--bench-elements that also scales the large block)",
+    )
+    group.addoption(
+        "--workers", type=int, default=None,
+        help="worker processes used by sharded/parallel benchmarks "
+             "(default: cpu count)",
+    )
 
 
 @pytest.fixture(scope="session")
-def bench_config(request) -> ExperimentConfig:
+def bench_rows(request) -> int:
+    rows = request.config.getoption("--rows")
+    return rows if rows is not None else request.config.getoption("--bench-elements")
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int:
+    workers = request.config.getoption("--workers")
+    if workers is not None:
+        return workers
+    import os
+
+    return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="session")
+def bench_config(request, bench_rows) -> ExperimentConfig:
+    rows_override = request.config.getoption("--rows")
+    large = (
+        rows_override if rows_override is not None
+        else request.config.getoption("--bench-large-elements")
+    )
     return ExperimentConfig(
-        n_elements=request.config.getoption("--bench-elements"),
-        n_elements_large=request.config.getoption("--bench-large-elements"),
+        n_elements=bench_rows,
+        n_elements_large=large,
         n_queries=request.config.getoption("--bench-queries"),
         calibrate_constants=True,
     )

@@ -77,9 +77,17 @@ from repro.engine import (
     WorkloadExecutor,
     WriterHandle,
     create_index,
+    create_sharded_index,
     recommend_index,
 )
 from repro.serve import ConnectionClass, QueryServer, ServiceClient
+from repro.shard import (
+    ShardedColumn,
+    ShardedIndex,
+    ShardRouter,
+    build_sharded_index,
+    shard_table,
+)
 from repro.progressive import (
     ProgressiveBucketsort,
     ProgressiveQuicksort,
@@ -144,6 +152,9 @@ __all__ = [
     "ReaderView",
     "ServiceClient",
     "SharedEngine",
+    "ShardRouter",
+    "ShardedColumn",
+    "ShardedIndex",
     "StandardCracking",
     "StochasticCracking",
     "Table",
@@ -153,15 +164,18 @@ __all__ = [
     "WriteOp",
     "WriterHandle",
     "WorkloadExecutor",
+    "build_sharded_index",
     "calibrate",
     "conjunctive_queries",
     "create_index",
+    "create_sharded_index",
     "generate_pattern",
     "iter_batches",
     "point",
     "predicate_vector",
     "range_query",
     "recommend_index",
+    "shard_table",
     "simulated_constants",
     "skyserver_data",
     "skyserver_workload",

@@ -783,6 +783,126 @@ class CappedBudget(BudgetPolicy):
         return getattr(self.inner, name)
 
 
+class PooledBudgetController:
+    """Splits one interactivity budget τ across the shards a query touches.
+
+    Sharded execution answers one logical query with up to K per-shard
+    queries.  Handing every shard the full τ would multiply the end-to-end
+    latency by the number of touched shards; this controller instead
+    derives a per-shard total-time target so the *logical* query still
+    lands on τ:
+
+    ``lanes = min(parallelism, touched)`` shards run concurrently, each
+    execution lane serves ``touched / lanes`` shards back to back, so the
+    per-shard target is ``τ_s = τ * lanes / touched``.  Serial execution
+    (``parallelism = 1``) degrades to the natural ``τ / touched`` split;
+    with enough workers every touched shard gets the full τ.  Because the
+    divisor is the number of *touched* shards, everything the zone-map
+    router prunes automatically donates its slice to the survivors.
+
+    Per shard the target is enforced by wrapping the shard index's own
+    policy in a :class:`CappedBudget` whose allowance is the slack
+    ``max(0, τ_s - predicted_base_cost)`` — the shard policy keeps
+    choosing (and learning) freely, it just cannot overdraw the pool.
+
+    Parameters
+    ----------
+    interactivity_budget:
+        τ in seconds for the logical query; ``None`` disables pooling
+        (shards run under their own policies uncapped).
+    n_shards:
+        Total shard count K (for reporting).
+    parallelism:
+        Number of concurrent execution lanes (worker processes; 1 for
+        the serial executor).
+    """
+
+    def __init__(
+        self,
+        interactivity_budget: float | None = None,
+        n_shards: int = 1,
+        parallelism: int = 1,
+    ) -> None:
+        if interactivity_budget is not None and interactivity_budget <= 0:
+            raise InvalidBudgetError(
+                f"interactivity_budget must be positive, got {interactivity_budget}"
+            )
+        if n_shards < 1:
+            raise InvalidBudgetError(f"n_shards must be >= 1, got {n_shards}")
+        if parallelism < 1:
+            raise InvalidBudgetError(f"parallelism must be >= 1, got {parallelism}")
+        self.interactivity_budget = interactivity_budget
+        self.n_shards = int(n_shards)
+        self.parallelism = int(parallelism)
+        #: Logical queries routed through the pool.
+        self.queries = 0
+        #: Per-shard dispatches charged against the pool.
+        self.shards_charged = 0
+        #: Predicted indexing seconds granted through the per-shard caps.
+        self.granted_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def tau(self) -> float | None:
+        """The logical query's interactivity threshold τ (``None`` = off)."""
+        return self.interactivity_budget
+
+    def lanes(self, touched: int) -> int:
+        """Concurrent execution lanes available for ``touched`` shards."""
+        return max(1, min(self.parallelism, max(1, int(touched))))
+
+    def shard_budget(self, touched: int) -> float | None:
+        """Per-shard total-time target τ_s for a query touching ``touched``.
+
+        Pruned shards do not appear in ``touched``, so their budget flows
+        to the survivors.
+        """
+        if self.interactivity_budget is None:
+            return None
+        touched = max(1, int(touched))
+        return self.interactivity_budget * self.lanes(touched) / touched
+
+    def shard_allowance(self, touched: int, base_seconds: float | None) -> float:
+        """Indexing-seconds cap for one shard of a ``touched``-shard query.
+
+        ``base_seconds`` is the shard's predicted no-indexing cost
+        (``predict(0)``); shards without a cost model get the full τ_s.
+        """
+        budget = self.shard_budget(touched)
+        if budget is None:
+            return float("inf")
+        if base_seconds is None:
+            return budget
+        return max(0.0, budget - float(base_seconds))
+
+    def charge(self, touched: int, granted_seconds: float) -> None:
+        """Account one logical query's per-shard grants."""
+        self.queries += 1
+        self.shards_charged += max(0, int(touched))
+        self.granted_seconds += max(0.0, float(granted_seconds))
+
+    def snapshot(self) -> dict:
+        return {
+            "tau": self.interactivity_budget,
+            "n_shards": self.n_shards,
+            "parallelism": self.parallelism,
+            "queries": int(self.queries),
+            "shards_charged": int(self.shards_charged),
+            "granted_seconds": float(self.granted_seconds),
+        }
+
+    def describe(self) -> str:
+        if self.interactivity_budget is None:
+            return (
+                f"PooledBudget(uncapped, shards={self.n_shards}, "
+                f"parallelism={self.parallelism})"
+            )
+        return (
+            f"PooledBudget(tau={self.interactivity_budget:.6f}s, "
+            f"shards={self.n_shards}, parallelism={self.parallelism})"
+        )
+
+
 class BudgetController:
     """The single decision point every budget question routes through.
 

@@ -38,6 +38,7 @@ from repro.engine.registry import (
     BASELINE_ALGORITHMS,
     PROGRESSIVE_ALGORITHMS,
     create_index,
+    create_sharded_index,
 )
 from repro.engine.session import IndexingSession
 from repro.engine.shared import (
@@ -69,6 +70,7 @@ __all__ = [
     "compute_metrics",
     "compute_phase_breakdown",
     "create_index",
+    "create_sharded_index",
     "recommend_index",
     "scan_many",
     "throughput",

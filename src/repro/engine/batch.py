@@ -165,6 +165,19 @@ class BatchExecutor:
         batch = BatchResult(index_name=index.name, results=[None] * n_queries)
         if n_queries == 0:
             return batch
+        # Composite indexes (sharded execution) own their batch strategy:
+        # they route each query, sub-batch per shard and run the standard
+        # pooled machinery *inside* every shard, so the per-query policy
+        # swap below would be meaningless (and unsupported) at this level.
+        whole_batch = getattr(index, "execute_batch", None)
+        if whole_batch is not None:
+            started = time.perf_counter()
+            batch.results = list(whole_batch(vector.lows, vector.highs))
+            batch.vectorized_queries = n_queries
+            batch.elapsed_seconds = time.perf_counter() - started
+            if self.verify:
+                self._verify(index, vector, batch.results)
+            return batch
         pool = self._batch_budget(index, n_queries)
         # swap_budget routes through the index's budget controller, which
         # re-registers the known scan time against whichever policy comes

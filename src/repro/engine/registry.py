@@ -95,3 +95,30 @@ def create_index(
         budget = CostModelGreedy(interactivity_budget=interactivity_budget)
     index_class = ALGORITHMS[key]
     return index_class(column, budget=budget, constants=constants, **kwargs)
+
+
+def create_sharded_index(
+    column,
+    algorithm: str,
+    shards: int = 4,
+    parallel: bool = False,
+    **kwargs,
+):
+    """Build a sharded parallel index over ``column``.
+
+    Partitions the column into ``shards`` range (default) or hash
+    partitions, each served by its own instance of ``algorithm`` with an
+    independent lifecycle, fronted by a zone-map router and a pooled
+    interactivity budget.  With ``parallel=True`` the per-shard work runs
+    on a persistent worker-process pool sharing the base arrays zero-copy.
+    See :func:`repro.shard.index.build_sharded_index` for all options.
+    """
+    if algorithm.upper() not in ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        )
+    from repro.shard.index import build_sharded_index
+
+    return build_sharded_index(
+        column, algorithm, shards=shards, parallel=parallel, **kwargs
+    )

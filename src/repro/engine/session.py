@@ -134,7 +134,7 @@ class IndexingSession:
         index = self._indexes.get(column_name)
         if index is None:
             return None
-        if index.live_column is not self._table.column(column_name):
+        if getattr(index, "live_column", None) is not self._table.column(column_name):
             return None
         return index
 
@@ -188,23 +188,9 @@ class IndexingSession:
                     "must call commit_writes() before another handle may index "
                     "this column"
                 )
-        provided = [
-            value
-            for value in (budget, budget_fraction, fixed_delta, interactivity_budget)
-            if value is not None
-        ]
-        if len(provided) > 1:
-            raise ExperimentError(
-                "provide at most one of budget, budget_fraction, fixed_delta "
-                "or interactivity_budget"
-            )
-        if budget is None:
-            if fixed_delta is not None:
-                budget = FixedDelta(fixed_delta)
-            elif interactivity_budget is not None:
-                budget = CostModelGreedy(interactivity_budget=interactivity_budget)
-            else:
-                budget = TimeAdaptive(scan_fraction=budget_fraction or 0.2)
+        budget = self._resolve_budget(
+            budget, budget_fraction, fixed_delta, interactivity_budget
+        )
         if method is None:
             recommendation = recommend_index(
                 point_query_workload=point_query_workload, skewed_data=skewed_data
@@ -219,9 +205,135 @@ class IndexingSession:
         self._indexes[column_name] = index
         return index
 
+    @staticmethod
+    def _resolve_budget(
+        budget: Optional[BudgetPolicy],
+        budget_fraction: Optional[float],
+        fixed_delta: Optional[float],
+        interactivity_budget: Optional[float],
+    ) -> BudgetPolicy:
+        """Collapse the convenience budget parameters into one policy."""
+        provided = [
+            value
+            for value in (budget, budget_fraction, fixed_delta, interactivity_budget)
+            if value is not None
+        ]
+        if len(provided) > 1:
+            raise ExperimentError(
+                "provide at most one of budget, budget_fraction, fixed_delta "
+                "or interactivity_budget"
+            )
+        if budget is not None:
+            return budget
+        if fixed_delta is not None:
+            return FixedDelta(fixed_delta)
+        if interactivity_budget is not None:
+            return CostModelGreedy(interactivity_budget=interactivity_budget)
+        return TimeAdaptive(scan_fraction=budget_fraction or 0.2)
+
+    def create_sharded_index(
+        self,
+        column_name: str,
+        method: Optional[str] = None,
+        shards: int = 4,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        kind: str = "range",
+        budget: Optional[BudgetPolicy] = None,
+        budget_fraction: Optional[float] = None,
+        fixed_delta: Optional[float] = None,
+        interactivity_budget: Optional[float] = None,
+        point_query_workload: bool = False,
+        skewed_data: bool = False,
+        router_bins: bool = False,
+        spill_dir: Optional[str] = None,
+        **kwargs,
+    ):
+        """Create a sharded (optionally multi-process parallel) index.
+
+        Converts **every** column of the table to a
+        :class:`~repro.shard.column.ShardedColumn` under one shared layout
+        (rows stay aligned across columns, so ``where()`` conjunctions keep
+        composing), then fronts ``column_name``'s K per-shard progressive
+        indexes with a zone-map router and a pooled interactivity budget.
+
+        Parameters mirror :meth:`create_index` plus:
+
+        shards:
+            Partition count K.  A table already sharded by a previous call
+            reuses its layout (``shards`` must then agree).
+        parallel / workers:
+            Run per-shard work on a persistent worker-process pool (shard
+            bases shared zero-copy; ``workers`` defaults to the CPU count).
+        kind:
+            ``"range"`` partitioning (zone-map routable — the default) or
+            ``"hash"``.
+        router_bins:
+            Add per-shard bin-occupancy bitmaps for extra pruning (useful
+            for hash layouts).
+        spill_dir:
+            Back the shared shard bases with mmap'd column files in this
+            directory instead of anonymous shared memory.
+        """
+        from repro.shard import ShardedColumn, ShardedIndex, shard_table
+        from repro.shard.index import build_sharded_index
+
+        if column_name in self._indexes:
+            raise ExperimentError(f"column {column_name!r} is already indexed")
+        stale = [
+            name
+            for name, index in self._indexes.items()
+            if not isinstance(index, ShardedIndex)
+        ]
+        if stale:
+            raise ExperimentError(
+                f"cannot shard the table while unsharded indexes exist on "
+                f"{sorted(stale)}: sharding permutes the row-id space those "
+                "indexes answer over; drop them first"
+            )
+        column = self._table.column(column_name)
+        if isinstance(column, ShardedColumn):
+            if int(shards) != column.n_shards:
+                raise ExperimentError(
+                    f"table is already sharded into {column.n_shards} "
+                    f"partitions; requested {shards} — sibling columns must "
+                    "share one layout"
+                )
+        else:
+            shard_table(self._table, column_name, int(shards), kind=kind)
+            column = self._table.column(column_name)
+            # Any cached batched-scan handle saw the pre-shard row order.
+            self._scan_handles.clear()
+        budget = self._resolve_budget(
+            budget, budget_fraction, fixed_delta, interactivity_budget
+        )
+        if method is None:
+            method = recommend_index(
+                point_query_workload=point_query_workload, skewed_data=skewed_data
+            ).acronym
+        index = build_sharded_index(
+            column,
+            method,
+            parallel=parallel,
+            workers=workers,
+            budget=budget,
+            constants=self._constants,
+            router_bins=router_bins,
+            spill_dir=spill_dir,
+            **kwargs,
+        )
+        self._indexes[column_name] = index
+        return index
+
     def drop_index(self, column_name: str) -> None:
-        """Remove the index on ``column_name`` (no error if absent)."""
-        self._indexes.pop(column_name, None)
+        """Remove the index on ``column_name`` (no error if absent).
+
+        Sharded indexes shut down their worker pool on the way out.
+        """
+        index = self._indexes.pop(column_name, None)
+        close = getattr(index, "close", None)
+        if close is not None:
+            close()
 
     def attach_index(self, column_name: str, index: BaseIndex) -> BaseIndex:
         """Register an externally constructed index for ``column_name``.
@@ -602,5 +714,8 @@ class IndexingSession:
                         "delta_bytes": delta.memory_footprint(),
                     }
                 )
+            shard_status = getattr(index, "shard_status", None)
+            if shard_status is not None:
+                entry["sharding"] = shard_status()
             report[column_name] = entry
         return _json_safe(report)

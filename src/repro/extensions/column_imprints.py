@@ -8,6 +8,11 @@ blocks whose bitmap intersects the query's bins.
 The progressive variant builds the imprints ``delta * N`` elements per query:
 blocks that already have an imprint are pruned with it, the not-yet-imprinted
 tail of the column is scanned unconditionally.
+
+The bitmap math (bin edges, per-block occupancy, query bitmaps, candidate
+selection) is the shared vectorized machinery of
+:mod:`repro.shard.zonemaps` — the same code that drives the shard router's
+zone-map check, applied here at cache-line-block granularity.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.core.calibration import CostConstants
 from repro.core.index import BaseIndex
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult
+from repro.shard import zonemaps
 from repro.storage.column import Column
 
 #: Number of value bins per imprint bitmap (the original paper uses up to 64,
@@ -58,8 +64,11 @@ class ProgressiveColumnImprints(BaseIndex):
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
     ) -> None:
         super().__init__(column, budget=budget, constants=constants)
-        if n_bins < 2:
-            raise ValueError(f"n_bins must be at least 2, got {n_bins}")
+        if not 2 <= n_bins <= zonemaps.MAX_BINS:
+            raise ValueError(
+                f"n_bins must be within [2, {zonemaps.MAX_BINS}] "
+                f"(one bit per bin in a uint64 bitmap), got {n_bins}"
+            )
         if block_elements < 1:
             raise ValueError(f"block_elements must be positive, got {block_elements}")
         self.n_bins = int(n_bins)
@@ -83,11 +92,9 @@ class ProgressiveColumnImprints(BaseIndex):
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
         n = len(self._column)
-        low = float(self._column.min())
-        high = float(self._column.max())
-        if high <= low:
-            high = low + 1.0
-        self._bin_edges = np.linspace(low, high, self.n_bins + 1)[1:-1]
+        self._bin_edges = zonemaps.bin_edges(
+            float(self._column.min()), float(self._column.max()), self.n_bins
+        )
         self._n_blocks = int(np.ceil(n / self.block_elements))
         self._imprints = np.zeros(self._n_blocks, dtype=np.uint64)
         self._blocks_imprinted = 0
@@ -95,7 +102,7 @@ class ProgressiveColumnImprints(BaseIndex):
         self._advance_phase(IndexPhase.CREATION)
 
     def _bins_of(self, values: np.ndarray) -> np.ndarray:
-        return np.searchsorted(self._bin_edges, values, side="right")
+        return zonemaps.bins_of(self._bin_edges, values)
 
     # ------------------------------------------------------------------
     # Persistence (checkpointing)
@@ -120,26 +127,21 @@ class ProgressiveColumnImprints(BaseIndex):
         self._n_blocks = int(state["n_blocks"])
 
     def _imprint_blocks(self, block_budget: int) -> int:
-        built = 0
+        start_block = self._blocks_imprinted
+        stop_block = min(self._n_blocks, start_block + int(block_budget))
+        if stop_block <= start_block:
+            return 0
         data = self._column.data
-        while built < block_budget and self._blocks_imprinted < self._n_blocks:
-            block = self._blocks_imprinted
-            start = block * self.block_elements
-            stop = min(len(self._column), start + self.block_elements)
-            bins = self._bins_of(data[start:stop])
-            bitmap = np.bitwise_or.reduce(np.left_shift(np.uint64(1), bins.astype(np.uint64)))
-            self._imprints[block] = bitmap
-            self._blocks_imprinted += 1
-            built += 1
-        return built
+        start = start_block * self.block_elements
+        stop = min(len(self._column), stop_block * self.block_elements)
+        self._imprints[start_block:stop_block] = zonemaps.occupancy_bitmaps(
+            self._bin_edges, data[start:stop], self.block_elements
+        )
+        self._blocks_imprinted = stop_block
+        return stop_block - start_block
 
     def _query_bitmap(self, predicate: Predicate) -> np.uint64:
-        low_bin = int(self._bins_of(np.asarray([predicate.low]))[0])
-        high_bin = int(self._bins_of(np.asarray([predicate.high]))[0])
-        bitmap = np.uint64(0)
-        for bin_number in range(low_bin, high_bin + 1):
-            bitmap |= np.uint64(1) << np.uint64(bin_number)
-        return bitmap
+        return zonemaps.query_bitmap(self._bin_edges, predicate.low, predicate.high)
 
     # ------------------------------------------------------------------
     def _execute(self, predicate: Predicate) -> QueryResult:
@@ -171,7 +173,7 @@ class ProgressiveColumnImprints(BaseIndex):
         result = QueryResult.empty()
         if self._blocks_imprinted > 0:
             bitmaps = self._imprints[: self._blocks_imprinted]
-            candidates = np.nonzero(bitmaps & query_bitmap)[0]
+            candidates = zonemaps.bitmap_candidates(bitmaps, query_bitmap)
             for block in candidates:
                 start = int(block) * self.block_elements
                 stop = min(len(self._column), start + self.block_elements)

@@ -115,9 +115,21 @@ class Table:
             raise InvalidColumnError(
                 f"insert_rows() received ragged row data (lengths {sorted(sizes)})"
             )
+        # Sharded tables route every column's batch with ONE assignment
+        # computed from the driving column's values, so a row lands in the
+        # same shard across columns (duck-typed to avoid a storage -> shard
+        # import cycle; unsharded columns take the plain path).
+        shard_ids = None
+        first = next(iter(self._columns.values()))
+        shard_set = getattr(first, "shard_set", None)
+        if shard_set is not None:
+            shard_ids = shard_set.route_values(arrays[shard_set.driving_column])
         rids = None
         for name, column in self._columns.items():
-            rids = column.insert(arrays[name], handle=handle)
+            if shard_ids is not None:
+                rids = column.insert(arrays[name], handle=handle, shard_ids=shard_ids)
+            else:
+                rids = column.insert(arrays[name], handle=handle)
         return rids
 
     def delete_rows(self, rids, handle=None) -> int:

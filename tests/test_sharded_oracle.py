@@ -1,0 +1,197 @@
+"""Differential oracle: sharded execution must equal the unsharded scan.
+
+Every registry algorithm runs over {1, 4, 7} shards, serial and parallel,
+against a brute-force NumPy oracle maintained alongside the workload —
+including mutable writes routed to their owning shards and queries on both
+sides of convergence.  Zero correctness deviation is the acceptance bar:
+counts and integer sums must match *exactly* (float sums within 1e-9
+relative, since per-shard partial sums reassociate the addition).
+
+The full parallel matrix spawns a worker pool per case and runs in the
+nightly/slow lane (``-m slow``); a two-algorithm parallel smoke subset
+stays in the default lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policy import FixedDelta
+from repro.core.query import Predicate, QueryResult
+from repro.engine.registry import ALGORITHMS
+from repro.shard.column import shard_column
+from repro.shard.index import build_sharded_index
+from repro.storage.column import Column
+
+ALL_ALGORITHMS = sorted(ALGORITHMS)
+SHARD_COUNTS = (1, 4, 7)
+
+
+def _oracle(values: np.ndarray, low, high) -> QueryResult:
+    mask = (values >= low) & (values <= high)
+    return QueryResult(values[mask].sum() if mask.any() else 0, int(mask.sum()))
+
+
+def _assert_equal(result: QueryResult, expected: QueryResult, context: str) -> None:
+    assert result.count == expected.count, f"{context}: count deviates"
+    if isinstance(expected.value_sum, (int, np.integer)) or (
+        hasattr(expected.value_sum, "dtype")
+        and np.issubdtype(expected.value_sum.dtype, np.integer)
+    ):
+        assert int(result.value_sum) == int(expected.value_sum), (
+            f"{context}: integer sum deviates"
+        )
+    else:
+        assert result.approximately_equals(expected), f"{context}: float sum deviates"
+
+
+def run_differential(
+    algorithm: str,
+    shards: int,
+    parallel: bool,
+    data: np.ndarray,
+    rng: np.random.Generator,
+    n_queries: int = 24,
+    with_writes: bool = True,
+) -> None:
+    """Run a mixed read/write workload, checking every answer exactly."""
+    column = shard_column(Column(data.copy(), name="v"), shards)
+    index = build_sharded_index(
+        column,
+        algorithm,
+        parallel=parallel,
+        workers=2,
+        budget=FixedDelta(0.25),
+    )
+    reference = np.asarray(data).copy()
+    try:
+        domain_low = int(data.min())
+        domain_high = int(data.max())
+        width = max(1, (domain_high - domain_low) // 10)
+        for query_number in range(n_queries):
+            if with_writes and query_number == n_queries // 3:
+                # inserts route to their owning shards (and, in parallel
+                # mode, forward to the owning workers before later queries)
+                fresh = rng.integers(domain_low, domain_high + 1, 200)
+                column.insert(fresh)
+                reference = np.concatenate([reference, fresh])
+            if with_writes and query_number == 2 * n_queries // 3:
+                low = domain_low + width
+                high = low + width // 2
+                column.delete_where(low, high)
+                reference = reference[(reference < low) | (reference > high)]
+            low = int(rng.integers(domain_low, domain_high - width))
+            high = low + int(rng.integers(0, width))
+            result = index.query(Predicate(low, high))
+            _assert_equal(
+                result,
+                _oracle(reference, low, high),
+                f"{algorithm} x{shards} {'par' if parallel else 'ser'} "
+                f"query {query_number} [{low}, {high}] phase {index.phase}",
+            )
+    finally:
+        index.close()
+        column.close()
+
+
+@pytest.fixture
+def oracle_data(rng) -> np.ndarray:
+    return rng.integers(0, 50_000, size=12_000, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Serial matrix: every algorithm x every shard count (fast lane)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_serial_matches_oracle(algorithm, shards, oracle_data, rng):
+    run_differential(algorithm, shards, False, oracle_data, rng)
+
+
+# ----------------------------------------------------------------------
+# Parallel: smoke subset in the fast lane, full matrix nightly
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["PQ", "STD"])
+def test_parallel_smoke_matches_oracle(algorithm, oracle_data, rng):
+    run_differential(algorithm, 4, True, oracle_data, rng, n_queries=16)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", (1, 4, 7))
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_parallel_matches_oracle(algorithm, shards, oracle_data, rng):
+    run_differential(algorithm, shards, True, oracle_data, rng)
+
+
+# ----------------------------------------------------------------------
+# Float sums: per-shard partials reassociate the addition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("parallel", [False, True])
+def test_float_column_within_tolerance(parallel, rng):
+    data = rng.normal(0.0, 1_000.0, 10_000)
+    run_differential("PQ", 4, parallel, data, rng, n_queries=12)
+
+
+# ----------------------------------------------------------------------
+# Pre/post-convergence and merge-phase correctness
+# ----------------------------------------------------------------------
+def test_exact_across_convergence_and_merge(oracle_data, rng):
+    column = shard_column(Column(oracle_data.copy(), name="v"), 4)
+    index = build_sharded_index(column, "PQ", budget=FixedDelta(0.5))
+    reference = oracle_data.copy()
+
+    def check(low, high, context):
+        _assert_equal(
+            index.query(Predicate(low, high)),
+            _oracle(reference, low, high),
+            context,
+        )
+
+    saw_unconverged = False
+    for query_number in range(200):
+        if not index.converged:
+            saw_unconverged = True
+        low = int(rng.integers(0, 45_000))
+        check(low, low + 5_000, f"pre-convergence query {query_number}")
+        if index.converged:
+            break
+    assert saw_unconverged, "budget too large: convergence was immediate"
+    assert index.converged, "index failed to converge within 200 queries"
+    for query_number in range(10):
+        low = int(rng.integers(0, 45_000))
+        check(low, low + 5_000, f"post-convergence query {query_number}")
+    # a write burst after convergence runs the budget-priced merge path
+    fresh = rng.integers(0, 50_000, 1_000)
+    column.insert(fresh)
+    reference = np.concatenate([reference, fresh])
+    for query_number in range(20):
+        low = int(rng.integers(0, 45_000))
+        check(low, low + 5_000, f"post-merge query {query_number}")
+
+
+# ----------------------------------------------------------------------
+# Batch path: whole-batch delegation equals the sequential loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("parallel", [False, True])
+def test_batch_path_matches_oracle(parallel, oracle_data, rng):
+    from repro.engine.batch import BatchExecutor
+
+    column = shard_column(Column(oracle_data.copy(), name="v"), 4)
+    index = build_sharded_index(
+        column, "PQ", parallel=parallel, workers=2, budget=FixedDelta(0.25)
+    )
+    try:
+        lows = rng.integers(0, 45_000, 40)
+        predicates = [Predicate(int(low), int(low) + 4_000) for low in lows]
+        batch = BatchExecutor().execute(index, predicates)
+        assert batch.vectorized_queries == len(predicates)
+        for predicate, answer in zip(predicates, batch.results):
+            _assert_equal(
+                answer,
+                _oracle(oracle_data, predicate.low, predicate.high),
+                f"batch query [{predicate.low}, {predicate.high}]",
+            )
+    finally:
+        index.close()
+        column.close()
