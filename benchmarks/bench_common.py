@@ -3,7 +3,10 @@
 Every ``BENCH_*.json`` writer stamps its payload with :func:`run_metadata`
 so results can be compared across machines and scales: a speedup measured
 with 2 workers on a 16-core box and one measured on a single-core CI
-runner are different experiments, and the JSON should say so.
+runner are different experiments, and the JSON should say so.  The
+out-of-core benchmarks additionally record the process's peak RSS and the
+active ``memory_budget``, so "stayed within budget" is an auditable claim,
+not an assertion lost to the console.
 """
 
 from __future__ import annotations
@@ -11,12 +14,33 @@ from __future__ import annotations
 import os
 
 
+def peak_rss_bytes() -> int | None:
+    """This process's lifetime peak resident set size, in bytes.
+
+    Uses ``resource.getrusage`` (``ru_maxrss`` is kilobytes on Linux,
+    bytes on macOS).  ``None`` on platforms without the ``resource``
+    module.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
 def run_metadata(rows: int, *, workers: int | None = None,
-                 shards: int | None = None) -> dict:
+                 shards: int | None = None,
+                 memory_budget: int | None = None) -> dict:
     """Machine/scale context recorded by every ``BENCH_*.json`` writer."""
     return {
         "rows": int(rows),
         "workers": int(workers) if workers is not None else None,
         "shards": int(shards) if shards is not None else None,
+        "memory_budget": int(memory_budget) if memory_budget is not None else None,
+        "peak_rss_bytes": peak_rss_bytes(),
         "cpu_count": os.cpu_count(),
     }

@@ -75,6 +75,10 @@ class CostConstants:
     #: simulated default equals the page-write approximation it refines,
     #: ``(kappa + omega) / gamma``, so simulated predictions are unchanged.
     scatter: float = 2.9296875e-9
+    #: Per-element cost of decompressing a compressed column block
+    #: (seconds).  Only enters predictions for paged compressed bases; the
+    #: simulated default approximates FOR/DICT decode at a few GB/s.
+    decompress: float = 5e-10
     source: str = field(default="simulated", compare=False)
 
     # Short aliases matching the paper's notation -----------------------
@@ -119,6 +123,7 @@ class CostConstants:
             "elements_per_page": self.elements_per_page,
             "segment_sort": self.segment_sort,
             "scatter": self.scatter,
+            "decompress": self.decompress,
         }
         for key, value in fields.items():
             if value <= 0:
@@ -145,6 +150,7 @@ def simulated_constants() -> CostConstants:
         elements_per_page=DEFAULT_ELEMENTS_PER_PAGE,
         segment_sort=2e-9,
         scatter=2.9296875e-9,
+        decompress=5e-10,
         source="simulated",
     )
 
@@ -240,6 +246,16 @@ def calibrate(
 
     scatter_per_element = _measure_scatter_primitive(data, rng, block_size)
 
+    # decompress: FOR-decode of one compressed block (widen + add the
+    # reference), per element — the extra work a paged base adds per scan.
+    narrow = (data[:65536] & 0xFF).astype(np.uint8)
+
+    def _for_decode() -> None:
+        narrow.astype(np.int64) + np.int64(7)
+
+    decompress_seconds = _time_operation(_for_decode)
+    decompress_per_element = decompress_seconds / narrow.size
+
     n_allocations = 64
 
     def _allocate() -> None:
@@ -257,6 +273,7 @@ def calibrate(
         elements_per_page=elements_per_page,
         segment_sort=max(segment_sort_per_element, 1e-12),
         scatter=max(scatter_per_element, 1e-12),
+        decompress=max(decompress_per_element, 1e-12),
         source="measured",
     )
     constants.validate()

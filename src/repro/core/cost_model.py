@@ -46,17 +46,22 @@ class CostBreakdown:
         price merge work with exactly the same machinery that paces
         construction, so :class:`~repro.core.policy.CostModelGreedy` trades
         scanning vs. indexing vs. merging under one interactivity budget).
+    decompress:
+        Time spent decompressing column blocks on the scan path (non-zero
+        only for paged compressed bases; priced so the greedy solver and
+        the tau admission path stay honest out-of-core).
     """
 
     scan: float
     lookup: float
     indexing: float
     merge: float = 0.0
+    decompress: float = 0.0
 
     @property
     def total(self) -> float:
         """Total predicted query time in seconds."""
-        return self.scan + self.lookup + self.indexing + self.merge
+        return self.scan + self.lookup + self.indexing + self.merge + self.decompress
 
     @property
     def maintenance(self) -> float:
@@ -101,6 +106,10 @@ class CostModel:
     def write_time(self, n_elements: int) -> float:
         """Sequential write of ``n_elements``: ``kappa * N / gamma``."""
         return self.constants.kappa * self.pages(n_elements)
+
+    def decompress_time(self, n_elements: int) -> float:
+        """Block decompression of ``n_elements`` of a paged compressed base."""
+        return self.constants.decompress * n_elements
 
     def pivot_time(self, n_elements: int) -> float:
         """Quicksort creation: read the column and write the pivoted copy.

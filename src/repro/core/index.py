@@ -24,7 +24,7 @@ remaining phase work this query should perform.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.core.budget import FixedBudget
@@ -43,6 +43,21 @@ from repro.core.policy import (
 from repro.core.query import Predicate, QueryResult
 from repro.errors import IndexStateError
 from repro.storage.column import Column, ColumnSnapshot
+from repro.storage.lazy import ChainArray, is_lazy
+
+
+def _snapshot_is_compressed(snapshot) -> bool:
+    """Whether the snapshot reads through a compressed paged base.
+
+    A raw ``np.memmap`` base decompresses nothing (the page cache serves
+    it directly), so only paged views of v2 compressed files — alone or as
+    a part of a chained snapshot — carry the decompression surcharge.
+    """
+    data = getattr(snapshot, "_data", None)
+    if data is None or not is_lazy(data):
+        return False
+    parts = data.parts if isinstance(data, ChainArray) else (data,)
+    return any(hasattr(part, "reader") for part in parts)
 
 
 @dataclass
@@ -157,6 +172,17 @@ class BaseIndex(DeltaOverlay, abc.ABC):
         self._lifecycle = IndexLifecycle()
         self._queries_executed = 0
         self.last_stats = QueryStats()
+        # Paged compressed bases add a per-element decode cost on every
+        # scan; expressed as a fraction of the scan-time constant so one
+        # wrap point (_decide / predict_cost) prices it into every family's
+        # phase formula without touching the formulas themselves.
+        constants_eff = self._cost_model.constants
+        if _snapshot_is_compressed(snapshot):
+            self._decompress_ratio = self._cost_model.decompress_time(
+                constants_eff.gamma
+            ) / constants_eff.omega
+        else:
+            self._decompress_ratio = 0.0
         self._init_overlay(live, snapshot)
 
     # ------------------------------------------------------------------
@@ -305,9 +331,20 @@ class BaseIndex(DeltaOverlay, abc.ABC):
         return None
 
     def predict_cost(self, predicate: Predicate) -> float | None:
-        """Total predicted time of the next query without indexing work."""
-        breakdown = self.predicted_cost(predicate, 0.0)
+        """Total predicted time of the next query without indexing work.
+
+        For paged compressed bases the scan share carries its decompression
+        surcharge, so the serving scheduler's tau admission sees the real
+        out-of-core cost.
+        """
+        breakdown = self._price_decompression(self.predicted_cost(predicate, 0.0))
         return None if breakdown is None else breakdown.total
+
+    def _price_decompression(self, breakdown: CostBreakdown | None) -> CostBreakdown | None:
+        """Add the paged-base decode surcharge to a prediction's scan share."""
+        if breakdown is None or self._decompress_ratio == 0.0:
+            return breakdown
+        return replace(breakdown, decompress=breakdown.scan * self._decompress_ratio)
 
     def memory_footprint(self) -> int:
         """Approximate additional memory used by the index, in bytes.
@@ -402,6 +439,7 @@ class BaseIndex(DeltaOverlay, abc.ABC):
         """Resolve fraction-based budget policies against the scan cost."""
         self._controller.register_scan_time(
             self._cost_model.scan_time(len(self._column))
+            * (1.0 + self._decompress_ratio)
         )
 
     def _decide(
@@ -417,6 +455,12 @@ class BaseIndex(DeltaOverlay, abc.ABC):
         The chosen delta and the prediction at that delta are recorded in
         :attr:`last_stats`.
         """
+        if self._decompress_ratio:
+            family_predict = predict
+
+            def predict(delta: float) -> CostBreakdown:  # noqa: F811
+                return self._price_decompression(family_predict(delta))
+
         request = DeltaRequest(
             full_work_time=full_work_time,
             base_cost=predict(0.0),

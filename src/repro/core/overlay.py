@@ -41,6 +41,8 @@ import numpy as np
 from repro.core.cost_model import CostBreakdown
 from repro.core.phase import IndexPhase
 from repro.core.query import Predicate, QueryResult, search_sorted_many
+from repro.storage.delta import SortedRunStore
+from repro.storage.membudget import budget_of
 
 
 def _merge_into_sorted(sorted_buffer: np.ndarray, chunk: np.ndarray) -> np.ndarray:
@@ -104,6 +106,18 @@ class DeltaOverlay:
         self._buffer_del = np.empty(0, dtype=snapshot.dtype)
         self._buffer_ins_prefix: Optional[np.ndarray] = None
         self._buffer_del_prefix: Optional[np.ndarray] = None
+        # Under a memory budget the sorted buffers are capped: past the cap
+        # they are sealed into sorted on-disk runs, which answer the same
+        # searchsorted + prefix-sum correction without staying resident.
+        budget = budget_of(live) if live is not None else None
+        if budget is not None:
+            self._overlay_cap_rows: Optional[int] = budget.overlay_cap_rows(snapshot.dtype)
+            self._run_ins: Optional[SortedRunStore] = SortedRunStore(budget.spill_dir)
+            self._run_del: Optional[SortedRunStore] = SortedRunStore(budget.spill_dir)
+        else:
+            self._overlay_cap_rows = None
+            self._run_ins = None
+            self._run_del = None
         self._merge_credit = 0.0
         self._rows_absorbed = 0
         self._rows_folded = 0
@@ -143,7 +157,14 @@ class DeltaOverlay:
             + int(self._buffer_del.size)
             + int(raw_ins.size)
             + int(raw_del.size)
+            + self._spilled_rows()
         )
+
+    def _spilled_rows(self) -> int:
+        """Rows living in sealed on-disk runs (0 without a budget)."""
+        if self._run_ins is None:
+            return 0
+        return self._run_ins.total_rows + self._run_del.total_rows
 
     # ------------------------------------------------------------------
     # Correction
@@ -160,6 +181,11 @@ class DeltaOverlay:
         raw_del_sum, raw_del_count = _predicated_delta(raw_del, low, high)
         count = ins_count + raw_ins_count - del_count - raw_del_count
         value_sum = ins_sum + raw_ins_sum - del_sum - raw_del_sum
+        if self._run_ins is not None:
+            run_ins_sum, run_ins_count = self._run_ins.correction(low, high)
+            run_del_sum, run_del_count = self._run_del.correction(low, high)
+            count += run_ins_count - run_del_count
+            value_sum = value_sum + run_ins_sum - run_del_sum
         if count == 0 and value_sum == 0:
             return None
         return QueryResult(value_sum, count)
@@ -192,6 +218,13 @@ class DeltaOverlay:
             )
             sums -= sub_sums
             counts -= sub_counts
+        if self._run_ins is not None and self._spilled_rows():
+            run_sums, run_counts = self._run_ins.correct_many(lows, highs)
+            sums = sums + run_sums
+            counts += run_counts
+            run_sums, run_counts = self._run_del.correct_many(lows, highs)
+            sums = sums - run_sums
+            counts -= run_counts
         return sums, counts
 
     # ------------------------------------------------------------------
@@ -217,7 +250,22 @@ class DeltaOverlay:
             self._buffer_del_prefix = None
         self._absorbed_seq = version
         self._rows_absorbed += moved
+        self._maybe_seal_buffers()
         return moved
+
+    def _maybe_seal_buffers(self) -> None:
+        """Seal over-cap sorted buffers into on-disk runs (budget only)."""
+        cap = self._overlay_cap_rows
+        if cap is None:
+            return
+        if self._buffer_ins.size > cap:
+            self._run_ins.seal(self._buffer_ins)
+            self._buffer_ins = np.empty(0, dtype=self._buffer_ins.dtype)
+            self._buffer_ins_prefix = None
+        if self._buffer_del.size > cap:
+            self._run_del.seal(self._buffer_del)
+            self._buffer_del = np.empty(0, dtype=self._buffer_del.dtype)
+            self._buffer_del_prefix = None
 
     # ------------------------------------------------------------------
     # Tier-2 merge: sorted buffers -> structure (budget-priced)
@@ -264,7 +312,7 @@ class DeltaOverlay:
         """Predicted cost of absorbing + folding the entire pending delta."""
         raw_ins, raw_del = self._raw_window()
         raw = int(raw_ins.size + raw_del.size)
-        buffered = int(self._buffer_ins.size + self._buffer_del.size)
+        buffered = int(self._buffer_ins.size + self._buffer_del.size) + self._spilled_rows()
         model = self._cost_model
         return model.delta_absorb_time(raw) + model.delta_fold_time(
             self._fold_base_size(), raw + buffered
@@ -318,13 +366,13 @@ class DeltaOverlay:
         if granted <= 0.0:
             return
         self._absorb_raw()
-        fold_cost = self._cost_model.delta_fold_time(
-            self._fold_base_size(), int(self._buffer_ins.size + self._buffer_del.size)
-        )
+        pending = int(self._buffer_ins.size + self._buffer_del.size) + self._spilled_rows()
+        fold_cost = self._cost_model.delta_fold_time(self._fold_base_size(), pending)
         if self._merge_credit < fold_cost:
             return
-        folded_rows = int(self._buffer_ins.size + self._buffer_del.size)
-        if not self._fold_delta(self._buffer_ins, self._buffer_del):
+        folded_rows = pending
+        fold_ins, fold_del = self._gather_fold_buffers()
+        if not self._fold_delta(fold_ins, fold_del):
             return
         self._merge_credit = max(0.0, self._merge_credit - fold_cost)
         self._folded_seq = self._absorbed_seq
@@ -335,11 +383,29 @@ class DeltaOverlay:
             self._merge_credit = 0.0
             self._advance_phase(IndexPhase.CONVERGED)
 
+    def _gather_fold_buffers(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Resident buffers merged with any sealed runs, both sorted.
+
+        A fold is O(N) anyway, so materializing the runs here does not
+        change the asymptotic cost — and they are freed right after.
+        """
+        fold_ins, fold_del = self._buffer_ins, self._buffer_del
+        if self._run_ins is not None and self._run_ins.total_rows:
+            fold_ins = np.concatenate([fold_ins, self._run_ins.merged()])
+            fold_ins.sort(kind="stable")
+        if self._run_del is not None and self._run_del.total_rows:
+            fold_del = np.concatenate([fold_del, self._run_del.merged()])
+            fold_del.sort(kind="stable")
+        return fold_ins, fold_del
+
     def _clear_buffers(self) -> None:
         self._buffer_ins = np.empty(0, dtype=self._column.dtype)
         self._buffer_del = np.empty(0, dtype=self._column.dtype)
         self._buffer_ins_prefix = None
         self._buffer_del_prefix = None
+        if self._run_ins is not None:
+            self._run_ins.clear()
+            self._run_del.clear()
 
     # ------------------------------------------------------------------
     # Persistence (checkpointing)
@@ -355,13 +421,16 @@ class DeltaOverlay:
         if self._live is None:
             return {"mutable": False, "snapshot_version": int(self._column.version)}
         self._absorb_raw()
+        # Sealed runs are merged into the persisted buffers: the state
+        # format stays version-1 and the load path re-seals past the cap.
+        state_ins, state_del = self._gather_fold_buffers()
         return {
             "mutable": True,
             "snapshot_version": int(self._column.version),
             "folded_seq": int(self._folded_seq),
             "absorbed_seq": int(self._absorbed_seq),
-            "buffer_ins": np.array(self._buffer_ins),
-            "buffer_del": np.array(self._buffer_del),
+            "buffer_ins": np.array(state_ins),
+            "buffer_del": np.array(state_del),
             "merge_credit": float(self._merge_credit),
             "rows_absorbed": int(self._rows_absorbed),
             "rows_folded": int(self._rows_folded),
@@ -379,6 +448,10 @@ class DeltaOverlay:
         self._buffer_del = np.asarray(state["buffer_del"], dtype=self._column.dtype)
         self._buffer_ins_prefix = None
         self._buffer_del_prefix = None
+        if self._run_ins is not None:
+            self._run_ins.clear()
+            self._run_del.clear()
+        self._maybe_seal_buffers()
         self._merge_credit = float(state.get("merge_credit", 0.0))
         self._rows_absorbed = int(state.get("rows_absorbed", 0))
         self._rows_folded = int(state.get("rows_folded", 0))
@@ -405,4 +478,7 @@ class DeltaOverlay:
             "folds_completed": int(self._folds_completed),
             "merge_budget_seconds": float(self._merge_seconds),
             "overlay_bytes": int(self._buffer_ins.nbytes + self._buffer_del.nbytes),
+            "spilled_rows": self._spilled_rows(),
+            "spilled_runs": 0 if self._run_ins is None
+            else len(self._run_ins.runs) + len(self._run_del.runs),
         }

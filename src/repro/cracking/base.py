@@ -32,6 +32,7 @@ from repro.core.query import Predicate, QueryResult
 from repro.cracking.cracker_column import CrackerColumn
 from repro.cracking.cracker_index import CrackerIndex
 from repro.storage.column import Column
+from repro.storage.membudget import budget_of
 
 
 class CrackingIndexBase(BaseIndex):
@@ -124,6 +125,11 @@ class CrackingIndexBase(BaseIndex):
         cracker.index = CrackerIndex.from_state(state["cracker_index"])
         cracker.adaptive_kernels = bool(state.get("adaptive_kernels", True))
         cracker.swaps_performed = int(state.get("swaps", 0))
+        budget = budget_of(self._column)
+        cracker._scratch = budget.scratch if budget is not None else None
+        cracker._chunk_rows = (
+            budget.chunk_rows(cracker.values.dtype) if budget is not None else None
+        )
         self._cracker = cracker
 
     # ------------------------------------------------------------------

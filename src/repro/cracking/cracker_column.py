@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.core.query import QueryResult
 from repro.cracking.cracker_index import CrackerIndex, Piece
-from repro.cracking.kernels import choose_kernel, partition_predicated
+from repro.cracking.kernels import choose_kernel, partition_predicated, partition_streamed
 from repro.storage.column import Column
+from repro.storage.membudget import budget_of
 
 
 def upper_exclusive(value, dtype: np.dtype):
@@ -62,6 +63,13 @@ class CrackerColumn:
         self.index = CrackerIndex(len(column), value_low, value_high)
         self.adaptive_kernels = bool(adaptive_kernels)
         self.swaps_performed = 0
+        # Out-of-core: under a memory budget large cracks stream through a
+        # spillable scratch buffer instead of allocating O(piece) masks.
+        budget = budget_of(column)
+        self._scratch = budget.scratch if budget is not None else None
+        self._chunk_rows = (
+            budget.chunk_rows(self.values.dtype) if budget is not None else None
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -90,15 +98,22 @@ class CrackerColumn:
         piece's value bounds; it does not have to occur in the data.
         """
         segment = self.values[piece.start : piece.end]
-        if self.adaptive_kernels:
-            selectivity = 0.5
-            span = piece.value_high - piece.value_low
-            if span > 0:
-                selectivity = min(1.0, max(0.0, (pivot - piece.value_low) / span))
-            kernel = choose_kernel(piece.size, selectivity)
+        if self._chunk_rows is not None and piece.size > self._chunk_rows:
+            # Budgeted + larger than one streamed chunk: the radix-pass
+            # kernel keeps anonymous temporaries chunk-sized.
+            boundary_offset = partition_streamed(
+                segment, pivot, self._chunk_rows, self._scratch
+            )
         else:
-            kernel = partition_predicated
-        boundary_offset = kernel(segment, pivot)
+            if self.adaptive_kernels:
+                selectivity = 0.5
+                span = piece.value_high - piece.value_low
+                if span > 0:
+                    selectivity = min(1.0, max(0.0, (pivot - piece.value_low) / span))
+                kernel = choose_kernel(piece.size, selectivity)
+            else:
+                kernel = partition_predicated
+            boundary_offset = kernel(segment, pivot)
         position = piece.start + boundary_offset
         self.index.add(pivot, position)
         self.swaps_performed += piece.size
@@ -231,7 +246,10 @@ class CrackerColumn:
                 self.index.add(bound, int(position))
             positions[bound_numbers] = piece_positions
 
-        prefix = np.empty(self.values.size + 1, dtype=self.values.dtype)
+        if self._scratch is not None:
+            prefix = self._scratch.allocate(self.values.size + 1, self.values.dtype)
+        else:
+            prefix = np.empty(self.values.size + 1, dtype=self.values.dtype)
         prefix[0] = 0
         np.cumsum(self.values, out=prefix[1:])
         position_low = positions[np.searchsorted(bounds, lows)]

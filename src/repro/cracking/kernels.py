@@ -100,6 +100,47 @@ def partition_two_sided(values: np.ndarray, pivot) -> int:
     return boundary
 
 
+def partition_streamed(
+    values: np.ndarray,
+    pivot,
+    chunk_rows: int,
+    scratch_allocator=None,
+) -> int:
+    """Partition ``values`` around ``pivot`` streaming fixed-size chunks.
+
+    The out-of-core radix pass of the kernel layer: instead of allocating a
+    same-sized boolean mask plus both sides at once (the predicated kernel's
+    O(piece) temporaries), the piece streams through a two-ended scratch
+    buffer ``chunk_rows`` elements at a time, so anonymous temporaries stay
+    chunk-sized.  The scratch buffer itself comes from ``scratch_allocator``
+    when given — a :class:`~repro.storage.scratch.ScratchAllocator` spills it
+    to a pager-backed file past the memory budget — and the result is copied
+    back chunk by chunk.  Returns the boundary position like every kernel.
+    """
+    n = int(values.size)
+    if n == 0:
+        return 0
+    if scratch_allocator is not None:
+        scratch = scratch_allocator.allocate(n, values.dtype)
+    else:
+        scratch = np.empty(n, dtype=values.dtype)
+    step = max(1, int(chunk_rows))
+    low_fill = 0
+    high_fill = n
+    for start in range(0, n, step):
+        chunk = values[start : start + step]
+        mask = chunk < pivot
+        lows = chunk[mask]
+        highs = chunk[~mask]
+        scratch[low_fill : low_fill + lows.size] = lows
+        low_fill += lows.size
+        scratch[high_fill - highs.size : high_fill] = highs
+        high_fill -= highs.size
+    for start in range(0, n, step):
+        values[start : start + step] = scratch[start : start + step]
+    return low_fill
+
+
 def choose_kernel(piece_size: int, selectivity: float = 0.5) -> Callable[[np.ndarray, object], int]:
     """Pick a partition kernel for a piece (Haffner-style decision tree).
 

@@ -53,6 +53,7 @@ from repro.engine.decision_tree import recommend_index
 from repro.engine.registry import create_index
 from repro.errors import ExperimentError, IndexStateError, PendingDeltaError
 from repro.storage.column import Column
+from repro.storage.membudget import MemoryBudget
 from repro.storage.table import Table
 from repro.workloads.workload import Workload
 
@@ -85,9 +86,21 @@ class IndexingSession:
     constants:
         Optional cost-model constants shared by all indexes created in this
         session (calibrate once, reuse everywhere).
+    memory_budget:
+        Optional byte allowance (or :class:`~repro.storage.membudget.MemoryBudget`)
+        for everything the session holds resident: it is attached to every
+        column that does not already carry one, switching construction
+        kernels, delta logs and overlay buffers to their streaming /
+        spilling out-of-core paths.  ``None`` (the default) keeps the
+        in-memory engine unchanged.
     """
 
-    def __init__(self, table, constants: CostConstants | None = None) -> None:
+    def __init__(
+        self,
+        table,
+        constants: CostConstants | None = None,
+        memory_budget=None,
+    ) -> None:
         if isinstance(table, Table):
             self._table = table
         elif isinstance(table, Column):
@@ -95,6 +108,12 @@ class IndexingSession:
         else:
             self._table = Table({"value": Column(table)})
         self._constants = constants
+        self.memory_budget = MemoryBudget.coerce(memory_budget)
+        if self.memory_budget is not None:
+            for name in self._table.column_names:
+                column = self._table.column(name)
+                if getattr(column, "memory_budget", None) is None:
+                    column.memory_budget = self.memory_budget
         self._indexes: Dict[str, BaseIndex] = {}
         # Lazily created FullScan handles for batches on unindexed columns;
         # FullScan.search_many caches its sorted scratch copy, so repeated
@@ -675,6 +694,18 @@ class IndexingSession:
                 best_name = column_name
                 best_selectivity = selectivity
         return best_name
+
+    def memory_status(self) -> Optional[dict]:
+        """The active memory budget's derived allowances and live counters.
+
+        ``None`` when the session runs without a budget (the in-memory
+        engine).  With one, reports the total allowance, the per-component
+        caps, and — once the components exist — scratch-spill and
+        block-cache hit/miss/eviction counters (JSON-serializable).
+        """
+        if self.memory_budget is None:
+            return None
+        return _json_safe(self.memory_budget.stats())
 
     def status(self) -> Dict[str, dict]:
         """Per-index construction and write/merge status.

@@ -1,7 +1,7 @@
-"""Atomic checkpoints of delta stores and progressive-index state.
+"""Atomic, incremental checkpoints of delta stores and index state.
 
-A checkpoint is one self-contained :func:`~repro.persist.pager.encode_state`
-blob (CRC-protected) holding:
+A checkpoint is a :func:`~repro.persist.pager.encode_state` **manifest**
+(CRC-protected) holding:
 
 * the ``op_id`` high-water mark of the WAL operations it covers — recovery
   replays only the committed WAL records *after* it, so a crash between
@@ -10,11 +10,25 @@ blob (CRC-protected) holding:
 * every index's full ``state_dict()``: lifecycle phase, budget-policy
   dynamics, delta-overlay buffers and the family-specific structures.
 
-Publication is crash-atomic: the blob is written to a temp file, fsynced,
-and ``os.replace``d over ``checkpoint.bin`` (plus a directory fsync).  A
-reader therefore sees either the previous checkpoint or the new one, never
-a torn mixture — which the crash-injection suite exercises at the
+Checkpoints are **leveled/incremental**: each per-index and per-column
+subtree is encoded into its own *part* file under ``checkpoint_parts/``,
+named by its content (CRC32 + length), and the manifest references parts by
+file name.  A subtree whose state did not change between two checkpoints
+hashes to the same part name, so its bytes are **not rewritten** — a
+converged index or an idle column costs one ``stat()`` per checkpoint, not
+a multi-megabyte rewrite.  Parts no longer referenced by the published
+manifest are garbage-collected after publication.
+
+Publication is crash-atomic: parts are written and fsynced first (orphaned
+parts from a crash are harmless — content addressing reuses or collects
+them later), then the manifest is written to a temp file, fsynced, and
+``os.replace``d over ``checkpoint.bin`` (plus a directory fsync).  A reader
+therefore sees either the previous checkpoint or the new one, never a torn
+mixture — which the crash-injection suite exercises at the
 ``checkpoint-before-publish`` / ``checkpoint-after-publish`` fault points.
+
+Monolithic v1 checkpoints (every subtree inline in one blob) load
+unchanged; ``write`` always publishes the incremental layout.
 """
 
 from __future__ import annotations
@@ -40,6 +54,23 @@ _HEADER = struct.Struct("<8sII")
 #: File name of the published checkpoint inside a database directory.
 CHECKPOINT_FILE = "checkpoint.bin"
 
+#: Directory (inside the database directory) holding content-addressed
+#: checkpoint part files.
+CHECKPOINT_PARTS_DIR = "checkpoint_parts"
+
+#: Manifest key marking a subtree that lives in a part file.
+PART_KEY = "__checkpoint_part__"
+
+#: Top-level state keys whose per-name subtrees are split into parts.
+_PARTED_SECTIONS = ("columns", "indexes")
+
+
+def _safe_part_name(name: str) -> str:
+    """A filesystem-safe rendering of an index/column name."""
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else f"%{ord(ch):02x}" for ch in str(name)
+    )[:80]
+
 
 class CheckpointManager:
     """Writes and reads the single published checkpoint of one database."""
@@ -47,17 +78,89 @@ class CheckpointManager:
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
         self.path = os.path.join(self.directory, CHECKPOINT_FILE)
+        self.parts_directory = os.path.join(self.directory, CHECKPOINT_PARTS_DIR)
+        #: Statistics of the most recent :meth:`write` on this manager:
+        #: how many parts the manifest references, how many were actually
+        #: (re)written vs reused unchanged, and the bytes written.
+        self.last_write_stats: dict = {}
 
     # ------------------------------------------------------------------
+    def _write_part(self, kind: str, name: str, subtree) -> dict:
+        """Store ``subtree`` as a content-addressed part; return its ref.
+
+        The part file name embeds the payload's CRC32 and length, so an
+        unchanged subtree maps to an existing file and costs no write.  New
+        parts are published atomically (temp + fsync + rename) so a crash
+        never leaves a half-written part under a valid name.
+        """
+        payload = encode_state(subtree)
+        crc = zlib.crc32(payload)
+        filename = f"{kind}-{_safe_part_name(name)}-{crc:08x}-{len(payload)}.part"
+        path = os.path.join(self.parts_directory, filename)
+        if not os.path.exists(path):
+            os.makedirs(self.parts_directory, exist_ok=True)
+            temp = path + ".tmp"
+            with open(temp, "wb") as handle:
+                handle.write(payload)
+                fsync_file(handle)
+            os.replace(temp, path)
+            self.last_write_stats["parts_written"] += 1
+            self.last_write_stats["bytes_written"] += len(payload)
+        else:
+            self.last_write_stats["parts_reused"] += 1
+        return {PART_KEY: filename, "crc32": int(crc), "length": int(len(payload))}
+
+    def _load_part(self, ref: dict):
+        """Read, verify and decode one part referenced by the manifest."""
+        filename = os.path.basename(str(ref[PART_KEY]))
+        path = os.path.join(self.parts_directory, filename)
+        if not os.path.exists(path):
+            raise PersistenceError(
+                f"checkpoint references missing part {filename!r}"
+            )
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        if len(payload) != int(ref["length"]) or zlib.crc32(payload) != int(ref["crc32"]):
+            raise PersistenceError(f"checkpoint part {filename!r} fails its CRC check")
+        return decode_state(payload)
+
     def write(self, state: dict) -> None:
         """Atomically publish ``state`` as the database's checkpoint.
 
         ``state`` must carry the ``op_id`` watermark; everything else is the
         caller's (the :class:`~repro.persist.database.Database`'s) contract.
+        Per-index and per-column subtrees are stored as content-addressed
+        part files — only the ones whose state changed since the previous
+        checkpoint are rewritten.
         """
         if "op_id" not in state:
             raise PersistenceError("a checkpoint state must carry its op_id watermark")
-        payload = encode_state(state)
+        self.last_write_stats = {
+            "parts_written": 0,
+            "parts_reused": 0,
+            "bytes_written": 0,
+        }
+        manifest = dict(state)
+        referenced = set()
+        wrote_parts = False
+        for section in _PARTED_SECTIONS:
+            entries = state.get(section)
+            if not isinstance(entries, dict):
+                continue
+            packed = {}
+            for name, subtree in entries.items():
+                if subtree is None:
+                    packed[name] = None
+                    continue
+                ref = self._write_part(section, name, subtree)
+                referenced.add(ref[PART_KEY])
+                packed[name] = ref
+                wrote_parts = True
+            manifest[section] = packed
+        if wrote_parts:
+            fsync_directory(self.parts_directory)
+
+        payload = encode_state(manifest)
         blob = _HEADER.pack(CHECKPOINT_MAGIC, len(payload), zlib.crc32(payload)) + payload
         temp = self.path + ".tmp"
         with open(temp, "wb") as handle:
@@ -67,6 +170,26 @@ class CheckpointManager:
         os.replace(temp, self.path)
         fsync_directory(self.directory)
         crash_point("checkpoint-after-publish")
+        self._collect_unreferenced(referenced)
+
+    def _collect_unreferenced(self, referenced: set) -> None:
+        """Delete parts the just-published manifest does not reference.
+
+        Runs only after a successful publish, so every file removed here is
+        provably unreachable (the superseded manifest is gone).  A crash
+        mid-collection merely leaves orphans for the next checkpoint.
+        """
+        if not os.path.isdir(self.parts_directory):
+            return
+        for entry in os.listdir(self.parts_directory):
+            if entry in referenced:
+                continue
+            if not (entry.endswith(".part") or entry.endswith(".part.tmp")):
+                continue
+            try:
+                os.remove(os.path.join(self.parts_directory, entry))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
 
     def load(self) -> Optional[dict]:
         """Return the published checkpoint state, or ``None`` if absent.
@@ -74,11 +197,24 @@ class CheckpointManager:
         A checkpoint that fails its CRC is an error, not a silent skip — the
         atomic publish protocol means a valid file is either fully present
         or not present at all; a corrupt one indicates storage damage the
-        operator must know about.
+        operator must know about.  Part references in an incremental
+        manifest are resolved (and CRC-verified) transparently; monolithic
+        v1 checkpoints decode as-is.
         """
         if not os.path.exists(self.path):
             return None
-        return decode_state(self._read_payload())
+        state = decode_state(self._read_payload())
+        for section in _PARTED_SECTIONS:
+            entries = state.get(section)
+            if not isinstance(entries, dict):
+                continue
+            state[section] = {
+                name: self._load_part(value)
+                if isinstance(value, dict) and PART_KEY in value
+                else value
+                for name, value in entries.items()
+            }
+        return state
 
     def summary(self) -> Optional[dict]:
         """Cheap introspection: the watermark and index names, no arrays.
@@ -92,9 +228,19 @@ class CheckpointManager:
             return None
         payload = self._read_payload()
         tree = peek_state_tree(payload)
+        parts = 0
+        for section in _PARTED_SECTIONS:
+            entries = tree.get(section)
+            if isinstance(entries, dict):
+                parts += sum(
+                    1
+                    for value in entries.values()
+                    if isinstance(value, dict) and PART_KEY in value
+                )
         return {
             "op_id": int(tree["op_id"]),
             "indexes": sorted(tree.get("indexes", {})),
+            "parts": parts,
         }
 
     def _read_payload(self) -> bytes:
@@ -111,6 +257,7 @@ class CheckpointManager:
         return payload
 
     def remove(self) -> None:
-        """Delete the published checkpoint (used by tests)."""
+        """Delete the published checkpoint and its parts (used by tests)."""
         if os.path.exists(self.path):
             os.remove(self.path)
+        self._collect_unreferenced(set())

@@ -58,6 +58,7 @@ from repro.persist.checkpoint import CheckpointManager
 from repro.persist.pager import ColumnPager, fsync_directory
 from repro.persist.wal import WriteAheadLog
 from repro.storage.column import Column
+from repro.storage.membudget import MemoryBudget
 from repro.storage.table import Table
 
 #: Catalog format stamp.
@@ -66,6 +67,8 @@ CATALOG_FORMAT = 1
 CATALOG_FILE = "catalog.json"
 WAL_FILE = "wal.log"
 COLUMNS_DIR = "columns"
+#: Scratch-spill directory used when the database runs under a memory budget.
+SCRATCH_DIR = "scratch"
 
 #: Every restorable algorithm, including the future-work extensions that the
 #: registry does not expose under a paper acronym.
@@ -163,11 +166,24 @@ class Database:
         columns: Mapping[str, object],
         name: str = "table",
         constants: CostConstants | None = None,
+        memory_budget=None,
+        compress: bool = False,
+        block_rows: int | None = None,
     ) -> "Database":
         """Initialise a new database directory from in-memory columns.
 
         The column data becomes the immutable on-disk base arrays; the
         returned database reads them through memory maps.
+
+        ``compress=True`` stores the bases in the RPCOL2 block-compressed
+        format (frame-of-reference / dictionary blocks with per-block
+        min/max headers); reads then stream through the shared block cache.
+        ``memory_budget`` (bytes or a
+        :class:`~repro.storage.membudget.MemoryBudget`) caps what the
+        database holds resident — construction scratch, delta logs and
+        overlay buffers spill into the directory's ``scratch/`` folder past
+        the cap, so datasets far larger than the budget index to
+        convergence with exact answers.
         """
         directory = str(directory)
         os.makedirs(directory, exist_ok=True)
@@ -185,7 +201,12 @@ class Database:
                     f"column {column_name!r} carries delta-store writes; "
                     "Database.create() persists base data only"
                 )
-            pager.store(column_name, np.asarray(column.base_data))
+            pager.store(
+                column_name,
+                np.asarray(column.base_data),
+                compress=bool(compress),
+                block_rows=block_rows,
+            )
             catalog_columns.append(
                 {"name": str(column_name), "dtype": column.dtype.name, "rows": len(column)}
             )
@@ -196,10 +217,15 @@ class Database:
             "indexes": {},
         }
         _write_json_atomic(os.path.join(directory, CATALOG_FILE), catalog)
-        return cls._assemble(directory, catalog, constants)
+        return cls._assemble(directory, catalog, constants, memory_budget)
 
     @classmethod
-    def open(cls, directory: str, constants: CostConstants | None = None) -> "Database":
+    def open(
+        cls,
+        directory: str,
+        constants: CostConstants | None = None,
+        memory_budget=None,
+    ) -> "Database":
         """Open an existing database, recovering to the last durable state."""
         directory = str(directory)
         catalog_path = os.path.join(directory, CATALOG_FILE)
@@ -211,17 +237,21 @@ class Database:
             raise PersistenceError(
                 f"catalog format {catalog.get('format')!r} is not supported"
             )
-        return cls._assemble(directory, catalog, constants)
+        return cls._assemble(directory, catalog, constants, memory_budget)
 
     @classmethod
     def _assemble(
-        cls, directory: str, catalog: dict, constants: CostConstants | None
+        cls,
+        directory: str,
+        catalog: dict,
+        constants: CostConstants | None,
+        memory_budget=None,
     ) -> "Database":
         # Lock before any recovery step: WAL open truncates uncommitted
         # frames, which must never race a live writer's handle.
         lock = _acquire_directory_lock(directory)
         try:
-            return cls._assemble_locked(directory, catalog, constants, lock)
+            return cls._assemble_locked(directory, catalog, constants, lock, memory_budget)
         except BaseException:
             if lock is not None:
                 lock.close()
@@ -229,20 +259,33 @@ class Database:
 
     @classmethod
     def _assemble_locked(
-        cls, directory: str, catalog: dict, constants: CostConstants | None, lock
+        cls,
+        directory: str,
+        catalog: dict,
+        constants: CostConstants | None,
+        lock,
+        memory_budget=None,
     ) -> "Database":
+        budget = MemoryBudget.coerce(
+            memory_budget, spill_dir=os.path.join(directory, SCRATCH_DIR)
+        )
+        if budget is not None and budget.spill_dir is None:
+            budget.spill_dir = os.path.join(directory, SCRATCH_DIR)
         pager = ColumnPager(os.path.join(directory, COLUMNS_DIR))
+        cache = budget.block_cache if budget is not None else None
         table_columns: Dict[str, Column] = {}
         for spec in catalog["columns"]:
             column_name = str(spec["name"])
-            array = pager.load(column_name)
+            array = pager.load(column_name, cache=cache)
             if array.size != int(spec["rows"]) or array.dtype.name != spec["dtype"]:
                 raise RecoveryError(
                     f"column file for {column_name!r} does not match the catalog "
                     f"({array.size} x {array.dtype.name} vs "
                     f"{spec['rows']} x {spec['dtype']})"
                 )
-            table_columns[column_name] = Column(array, name=column_name)
+            table_columns[column_name] = Column(
+                array, name=column_name, memory_budget=budget
+            )
         table = Table(table_columns, name=catalog.get("table", "table"))
 
         checkpoints = CheckpointManager(directory)
@@ -263,7 +306,7 @@ class Database:
             else:
                 table.delete_rows(record.rids)
 
-        session = IndexingSession(table, constants=constants)
+        session = IndexingSession(table, constants=constants, memory_budget=budget)
         index_states = {} if checkpoint is None else checkpoint.get("indexes", {})
         for column_name, entry in catalog.get("indexes", {}).items():
             state = index_states.get(column_name)
@@ -316,6 +359,11 @@ class Database:
     def wal(self) -> WriteAheadLog:
         """The write-ahead log (exposed for inspection and tests)."""
         return self._wal
+
+    @property
+    def memory_budget(self):
+        """The active :class:`~repro.storage.membudget.MemoryBudget` (or ``None``)."""
+        return self._session.memory_budget
 
     def _require_open(self) -> None:
         if self._closed:
@@ -577,6 +625,7 @@ class Database:
                     "pending_ops": self._wal.pending_ops,
                 },
                 "checkpoint": checkpoint,
+                "memory": self._session.memory_status(),
                 "indexes": self._session.status(),
             }
         )

@@ -212,14 +212,26 @@ def read_column_header(path: str) -> Tuple[np.dtype, int]:
     return np.dtype(name), int(count)
 
 
-def map_column_file(path: str) -> np.ndarray:
-    """Memory-map the data section of a column base file, read-only.
+def map_column_file(path: str, cache=None):
+    """Open the data section of a column base file without copying it.
 
-    The returned array is a ``np.memmap`` view: nothing is read until
-    touched, and a :class:`~repro.storage.column.Column` built from it keeps
-    the mapping (``_coerce`` performs no copy for a contiguous array of a
-    native dtype), so snapshots are zero-copy over the file.
+    For a v1 (raw) file the result is a read-only ``np.memmap`` view:
+    nothing is read until touched, and a
+    :class:`~repro.storage.column.Column` built from it keeps the mapping
+    (``_coerce`` performs no copy for a contiguous array of a native
+    dtype), so snapshots are zero-copy over the file.
+
+    For a v2 (compressed) file the result is a
+    :class:`~repro.persist.compress.PagedArray` decompressing one block at
+    a time through ``cache`` (or the process-wide default
+    :class:`~repro.persist.compress.BlockCache`).
     """
+    with open(path, "rb") as handle:
+        magic = handle.read(8)
+    if magic == b"RPCOL2\x00\x00":
+        from repro.persist.compress import PagedArray
+
+        return PagedArray.open(path, cache=cache)
     dtype, count = read_column_header(path)
     expected = _COLUMN_HEADER.size + dtype.itemsize * count
     actual = os.path.getsize(path)
@@ -246,12 +258,28 @@ class ColumnPager:
         )
         return os.path.join(self.directory, f"{safe}.col")
 
-    def store(self, column_name: str, array: np.ndarray) -> str:
-        """Persist a base array; returns the file path."""
+    def store(
+        self,
+        column_name: str,
+        array,
+        compress: bool = False,
+        block_rows: int | None = None,
+    ) -> str:
+        """Persist a base array; returns the file path.
+
+        With ``compress=True`` the file is written in the v2 block format
+        (``array`` may then also be a lazy array or an iterable of chunks);
+        otherwise the raw v1 format is used.
+        """
         path = self.path_for(column_name)
-        write_column_file(path, array)
+        if compress:
+            from repro.persist.compress import DEFAULT_BLOCK_ROWS, write_compressed_column
+
+            write_compressed_column(path, array, block_rows=block_rows or DEFAULT_BLOCK_ROWS)
+        else:
+            write_column_file(path, np.asarray(array))
         return path
 
-    def load(self, column_name: str) -> np.ndarray:
-        """Memory-map a previously stored base array."""
-        return map_column_file(self.path_for(column_name))
+    def load(self, column_name: str, cache=None):
+        """Open a previously stored base array (memmap or paged view)."""
+        return map_column_file(self.path_for(column_name), cache=cache)

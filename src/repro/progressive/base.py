@@ -46,6 +46,7 @@ from repro.core.query import Predicate, QueryResult
 from repro.progressive.consolidation import ProgressiveConsolidator
 from repro.storage.column import Column
 from repro.storage.delta import merge_sorted_with_delta
+from repro.storage.membudget import budget_of
 
 
 class ProgressiveIndexBase(BaseIndex):
@@ -119,6 +120,41 @@ class ProgressiveIndexBase(BaseIndex):
         if phase is IndexPhase.MERGE:
             return self._merge_phase_cost(predicate, delta)
         return None
+
+    # ------------------------------------------------------------------
+    # Out-of-core support (streaming kernels)
+    # ------------------------------------------------------------------
+    def _scratch_allocate(self, n_rows: int, dtype) -> np.ndarray:
+        """Writable construction array; pager-backed past the memory budget.
+
+        With no budget attached to the column this is a plain ``np.empty``
+        — the in-memory engine, unchanged.
+        """
+        budget = budget_of(self._column)
+        if budget is not None:
+            return budget.scratch.allocate(n_rows, dtype)
+        return np.empty(int(n_rows), dtype=np.dtype(dtype))
+
+    def _stream_chunk_rows(self) -> int | None:
+        """Rows per streamed construction chunk, or ``None`` (single pass)."""
+        budget = budget_of(self._column)
+        if budget is None:
+            return None
+        return budget.chunk_rows(self._column.dtype)
+
+    def _scratch_pool(self):
+        """The column's shared scratch allocator, or ``None`` (no budget)."""
+        budget = budget_of(self._column)
+        return budget.scratch if budget is not None else None
+
+    def _block_arena(self, block_size: int):
+        """Spillable slab arena for linked bucket blocks (``None`` unbudgeted)."""
+        pool = self._scratch_pool()
+        if pool is None:
+            return None
+        from repro.storage.scratch import BlockArena
+
+        return BlockArena(pool, int(block_size), self._column.dtype)
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -33,14 +33,23 @@ class BlockList:
         integers.
     """
 
-    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE, dtype=np.int64) -> None:
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE, dtype=np.int64, arena=None) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
         self.block_size = int(block_size)
         self.dtype = np.dtype(dtype)
+        #: Optional :class:`~repro.storage.scratch.BlockArena`; when set,
+        #: blocks are slab views that spill past the memory budget instead
+        #: of anonymous ``np.empty`` allocations summing to O(N).
+        self._arena = arena
         self._blocks: List[np.ndarray] = []
         self._last_fill = 0
         self._size = 0
+
+    def _new_block(self) -> np.ndarray:
+        if self._arena is not None:
+            return self._arena.new_block()
+        return np.empty(self.block_size, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -90,7 +99,7 @@ class BlockList:
         # All completely filled blocks at once: rows of a 2-D array are full
         # blocks (they are created full and never written afterwards).
         n_full = remaining // self.block_size
-        if n_full > 0:
+        if n_full > 0 and self._arena is None:
             stop = offset + n_full * self.block_size
             region = values[offset:stop]
             if not owned:
@@ -100,9 +109,19 @@ class BlockList:
             self._last_fill = self.block_size
             offset = stop
             remaining -= n_full * self.block_size
+        elif n_full > 0:
+            # Arena-backed: full blocks are copied into spillable slab views
+            # (the zero-copy path would pin the caller's anonymous array).
+            for _ in range(n_full):
+                block = self._new_block()
+                block[:] = values[offset : offset + self.block_size]
+                self._blocks.append(block)
+                offset += self.block_size
+            self._last_fill = self.block_size
+            remaining -= n_full * self.block_size
         # The leftover partial tail gets a fresh, writable block.
         if remaining > 0:
-            block = np.empty(self.block_size, dtype=self.dtype)
+            block = self._new_block()
             block[:remaining] = values[offset:]
             self._blocks.append(block)
             self._last_fill = remaining
@@ -200,14 +219,21 @@ class BlockList:
 class BucketSet:
     """A fixed number of :class:`BlockList` buckets addressed by bucket id."""
 
-    def __init__(self, n_buckets: int, block_size: int = DEFAULT_BLOCK_SIZE, dtype=np.int64) -> None:
+    def __init__(
+        self,
+        n_buckets: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        dtype=np.int64,
+        arena=None,
+    ) -> None:
         if n_buckets <= 0:
             raise ValueError(f"n_buckets must be positive, got {n_buckets}")
         self.n_buckets = int(n_buckets)
         self.block_size = int(block_size)
         self.dtype = np.dtype(dtype)
         self.buckets: List[BlockList] = [
-            BlockList(block_size=block_size, dtype=dtype) for _ in range(n_buckets)
+            BlockList(block_size=block_size, dtype=dtype, arena=arena)
+            for _ in range(n_buckets)
         ]
 
     def __len__(self) -> int:

@@ -270,6 +270,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
             merge.copied = int(spec["copied"])
             if "sorter" in spec:
                 merge.sorter = ProgressiveSorter.from_state(self._final_array, spec["sorter"])
+                merge.sorter.scratch_allocator = self._scratch_pool()
             self._merge_buckets.append(merge)
             if merge.state is not _BucketState.DONE:
                 self._unfinished += 1
@@ -296,7 +297,10 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
     def _initialize(self) -> None:
         self._initialize_bounds()
         self._buckets = BucketSet(
-            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+            self.n_buckets,
+            block_size=self.block_size,
+            dtype=self._column.dtype,
+            arena=self._block_arena(self.block_size),
         )
         self._elements_bucketed = 0
 
@@ -339,9 +343,12 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
 
         if to_bucket > 0:
             start = self._elements_bucketed
-            chunk = self._column.data[start : start + to_bucket]
-            self._buckets.scatter(chunk, self._bucket_id(chunk))
-            self._elements_bucketed += chunk.size
+            stop = start + to_bucket
+            step = self._stream_chunk_rows() or to_bucket
+            for offset in range(start, stop, step):
+                chunk = np.asarray(self._column.data[offset : min(stop, offset + step)])
+                self._buckets.scatter(chunk, self._bucket_id(chunk))
+                self._elements_bucketed += chunk.size
 
         result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
         result += self._scan_column(predicate, start=self._elements_bucketed)
@@ -357,7 +364,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
     # ------------------------------------------------------------------
     def _enter_refinement(self) -> None:
         n = len(self._column)
-        self._final_array = np.empty(n, dtype=self._column.dtype)
+        self._final_array = self._scratch_allocate(n, self._column.dtype)
         sizes = self._buckets.sizes()
         offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
         self._merge_buckets = []
@@ -408,6 +415,7 @@ class ProgressiveBucketsort(ConsolidatedBatchSearch, ProgressiveIndexBase):
                         value_high=value_high,
                         sort_threshold=self.sort_threshold,
                     )
+                    merge.sorter.scratch_allocator = self._scratch_pool()
                     merge.state = _BucketState.SORTING
             elif merge.state is _BucketState.SORTING:
                 if self.budget.pooled and budget >= merge.sorter.remaining_work():

@@ -140,6 +140,7 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
         sorter_state = state.get("sorter")
         if sorter_state is not None:
             self._sorter = ProgressiveSorter.from_state(self._index_array, sorter_state)
+            self._sorter.scratch_allocator = self._scratch_pool()
         else:
             self._low_fill = int(state["low_fill"])
             self._high_fill = int(state["high_fill"])
@@ -165,7 +166,7 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
         column_min = float(self._column.min())
         column_max = float(self._column.max())
         self._pivot = column_min + (column_max - column_min) / 2.0
-        self._index_array = np.empty(n, dtype=self._column.dtype)
+        self._index_array = self._scratch_allocate(n, self._column.dtype)
         self._low_fill = 0
         self._high_fill = n
         self._elements_copied = 0
@@ -221,17 +222,24 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
         return result
 
     def _copy_into_index(self, count: int) -> None:
-        """Copy the next ``count`` base-column elements around the pivot."""
+        """Copy the next ``count`` base-column elements around the pivot.
+
+        Streamed in budget-sized chunks so a paged base never materializes
+        more than one chunk of decompressed data at a time.
+        """
         start = self._elements_copied
         stop = min(len(self._column), start + count)
-        chunk = self._column.data[start:stop]
-        mask = chunk < self._pivot
-        lows = chunk[mask]
-        highs = chunk[~mask]
-        self._index_array[self._low_fill : self._low_fill + lows.size] = lows
-        self._low_fill += lows.size
-        self._index_array[self._high_fill - highs.size : self._high_fill] = highs
-        self._high_fill -= highs.size
+        step = self._stream_chunk_rows() or (stop - start) or 1
+        for offset in range(start, stop, step):
+            chunk = self._column.data[offset : min(stop, offset + step)]
+            chunk = np.asarray(chunk)
+            mask = chunk < self._pivot
+            lows = chunk[mask]
+            highs = chunk[~mask]
+            self._index_array[self._low_fill : self._low_fill + lows.size] = lows
+            self._low_fill += lows.size
+            self._index_array[self._high_fill - highs.size : self._high_fill] = highs
+            self._high_fill -= highs.size
         self._elements_copied = stop
 
     def _query_creation_pieces(self, predicate: Predicate) -> QueryResult:
@@ -256,6 +264,7 @@ class ProgressiveQuicksort(ProgressiveIndexBase):
             value_high=float(self._column.max()),
             sort_threshold=self.sort_threshold,
         )
+        self._sorter.scratch_allocator = self._scratch_pool()
         self._advance_phase(IndexPhase.REFINEMENT)
         if self._sorter.is_sorted:
             self._enter_consolidation(self._index_array)

@@ -210,7 +210,10 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
         )
         self._total_passes = self._keyspace.n_digits
         self._current_set = BucketSet(
-            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+            self.n_buckets,
+            block_size=self.block_size,
+            dtype=self._column.dtype,
+            arena=self._block_arena(self.block_size),
         )
         self._current_pass = 0
         self._elements_bucketed = 0
@@ -248,9 +251,12 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
 
         if to_bucket > 0:
             start = self._elements_bucketed
-            chunk = self._column.data[start : start + to_bucket]
-            self._current_set.scatter(chunk, self._pass_bucket_ids(chunk, 0))
-            self._elements_bucketed += chunk.size
+            stop = start + to_bucket
+            step = self._stream_chunk_rows() or to_bucket
+            for offset in range(start, stop, step):
+                chunk = np.asarray(self._column.data[offset : min(stop, offset + step)])
+                self._current_set.scatter(chunk, self._pass_bucket_ids(chunk, 0))
+                self._elements_bucketed += chunk.size
 
         if predicate.is_point:
             bucket = self._current_set[self._point_bucket_id(predicate.low, 0)]
@@ -279,7 +285,10 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
         self._current_pass = pass_number
         self._stage = _RefinementStage.PASSES
         self._next_set = BucketSet(
-            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+            self.n_buckets,
+            block_size=self.block_size,
+            dtype=self._column.dtype,
+            arena=self._block_arena(self.block_size),
         )
         self._pass_bucket_cursor = 0
         self._pass_offset_cursor = 0
@@ -287,7 +296,7 @@ class ProgressiveRadixsortLSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
 
     def _start_merge(self) -> None:
         self._stage = _RefinementStage.MERGE
-        self._final_array = np.empty(len(self._column), dtype=self._column.dtype)
+        self._final_array = self._scratch_allocate(len(self._column), self._column.dtype)
         self._merge_bucket_cursor = 0
         self._merge_offset_cursor = 0
         self._merge_position = 0

@@ -271,7 +271,10 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
         )
         self._shift = self._keyspace.top_shift
         self._buckets = BucketSet(
-            self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+            self.n_buckets,
+            block_size=self.block_size,
+            dtype=self._column.dtype,
+            arena=self._block_arena(self.block_size),
         )
         self._elements_bucketed = 0
 
@@ -320,9 +323,12 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
 
         if to_bucket > 0:
             start = self._elements_bucketed
-            chunk = self._column.data[start : start + to_bucket]
-            self._buckets.scatter(chunk, self._bucket_id(chunk))
-            self._elements_bucketed += chunk.size
+            stop = start + to_bucket
+            step = self._stream_chunk_rows() or to_bucket
+            for offset in range(start, stop, step):
+                chunk = np.asarray(self._column.data[offset : min(stop, offset + step)])
+                self._buckets.scatter(chunk, self._bucket_id(chunk))
+                self._elements_bucketed += chunk.size
 
         result = self._buckets.scan(predicate.low, predicate.high, bucket_range)
         result += self._scan_column(predicate, start=self._elements_bucketed)
@@ -338,7 +344,7 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
     # ------------------------------------------------------------------
     def _enter_refinement(self) -> None:
         n = len(self._column)
-        self._final_array = np.empty(n, dtype=self._column.dtype)
+        self._final_array = self._scratch_allocate(n, self._column.dtype)
         sizes = self._buckets.sizes()
         offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
         bucket_span = 1 << self._shift
@@ -378,7 +384,10 @@ class ProgressiveRadixsortMSD(ConsolidatedBatchSearch, ProgressiveIndexBase):
                 else:
                     node.state = _NodeState.PARTITIONING
                     node.child_set = BucketSet(
-                        self.n_buckets, block_size=self.block_size, dtype=self._column.dtype
+                        self.n_buckets,
+                        block_size=self.block_size,
+                        dtype=self._column.dtype,
+                        arena=self._block_arena(self.block_size),
                     )
             if node.state is _NodeState.COPYING:
                 take = min(budget, node.size - node.copied)

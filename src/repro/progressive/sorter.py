@@ -84,6 +84,10 @@ class ProgressiveSorter:
         self.end = int(end if end is not None else array.size)
         if self.end < self.start:
             raise ValueError(f"invalid range [{start}, {end})")
+        #: Optional :class:`~repro.storage.scratch.ScratchAllocator`; when
+        #: set, mid-partition scratch buffers spill past the memory budget
+        #: instead of holding O(node) anonymous RAM.
+        self.scratch_allocator = None
         self.sort_threshold = max(1, int(sort_threshold))
         self.max_depth = max(1, int(max_depth))
         segment = array[self.start : self.end]
@@ -354,6 +358,7 @@ class ProgressiveSorter:
         """Rebuild a sorter over ``array`` from :meth:`state_dict` output."""
         sorter = cls.__new__(cls)
         sorter.array = array
+        sorter.scratch_allocator = None
         sorter.start = int(state["start"])
         sorter.end = int(state["end"])
         sorter.sort_threshold = int(state["sort_threshold"])
@@ -422,7 +427,10 @@ class ProgressiveSorter:
             self._create_children(node, boundary)
             return node.size
         if node.state is NodeState.PENDING:
-            node.scratch = np.empty(node.size, dtype=self.array.dtype)
+            if self.scratch_allocator is not None:
+                node.scratch = self.scratch_allocator.allocate(node.size, self.array.dtype)
+            else:
+                node.scratch = np.empty(node.size, dtype=self.array.dtype)
             node.low_fill = 0
             node.high_fill = node.size
             node.scanned = 0

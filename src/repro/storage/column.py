@@ -35,6 +35,15 @@ import numpy as np
 
 from repro.errors import DroppedColumnError, InvalidColumnError
 from repro.storage.delta import DeltaStore
+from repro.storage.lazy import (
+    ChainArray,
+    LazyArray,
+    array_chunks,
+    chunked_rids_where,
+    chunked_scan_range,
+    is_lazy,
+)
+from repro.storage.membudget import MemoryBudget, budget_of
 
 ArrayLike = Union[np.ndarray, list, tuple]
 
@@ -126,7 +135,15 @@ class _ReadableColumn:
         tuple
             ``(matching_sum, matching_count)``.
         """
-        segment = self._view()[start:stop]
+        view = self._view()
+        if is_lazy(view):
+            total, count = chunked_scan_range(
+                view, low, high, start=start,
+                stop=view.size if stop is None else stop,
+                chunk_rows=self._chunk_rows(),
+            )
+            return (total, count) if count else (view.dtype.type(0), 0)
+        segment = view[start:stop]
         mask = (segment >= low) & (segment <= high)
         count = int(np.count_nonzero(mask))
         if count == 0:
@@ -135,21 +152,59 @@ class _ReadableColumn:
 
     def scan_count(self, low, high, start: int = 0, stop: int | None = None) -> int:
         """Count of values in ``[low, high]`` within ``data[start:stop]``."""
-        segment = self._view()[start:stop]
+        view = self._view()
+        if is_lazy(view):
+            return chunked_scan_range(
+                view, low, high, start=start,
+                stop=view.size if stop is None else stop,
+                chunk_rows=self._chunk_rows(),
+            )[1]
+        segment = view[start:stop]
         mask = (segment >= low) & (segment <= high)
         return int(np.count_nonzero(mask))
+
+    def _chunk_rows(self) -> int | None:
+        """Streamed chunk size for lazy reads (budget-derived when set)."""
+        budget = budget_of(self)
+        if budget is not None:
+            return budget.chunk_rows(self.dtype)
+        return None
 
     def copy_data(self) -> np.ndarray:
         """Return a writable copy of the visible values.
 
         Indexes that physically reorganise data (cracking, progressive
-        quicksort) call this to obtain their private working array.
+        quicksort) call this to obtain their private working array.  Under
+        a memory budget the copy is allocated through the shared scratch
+        allocator (pager-backed past the allowance) and filled chunk by
+        chunk, so a paged base never materializes wholesale into RAM.
         """
+        view = self._view()
+        budget = budget_of(self)
+        if budget is not None:
+            out = budget.scratch.allocate(len(view), view.dtype)
+            for offset, chunk in array_chunks(view, budget.chunk_rows(view.dtype)):
+                out[offset : offset + len(chunk)] = chunk
+            return out
         return self._view().copy()
 
 
-def _coerce(values: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
-    """Validate and normalise column data to a contiguous int64/float64 array."""
+def _coerce(values: ArrayLike, dtype: Optional[np.dtype] = None):
+    """Validate and normalise column data to a contiguous int64/float64 array.
+
+    Lazy arrays (paged compressed columns, chained snapshot views) pass
+    through untouched — materializing them here would defeat out-of-core
+    operation; they are already read-only and dtype-normalized at creation.
+    """
+    if is_lazy(values):
+        name = np.dtype(values.dtype).name
+        if name not in ("int64", "float64"):
+            raise InvalidColumnError(f"column data must be numeric, got dtype {name}")
+        if dtype is not None and np.dtype(dtype) != np.dtype(values.dtype):
+            raise InvalidColumnError(
+                f"lazy column data has dtype {name}, expected {np.dtype(dtype).name}"
+            )
+        return values
     array = np.asarray(values)
     if array.ndim != 1:
         raise InvalidColumnError(
@@ -193,14 +248,24 @@ class Column(_ReadableColumn):
         ``float64``.
     name:
         Optional attribute name, used only for display purposes.
+    memory_budget:
+        Optional :class:`~repro.storage.membudget.MemoryBudget` (or byte
+        count) bounding what the column and everything built on it holds
+        resident; ``None`` keeps the fully in-memory behavior.
     """
 
-    def __init__(self, values: ArrayLike, name: str = "value") -> None:
+    def __init__(
+        self,
+        values: ArrayLike,
+        name: str = "value",
+        memory_budget=None,
+    ) -> None:
         array = _coerce(values)
         if array.size == 0:
             raise InvalidColumnError("column data must not be empty")
         self._base = array
         self._base.setflags(write=False)
+        self.memory_budget = MemoryBudget.coerce(memory_budget)
         self._name = str(name)
         self._min = None
         self._max = None
@@ -256,12 +321,33 @@ class Column(_ReadableColumn):
             cached = self._visible_cache
             if cached is not None and cached[0] == version:
                 return cached[1]
-            visible = delta.visible_array(version)
-            if visible is not self._base:
+            visible = self._visible_view(version)
+            if visible is not self._base and not is_lazy(visible):
                 visible = np.ascontiguousarray(visible)
                 visible.setflags(write=False)
             self._visible_cache = (version, visible)
         return visible
+
+    def _visible_view(self, version: int):
+        """The rows visible at ``version`` — without copying a paged base.
+
+        When the base is pager-backed (an ``np.memmap`` over a v1 column
+        file or a paged view of a v2 compressed file) and no base row has
+        been deleted, the result is a :class:`ChainArray` of the on-disk
+        base plus the frozen insert tail: the base never materializes into
+        RAM.  Base deletes fall back to full materialization (the visible
+        base is then a gather, inherently O(alive rows)).
+        """
+        delta = self._delta
+        if self.is_paged and delta.visible_base_mask(version) is None:
+            inserts = delta.visible_insert_values(version)
+            if inserts.size == 0:
+                return self._base
+            # Advanced indexing in visible_insert_values already copied the
+            # log values out; freezing the copy makes the view immutable.
+            inserts.setflags(write=False)
+            return ChainArray([self._base, inserts])
+        return delta.visible_array(version)
 
     def snapshot(self, version: Optional[int] = None) -> "ColumnSnapshot":
         """Freeze the rows visible at ``version`` (default: now).
@@ -284,11 +370,11 @@ class Column(_ReadableColumn):
                 self._snapshot_cache.move_to_end(version)
                 return cached
         # Materialize outside the lock: only cache bookkeeping must be
-        # serialized, and visible_array() over a large delta is the
-        # expensive part concurrent readers should overlap.
-        array = self._delta.visible_array(version)
-        if array is self._base:
-            snapshot = ColumnSnapshot(self._base, self._name, version, self)
+        # serialized, and materializing a large delta is the expensive part
+        # concurrent readers should overlap.
+        array = self._visible_view(version)
+        if array is self._base or is_lazy(array):
+            snapshot = ColumnSnapshot(array, self._name, version, self)
         else:
             array = np.ascontiguousarray(array)
             array.setflags(write=False)
@@ -319,7 +405,7 @@ class Column(_ReadableColumn):
                 f"column {self._name!r} has been dropped; writes are rejected"
             )
         if self._delta is None:
-            self._delta = DeltaStore(self._base)
+            self._delta = DeltaStore(self._base, memory_budget=self.memory_budget)
         return self._delta
 
     def _invalidate(self) -> None:
@@ -383,14 +469,25 @@ class Column(_ReadableColumn):
     def rids_where(self, low, high) -> np.ndarray:
         """Stable rids of the currently visible rows in ``[low, high]``."""
         if self._delta is None or self._delta.version == 0:
+            if is_lazy(self._base):
+                return chunked_rids_where(
+                    self._base, low, high, chunk_rows=self._chunk_rows()
+                )
             mask = (self._base >= low) & (self._base <= high)
             return np.flatnonzero(mask).astype(np.int64)
         delta = self._delta
-        base_mask = (self._base >= low) & (self._base <= high)
-        alive = delta.visible_base_mask()
-        if alive is not None:
-            base_mask &= alive
-        base_rids = np.flatnonzero(base_mask).astype(np.int64)
+        if is_lazy(self._base):
+            base_rids = chunked_rids_where(
+                self._base, low, high,
+                chunk_rows=self._chunk_rows(),
+                alive_mask=delta.visible_base_mask(),
+            )
+        else:
+            base_mask = (self._base >= low) & (self._base <= high)
+            alive = delta.visible_base_mask()
+            if alive is not None:
+                base_mask &= alive
+            base_rids = np.flatnonzero(base_mask).astype(np.int64)
         ins_values = delta.insert_values
         ins_mask = (
             delta.visible_insert_mask() & (ins_values >= low) & (ins_values <= high)
@@ -435,7 +532,9 @@ class Column(_ReadableColumn):
                 f"column {self._name!r} already has a live delta store; "
                 "restore_delta() is a recovery-only operation"
             )
-        self._delta = DeltaStore.from_state(self._base, state)
+        self._delta = DeltaStore.from_state(
+            self._base, state, memory_budget=self.memory_budget
+        )
         self._invalidate()
         self._visible_cache = None
 
@@ -448,11 +547,16 @@ class Column(_ReadableColumn):
         ``base`` chain rather than an ``isinstance`` check on ``_base``.
         """
         array = self._base
-        while array is not None:
+        while array is not None and not is_lazy(array):
             if isinstance(array, np.memmap):
                 return True
             array = getattr(array, "base", None)
         return False
+
+    @property
+    def is_paged(self) -> bool:
+        """Whether the base lives on disk (memmap or compressed paged view)."""
+        return is_lazy(self._base) or self.is_mapped
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -463,17 +567,29 @@ class Column(_ReadableColumn):
         return cls(array, name=name)
 
     @classmethod
-    def from_file(cls, path: str, name: str = "value") -> "Column":
-        """Build a column whose base array is memory-mapped from ``path``.
+    def from_file(
+        cls,
+        path: str,
+        name: str = "value",
+        memory_budget=None,
+        cache=None,
+    ) -> "Column":
+        """Build a column whose base array is paged in from ``path``.
 
-        The file must have been written by
-        :func:`repro.persist.pager.write_column_file`.  The mapping is
-        read-only and zero-copy: the column (and every pre-write snapshot)
-        reads directly from the page cache.
+        A v1 file (:func:`repro.persist.pager.write_column_file`) maps
+        read-only and zero-copy; a v2 compressed file
+        (:func:`repro.persist.compress.write_compressed_column`) reads
+        through a block cache — the ``memory_budget``'s shared cache when
+        one is given, the process default otherwise.
         """
         from repro.persist.pager import map_column_file
 
-        return cls(map_column_file(path), name=name)
+        budget = MemoryBudget.coerce(memory_budget)
+        if cache is None and budget is not None:
+            cache = budget.block_cache
+        return cls(
+            map_column_file(path, cache=cache), name=name, memory_budget=budget
+        )
 
 
 class ColumnSnapshot(_ReadableColumn):

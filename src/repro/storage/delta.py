@@ -25,22 +25,63 @@ views handed to overlays are zero-copy slices.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import weakref
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidColumnError
 
 
+def _spill_backing(capacity: int, dtype: np.dtype, directory: Optional[str]) -> np.ndarray:
+    """A writable array of ``capacity`` backed by an unlinked temp file.
+
+    The mapping keeps the file alive; unlinking immediately means a crashed
+    process leaves no spill litter behind, and the kernel reclaims the
+    bytes the moment the array is garbage collected.
+    """
+    if directory is not None:
+        os.makedirs(directory, exist_ok=True)
+    fd, path = tempfile.mkstemp(prefix="delta-", suffix=".spill", dir=directory)
+    try:
+        os.ftruncate(fd, max(1, int(capacity) * dtype.itemsize))
+        array = np.memmap(path, dtype=dtype, mode="r+", shape=(int(capacity),))
+    finally:
+        os.close(fd)
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - platform quirks
+            pass
+    return array
+
+
 class _GrowableArray:
-    """A contiguous NumPy array with amortized-O(1) append."""
+    """A contiguous NumPy array with amortized-O(1) append.
 
-    __slots__ = ("_data", "_size")
+    With ``spill_bytes`` set, a regrow that would exceed it re-homes the
+    log into an unlinked-temp-file ``np.memmap`` instead of anonymous RAM:
+    every existing semantic survives — ``values`` stays a zero-copy
+    *writable* view (the delete path stamps dead-sequence numbers in
+    place) — but the OS pages the log in and out instead of the process
+    holding it resident.
+    """
 
-    def __init__(self, dtype, initial_capacity: int = 16) -> None:
+    __slots__ = ("_data", "_size", "_spill_bytes", "_spill_dir", "spilled")
+
+    def __init__(
+        self,
+        dtype,
+        initial_capacity: int = 16,
+        spill_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ) -> None:
         self._data = np.empty(int(initial_capacity), dtype=dtype)
         self._size = 0
+        self._spill_bytes = spill_bytes
+        self._spill_dir = spill_dir
+        self.spilled = False
 
     def __len__(self) -> int:
         return self._size
@@ -55,7 +96,14 @@ class _GrowableArray:
         needed = self._size + values.size
         if needed > self._data.size:
             capacity = max(self._data.size * 2, needed)
-            grown = np.empty(capacity, dtype=self._data.dtype)
+            if (
+                self._spill_bytes is not None
+                and capacity * self._data.dtype.itemsize > self._spill_bytes
+            ):
+                grown = _spill_backing(capacity, self._data.dtype, self._spill_dir)
+                self.spilled = True
+            else:
+                grown = np.empty(capacity, dtype=self._data.dtype)
             grown[: self._size] = self._data[: self._size]
             self._data = grown
         self._data[self._size : needed] = values
@@ -69,20 +117,32 @@ class DeltaStore:
     ----------
     base:
         The column's immutable base array; deleted base rids index into it.
+    memory_budget:
+        Optional :class:`~repro.storage.membudget.MemoryBudget`; when set,
+        each write log spills its backing to an unlinked temp file once it
+        outgrows its share of the budget's delta allowance.
     """
 
-    def __init__(self, base: np.ndarray) -> None:
+    def __init__(self, base, memory_budget=None) -> None:
         self._base = base
         self.base_size = int(base.size)
-        dtype = base.dtype
+        dtype = np.dtype(base.dtype)
+        self.memory_budget = memory_budget
+        if memory_budget is not None:
+            spill = {
+                "spill_bytes": max(1, memory_budget.delta_cap_bytes // 4),
+                "spill_dir": memory_budget.spill_dir,
+            }
+        else:
+            spill = {}
         # Insert log: value, sequence number, and the sequence number of the
         # delete that later killed the row (-1 while alive).
-        self._ins_values = _GrowableArray(dtype)
-        self._ins_seq = _GrowableArray(np.int64)
-        self._ins_dead_seq = _GrowableArray(np.int64)
+        self._ins_values = _GrowableArray(dtype, **spill)
+        self._ins_seq = _GrowableArray(np.int64, **spill)
+        self._ins_dead_seq = _GrowableArray(np.int64, **spill)
         # Delete log: sequence number and the value of the deleted row.
-        self._del_seq = _GrowableArray(np.int64)
-        self._del_values = _GrowableArray(dtype)
+        self._del_seq = _GrowableArray(np.int64, **spill)
+        self._del_values = _GrowableArray(dtype, **spill)
         # Deleted-rid bitmap over the base rows, stored as the sequence
         # number of the delete (-1 = alive); allocated on the first delete.
         self._base_dead_seq: Optional[np.ndarray] = None
@@ -361,9 +421,9 @@ class DeltaStore:
         return state
 
     @classmethod
-    def from_state(cls, base: np.ndarray, state: dict) -> "DeltaStore":
+    def from_state(cls, base, state: dict, memory_budget=None) -> "DeltaStore":
         """Rebuild a delta store over ``base`` from :meth:`state_dict` output."""
-        store = cls(base)
+        store = cls(base, memory_budget=memory_budget)
         if int(state["base_size"]) != store.base_size:
             raise InvalidColumnError(
                 f"delta-store state covers a base of {state['base_size']} rows, "
@@ -385,6 +445,109 @@ class DeltaStore:
             f"DeltaStore(version={self.version}, inserts={self.n_inserts}, "
             f"deletes={self.n_deletes})"
         )
+
+
+# ----------------------------------------------------------------------
+# Sealed sorted runs (the spilled half of the overlay side buffers)
+# ----------------------------------------------------------------------
+class SealedRun:
+    """One immutable sorted run of values spilled to disk.
+
+    Alongside the sorted values the run stores their prefix sums, so a
+    range correction ``(sum, count)`` costs two binary searches plus one
+    prefix difference — O(log n) pages touched, exactly like the resident
+    side buffers, never a full read of the run.
+    """
+
+    def __init__(self, values_sorted: np.ndarray, directory: Optional[str] = None) -> None:
+        values_sorted = np.ascontiguousarray(values_sorted)
+        if values_sorted.size == 0:
+            raise InvalidColumnError("cannot seal an empty run")
+        self.size = int(values_sorted.size)
+        self.dtype = values_sorted.dtype
+        prefix_dtype = np.float64 if values_sorted.dtype.kind == "f" else np.int64
+        # Values and prefix sums are both 8-byte elements, so one file of
+        # 2n + 1 slots holds both sections.
+        backing = _spill_backing(2 * self.size + 1, values_sorted.dtype, directory)
+        # Two sections in one unlinked file: values, then prefix sums.
+        self.values = backing[: self.size]
+        self.values[:] = values_sorted
+        prefix_view = backing[self.size :].view(prefix_dtype)[: self.size + 1]
+        prefix_view[0] = 0
+        np.cumsum(values_sorted, dtype=prefix_dtype, out=prefix_view[1:])
+        self.prefix = prefix_view
+        if hasattr(backing, "flush"):
+            backing.flush()
+
+    def correction(self, low, high) -> Tuple:
+        """``(sum, count)`` of run values in ``[low, high]``."""
+        lo = int(np.searchsorted(self.values, low, side="left"))
+        hi = int(np.searchsorted(self.values, high, side="right"))
+        return self.prefix[hi] - self.prefix[lo], hi - lo
+
+    def correct_many(self, lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`correction` over predicate batches."""
+        los = np.searchsorted(self.values, lows, side="left")
+        his = np.searchsorted(self.values, highs, side="right")
+        return self.prefix[his] - self.prefix[los], (his - los).astype(np.int64)
+
+    def materialize(self) -> np.ndarray:
+        """The sorted values, resident (used only by O(n) folds)."""
+        return np.array(self.values)
+
+
+class SortedRunStore:
+    """A stack of :class:`SealedRun` files plus aggregate corrections.
+
+    The overlay seals its resident sorted buffer into a run whenever it
+    outgrows the budget's allowance; corrections then combine the resident
+    buffer with every sealed run.  Folding (the merge phase) drains all
+    runs back into the index structure and clears the store.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self.runs: List[SealedRun] = []
+
+    def seal(self, values_sorted: np.ndarray) -> None:
+        if values_sorted.size:
+            self.runs.append(SealedRun(values_sorted, self.directory))
+
+    @property
+    def total_rows(self) -> int:
+        return sum(run.size for run in self.runs)
+
+    def correction(self, low, high) -> Tuple:
+        """Aggregated ``(sum, count)`` over every sealed run."""
+        total = 0  # python int: int64 runs stay exact past 2**53
+        count = 0
+        for run in self.runs:
+            part_sum, part_count = run.correction(low, high)
+            total = total + part_sum
+            count += int(part_count)
+        return total, count
+
+    def correct_many(self, lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        sum_dtype = self.runs[0].prefix.dtype if self.runs else np.float64
+        sums = np.zeros(len(lows), dtype=sum_dtype)
+        counts = np.zeros(len(lows), dtype=np.int64)
+        for run in self.runs:
+            part_sums, part_counts = run.correct_many(lows, highs)
+            sums += part_sums
+            counts += part_counts
+        return sums, counts
+
+    def merged(self) -> np.ndarray:
+        """All run values merged into one sorted resident array."""
+        if not self.runs:
+            return np.empty(0, dtype=np.int64)
+        parts = [run.materialize() for run in self.runs]
+        out = np.concatenate(parts)
+        out.sort(kind="stable")
+        return out
+
+    def clear(self) -> None:
+        self.runs = []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""The single ``memory_budget`` knob of the out-of-core substrate.
+
+One :class:`MemoryBudget` travels with the data: ``Database`` /
+``IndexingSession`` attach it to every :class:`~repro.storage.column.Column`,
+and each downstream component derives its own allowance from it —
+
+* the :class:`~repro.persist.compress.BlockCache` capacity (decompressed
+  blocks resident at once),
+* the :class:`~repro.storage.scratch.ScratchAllocator` allowance (anonymous
+  construction scratch before spilling to pager-backed files),
+* the delta-store in-memory log cap (past it the logs grow into spill
+  files) and the per-index overlay buffer cap (past it sorted buffers are
+  sealed to on-disk runs),
+* the chunk size the streaming kernels use.
+
+``memory_budget=None`` everywhere means "the in-memory engine, unchanged":
+no spilling, no caps, no behavioral difference from previous releases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.scratch import ScratchAllocator
+
+#: Smallest budget the derivations stay sensible for (1 MiB).
+MIN_BUDGET_BYTES = 1 << 20
+
+
+class MemoryBudget:
+    """Byte allowance for everything the engine holds resident per table.
+
+    Parameters
+    ----------
+    total_bytes:
+        The budget.  Values below 1 MiB are clamped up — the fixed costs of
+        the interpreter make smaller budgets fiction.
+    spill_dir:
+        Directory for scratch spill files and sealed delta runs; a private
+        temp directory by default (a :class:`~repro.persist.database.Database`
+        passes its own ``scratch/`` subdirectory).
+    """
+
+    def __init__(self, total_bytes: int, spill_dir: str | None = None) -> None:
+        self.total_bytes = max(int(total_bytes), MIN_BUDGET_BYTES)
+        self.spill_dir = spill_dir
+        self._block_cache = None
+        self._scratch: ScratchAllocator | None = None
+
+    @classmethod
+    def coerce(cls, value, spill_dir: str | None = None) -> "MemoryBudget | None":
+        """Accept ``None``, a byte count, or an existing budget."""
+        if value is None or isinstance(value, MemoryBudget):
+            return value
+        return cls(int(value), spill_dir=spill_dir)
+
+    # ------------------------------------------------------------------
+    # Derived allowances
+    # ------------------------------------------------------------------
+    @property
+    def cache_bytes(self) -> int:
+        """Block-cache capacity: 1/4 of the budget."""
+        return max(self.total_bytes // 4, 1 << 20)
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Anonymous construction-scratch allowance: 1/4 of the budget."""
+        return max(self.total_bytes // 4, 1 << 20)
+
+    @property
+    def delta_cap_bytes(self) -> int:
+        """In-memory delta-log allowance per column: 1/8 of the budget."""
+        return max(self.total_bytes // 8, 1 << 18)
+
+    @property
+    def overlay_cap_bytes(self) -> int:
+        """Per-index sorted-buffer allowance before sealing a run: 1/16."""
+        return max(self.total_bytes // 16, 1 << 17)
+
+    def chunk_rows(self, dtype) -> int:
+        """Rows per streamed chunk: 1/16 of the budget, clamped sane."""
+        itemsize = np.dtype(dtype).itemsize
+        rows = self.total_bytes // 16 // itemsize
+        return int(min(max(rows, 1 << 14), 1 << 22))
+
+    def overlay_cap_rows(self, dtype) -> int:
+        return max(1, self.overlay_cap_bytes // np.dtype(dtype).itemsize)
+
+    # ------------------------------------------------------------------
+    # Shared components (created on first use)
+    # ------------------------------------------------------------------
+    @property
+    def block_cache(self):
+        """The shared decompressed-block cache (capacity :attr:`cache_bytes`)."""
+        if self._block_cache is None:
+            from repro.persist.compress import BlockCache
+
+            self._block_cache = BlockCache(self.cache_bytes)
+        return self._block_cache
+
+    @property
+    def scratch(self) -> ScratchAllocator:
+        """The shared scratch allocator (allowance :attr:`scratch_bytes`)."""
+        if self._scratch is None:
+            self._scratch = ScratchAllocator(self.scratch_bytes, self.spill_dir)
+        return self._scratch
+
+    # ------------------------------------------------------------------
+    def trim(self) -> None:
+        """Drop droppable resident pages (spilled scratch); best effort."""
+        if self._scratch is not None:
+            self._scratch.trim()
+
+    def stats(self) -> dict:
+        info = {
+            "total_bytes": int(self.total_bytes),
+            "cache_bytes": int(self.cache_bytes),
+            "scratch_bytes": int(self.scratch_bytes),
+            "delta_cap_bytes": int(self.delta_cap_bytes),
+            "overlay_cap_bytes": int(self.overlay_cap_bytes),
+        }
+        if self._scratch is not None:
+            info["scratch"] = self._scratch.stats()
+        if self._block_cache is not None:
+            info["block_cache"] = self._block_cache.stats()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MemoryBudget(total_bytes={self.total_bytes})"
+
+
+def budget_of(obj) -> "MemoryBudget | None":
+    """The :class:`MemoryBudget` attached to a column-like object, if any."""
+    budget = getattr(obj, "memory_budget", None)
+    if budget is not None:
+        return budget
+    source = getattr(obj, "source", None)
+    if source is not None:
+        return getattr(source, "memory_budget", None)
+    return None

@@ -1,0 +1,178 @@
+"""Spillable scratch allocations for the streaming construction kernels.
+
+Progressive construction needs *writable* working arrays: the quicksort
+index array, bucket blocks, radix final arrays, sorter partition scratch.
+In-memory those are ``np.empty`` allocations proportional to ``N`` — the
+exact thing out-of-core operation must avoid.  :class:`ScratchAllocator`
+hands out the same writable arrays but tracks the anonymous bytes it has
+granted; once a configured budget is exceeded, further allocations are
+backed by unlinked temp files (``np.memmap``), so the OS pages them in and
+out instead of the process holding them resident.
+
+Spilled arrays behave exactly like ndarrays for every kernel (slicing,
+in-place ``sort``, fancy writes); :meth:`ScratchAllocator.trim` additionally
+flushes and ``madvise(DONTNEED)``-drops their clean/dirty pages, bounding
+peak RSS between construction bursts.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+import threading
+import weakref
+
+import numpy as np
+
+#: Allocations below this many bytes never spill — file churn would cost
+#: more than the resident footprint they avoid.
+SMALL_ALLOCATION_BYTES = 1 << 18
+
+
+class ScratchAllocator:
+    """Budgeted allocator for writable scratch arrays.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Anonymous-RAM allowance.  ``None`` disables spilling entirely (the
+        in-memory engine, unchanged).
+    directory:
+        Where spill files live; a private temp directory by default.
+    """
+
+    def __init__(self, budget_bytes: int | None = None, directory: str | None = None) -> None:
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        self._directory = directory
+        self._lock = threading.Lock()
+        self._resident_bytes = 0
+        self._spilled: list = []  # weakrefs (np.memmap is unhashable, no WeakSet)
+        self.spill_count = 0
+        self.spilled_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="repro-scratch-")
+        else:
+            os.makedirs(self._directory, exist_ok=True)
+        return self._directory
+
+    @property
+    def resident_bytes(self) -> int:
+        """Anonymous scratch bytes currently alive."""
+        return self._resident_bytes
+
+    # ------------------------------------------------------------------
+    def allocate(self, n_rows: int, dtype) -> np.ndarray:
+        """Return a writable array of ``n_rows``; spilled past the budget."""
+        dtype = np.dtype(dtype)
+        n_rows = int(n_rows)
+        nbytes = n_rows * dtype.itemsize
+        if not self._should_spill(nbytes):
+            array = np.empty(n_rows, dtype=dtype)
+            with self._lock:
+                self._resident_bytes += nbytes
+            weakref.finalize(array, self._released, nbytes)
+            return array
+        return self._spill(n_rows, dtype, nbytes)
+
+    def _should_spill(self, nbytes: int) -> bool:
+        if self.budget_bytes is None or nbytes < SMALL_ALLOCATION_BYTES:
+            return False
+        with self._lock:
+            return self._resident_bytes + nbytes > self.budget_bytes
+
+    def _released(self, nbytes: int) -> None:
+        with self._lock:
+            self._resident_bytes = max(0, self._resident_bytes - nbytes)
+
+    def _spill(self, n_rows: int, dtype: np.dtype, nbytes: int) -> np.ndarray:
+        fd, path = tempfile.mkstemp(prefix="scratch-", suffix=".spill", dir=self.directory)
+        try:
+            os.ftruncate(fd, max(1, nbytes))
+            array = np.memmap(path, dtype=dtype, mode="r+", shape=(n_rows,))
+        finally:
+            os.close(fd)
+            # Unlink immediately: the mapping keeps the file alive, and a
+            # crashed process leaves no spill litter behind.
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - platform quirks
+                pass
+        with self._lock:
+            self.spill_count += 1
+            self.spilled_bytes += nbytes
+            self._spilled.append(weakref.ref(array))
+        return array
+
+    # ------------------------------------------------------------------
+    def trim(self) -> None:
+        """Flush spilled arrays and drop their resident pages (best effort)."""
+        with self._lock:
+            refs = [ref for ref in self._spilled if ref() is not None]
+            self._spilled = refs
+        for ref in refs:
+            array = ref()
+            if array is not None:
+                trim_mapped(array)
+
+    def stats(self) -> dict:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "resident_bytes": int(self._resident_bytes),
+            "spill_count": int(self.spill_count),
+            "spilled_bytes": int(self.spilled_bytes),
+        }
+
+
+def trim_mapped(array: np.ndarray) -> None:
+    """Write back and drop the resident pages of one ``np.memmap``."""
+    raw = getattr(array, "_mmap", None)
+    if raw is None:
+        return
+    try:
+        array.flush()
+        raw.madvise(mmap.MADV_DONTNEED)
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+class BlockArena:
+    """Fixed-size block supplier carving blocks out of spillable slabs.
+
+    The linked-block structures (:class:`~repro.progressive.blocks.BlockList`)
+    allocate one small ``np.empty`` per block; under a memory budget those
+    tiny anonymous allocations collectively reach O(N).  An arena instead
+    allocates large slabs through the :class:`ScratchAllocator` (which
+    spills them once past budget) and hands out block-sized views.
+    """
+
+    def __init__(
+        self,
+        allocator: ScratchAllocator,
+        block_size: int,
+        dtype,
+        slab_blocks: int = 64,
+    ) -> None:
+        self.allocator = allocator
+        self.block_size = int(block_size)
+        self.dtype = np.dtype(dtype)
+        self.slab_blocks = max(1, int(slab_blocks))
+        self._slab: np.ndarray | None = None
+        self._next_block = 0
+        self._lock = threading.Lock()
+
+    def new_block(self) -> np.ndarray:
+        """A writable array of ``block_size`` rows (a view into a slab)."""
+        with self._lock:
+            if self._slab is None or self._next_block >= self.slab_blocks:
+                self._slab = self.allocator.allocate(
+                    self.block_size * self.slab_blocks, self.dtype
+                )
+                self._next_block = 0
+            start = self._next_block * self.block_size
+            self._next_block += 1
+            return self._slab[start : start + self.block_size]
