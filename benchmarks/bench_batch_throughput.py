@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import numpy as np
 
+from bench_common import timed_stage
 from repro.core.query import Predicate
 from repro.engine.batch import BatchExecutor
 from repro.engine.metrics import BatchMetrics
@@ -69,9 +69,9 @@ def parse_args(argv=None) -> argparse.Namespace:
 def run_one(name: str, data: np.ndarray, predicates: list) -> BatchMetrics:
     """Time a sequential loop and a batch execution of the same workload."""
     sequential_index = create_index(name, Column(data, name="value"))
-    started = time.perf_counter()
-    sequential_results = [sequential_index.query(p) for p in predicates]
-    sequential_seconds = time.perf_counter() - started
+    with timed_stage("sequential_loop", algorithm=name) as sequential_timer:
+        sequential_results = [sequential_index.query(p) for p in predicates]
+    sequential_seconds = sequential_timer.seconds
 
     batch_index = create_index(name, Column(data, name="value"))
     batch = BatchExecutor().execute(batch_index, predicates)

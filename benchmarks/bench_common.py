@@ -12,6 +12,60 @@ not an assertion lost to the console.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
+from time import perf_counter
+
+#: Stages recorded by :func:`timed_stage` in this process, in order.
+_STAGES: list[dict] = []
+
+
+class StageTimer:
+    """Handle yielded by :func:`timed_stage`; ``seconds`` is set on exit."""
+
+    __slots__ = ("name", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+
+
+@contextmanager
+def timed_stage(name: str, **attrs):
+    """Time one benchmark phase through the engine's span API.
+
+    Replaces the ad-hoc ``perf_counter()`` pairs the benchmark scripts
+    used to carry: the phase becomes a ``bench.<name>`` span (visible in
+    trace exports when tracing is on) and is recorded for
+    :func:`stage_breakdown`, so every ``BENCH_*.json`` that stamps
+    :func:`run_metadata` gains a per-phase breakdown for free.  The
+    yielded :class:`StageTimer` exposes ``seconds`` after the block so
+    callers can keep using the measurement in their own arithmetic.
+    """
+    from repro import obs
+
+    timer = StageTimer(name)
+    with obs.span(f"bench.{name}", **attrs):
+        started = perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.seconds = perf_counter() - started
+            _STAGES.append({"stage": name, "seconds": timer.seconds, **attrs})
+
+
+def stage_breakdown() -> dict:
+    """Aggregate all :func:`timed_stage` phases recorded so far.
+
+    Maps stage name to total ``seconds`` and invocation ``count`` —
+    the per-phase breakdown :func:`run_metadata` embeds in every
+    benchmark's JSON payload.
+    """
+    summary: dict[str, dict] = {}
+    for record in _STAGES:
+        entry = summary.setdefault(record["stage"], {"seconds": 0.0, "count": 0})
+        entry["seconds"] += record["seconds"]
+        entry["count"] += 1
+    return summary
 
 
 def peak_rss_bytes() -> int | None:
@@ -35,7 +89,12 @@ def peak_rss_bytes() -> int | None:
 def run_metadata(rows: int, *, workers: int | None = None,
                  shards: int | None = None,
                  memory_budget: int | None = None) -> dict:
-    """Machine/scale context recorded by every ``BENCH_*.json`` writer."""
+    """Machine/scale context recorded by every ``BENCH_*.json`` writer.
+
+    Includes the :func:`stage_breakdown` of every :func:`timed_stage`
+    phase the benchmark ran, so per-phase timings land in the JSON
+    without each script assembling them by hand.
+    """
     return {
         "rows": int(rows),
         "workers": int(workers) if workers is not None else None,
@@ -43,4 +102,5 @@ def run_metadata(rows: int, *, workers: int | None = None,
         "memory_budget": int(memory_budget) if memory_budget is not None else None,
         "peak_rss_bytes": peak_rss_bytes(),
         "cpu_count": os.cpu_count(),
+        "stages": stage_breakdown(),
     }

@@ -1,0 +1,217 @@
+"""Observability overhead: instrumented vs bare read throughput.
+
+The unified observability layer claims its always-on metrics cost at most
+**3%** of converged read throughput.  The hot path per query is one
+``perf_counter`` pair plus one histogram observe (a ``bisect_right`` into
+fixed log-scale buckets and three per-thread cell updates) — everything
+else (cache counters, delta sizes, index phases) is *pulled* lazily at
+snapshot time and costs nothing per query.  This benchmark measures that
+claim at the paper's canonical scale:
+
+* build a column, create a progressive index and drive it to convergence
+  (instrumentation excluded from the build — the gate is about the
+  steady-state read path, where relative overhead is largest because the
+  per-query work is smallest);
+* time the same random range workload with the metrics registry
+  **enabled** and **disabled** (``obs.configure(metrics=...)``), a fresh
+  index per arm so instruments bind against the arm's registry;
+* run many short rounds, each timing all arms back to back in rotating
+  order, and gate on the ratio of the **best** throughput each arm
+  achieved.  On shared hosts (CI runners, VMs with CPU steal) absolute
+  throughput can swing tens of percent between seconds, which dominates
+  mean- and even median-based estimates; but interference only ever
+  *subtracts* throughput, so each arm's best-of-N round converges on its
+  interference-free speed and the best/best ratio isolates the true cost
+  of the instrumentation.  Per-round medians and ratios are reported
+  alongside for context.
+
+A third, ungated ``tracing`` arm records the cost with per-query span
+capture on as well — the detailed mode is off by default precisely
+because it is allowed to cost more.
+
+Results go to ``BENCH_observability.json``; the run exits non-zero when
+the enabled-vs-disabled overhead exceeds the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_common import run_metadata, timed_stage
+
+#: Queries driven per convergence attempt before giving up.
+MAX_DRIVE_QUERIES = 16_384
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000,
+                        help="rows in the benchmarked column")
+    parser.add_argument("--queries", type=int, default=4_000,
+                        help="measured queries per arm per round")
+    parser.add_argument("--repeats", type=int, default=15,
+                        help="rounds (median of per-round ratios gated)")
+    parser.add_argument("--method", default="PQ", help="index algorithm acronym")
+    parser.add_argument("--max-overhead", type=float, default=3.0,
+                        help="gate: max %% throughput cost of enabled metrics")
+    parser.add_argument("--seed", type=int, default=17, help="random seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs (gate relaxed)")
+    parser.add_argument("--output", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows = min(args.rows, 100_000)
+        args.queries = min(args.queries, 2_000)
+        args.repeats = min(args.repeats, 7)
+        # Tiny runs are noise-dominated; keep the arms honest but do not
+        # fail CI on scheduler jitter.  The nightly full run enforces 3%.
+        args.max_overhead = max(args.max_overhead, 25.0)
+    return args
+
+
+def _converged_index(method: str, data: np.ndarray, predicates) -> "BaseIndex":
+    from repro.core.query import Predicate
+    from repro.engine.registry import create_index
+    from repro.storage.column import Column
+
+    index = create_index(method, Column(data, name="value"))
+    for query_number in range(MAX_DRIVE_QUERIES):
+        low, high = predicates[query_number % len(predicates)]
+        index.query(Predicate(low, high))
+        if index.converged:
+            return index
+    raise RuntimeError(f"{method} failed to converge within {MAX_DRIVE_QUERIES} queries")
+
+
+def _build_arms(method: str, data: np.ndarray, predicates) -> dict:
+    """One converged index per arm, built under that arm's configuration.
+
+    Indexes bind their instruments at construction, so the ``disabled``
+    arm's index holds null instruments permanently while the metrics arms
+    hold live ones — the build cost is paid once and the measurement
+    repeats merely toggle the tracer flag.
+    """
+    from repro import obs
+
+    indexes = {}
+    for arm in ("enabled", "disabled", "tracing"):
+        obs.configure(metrics=(arm != "disabled"), tracing=False)
+        try:
+            indexes[arm] = _converged_index(method, data, predicates)
+        finally:
+            obs.configure(metrics=True, tracing=False)
+    return indexes
+
+
+def _measure_arm(arm: str, index, predicates, queries: int) -> float:
+    """Converged read throughput (queries/second) for one configuration."""
+    from repro import obs
+    from repro.core.query import Predicate
+
+    obs.configure(tracing=(arm == "tracing"))
+    try:
+        prepared = [
+            Predicate(*predicates[n % len(predicates)]) for n in range(queries)
+        ]
+        query = index.query
+        started = time.perf_counter()
+        for predicate in prepared:
+            query(predicate)
+        elapsed = time.perf_counter() - started
+        if arm == "tracing":
+            obs.tracer().clear()
+    finally:
+        obs.configure(tracing=False)
+    return queries / elapsed if elapsed > 0 else float("inf")
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 10_000_000, size=args.rows)
+    predicates = [
+        (int(low), int(low) + 100_000)
+        for low in rng.integers(0, 9_000_000, size=256)
+    ]
+
+    arms = ("enabled", "disabled", "tracing")
+    with timed_stage("build", rows=args.rows):
+        indexes = _build_arms(args.method, data, predicates)
+    throughput = {arm: [] for arm in arms}
+    rounds = []
+    with timed_stage("measure", rows=args.rows):
+        for repeat in range(args.repeats):
+            # Rotate the arm order so slow drift (thermal, page cache)
+            # never systematically lands on the same arm.
+            this_round = {}
+            for offset in range(len(arms)):
+                arm = arms[(repeat + offset) % len(arms)]
+                qps = _measure_arm(arm, indexes[arm], predicates, args.queries)
+                throughput[arm].append(qps)
+                this_round[arm] = qps
+            rounds.append(this_round)
+            print(
+                f"round {repeat}: "
+                + "  ".join(f"{arm} {this_round[arm]:,.0f} q/s" for arm in arms),
+                flush=True,
+            )
+
+    medians = {arm: statistics.median(values) for arm, values in throughput.items()}
+    best = {arm: max(values) for arm, values in throughput.items()}
+    metrics_ratios = [r["enabled"] / r["disabled"] for r in rounds]
+    tracing_ratios = [r["tracing"] / r["disabled"] for r in rounds]
+    overhead_pct = 100.0 * (1.0 - best["enabled"] / best["disabled"])
+    tracing_pct = 100.0 * (1.0 - best["tracing"] / best["disabled"])
+    passed = overhead_pct <= args.max_overhead
+
+    report = {
+        "benchmark": "observability_overhead",
+        "method": args.method,
+        "queries_per_arm": args.queries,
+        "repeats": args.repeats,
+        "throughput_qps": {arm: sorted(values) for arm, values in throughput.items()},
+        "median_qps": medians,
+        "best_qps": best,
+        "round_ratio_median": {
+            "enabled": statistics.median(metrics_ratios),
+            "tracing": statistics.median(tracing_ratios),
+        },
+        "metrics_overhead_percent": overhead_pct,
+        "tracing_overhead_percent": tracing_pct,
+        "max_overhead_percent": args.max_overhead,
+        "passed": passed,
+        "smoke": bool(args.smoke),
+        "run": run_metadata(args.rows),
+    }
+    if args.output or not args.smoke:
+        # Smoke runs never clobber the committed full-scale report.
+        output = Path(args.output or Path(__file__).resolve().parent.parent / "BENCH_observability.json")
+        output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps({k: report[k] for k in (
+        "median_qps", "best_qps", "metrics_overhead_percent",
+        "tracing_overhead_percent", "passed"
+    )}, indent=2))
+    if not passed:
+        print(
+            f"FAIL: metrics overhead {overhead_pct:.2f}% exceeds "
+            f"{args.max_overhead:.2f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,12 +38,11 @@ import json
 import shutil
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
 
-from bench_common import run_metadata
+from bench_common import run_metadata, timed_stage
 from repro.core.phase import IndexPhase
 from repro.persist.database import Database
 
@@ -91,20 +90,20 @@ def measure_algorithm(method: str, data: np.ndarray, domain: int, workdir: Path)
     db.close(checkpoint=False)
 
     # Warm restart: open + restore + first answer.
-    started = time.perf_counter()
-    db = Database.open(warm_dir)
-    warm_queries = _drive_to_convergence(db, "ra", predicates)
-    warm_result = db.between("ra", *predicates[0])
-    warm_seconds = time.perf_counter() - started
+    with timed_stage("warm_restart", algorithm=method) as warm_timer:
+        db = Database.open(warm_dir)
+        warm_queries = _drive_to_convergence(db, "ra", predicates)
+        warm_result = db.between("ra", *predicates[0])
+    warm_seconds = warm_timer.seconds
     warm_phase = db.index_for("ra").phase.value
     db.close(checkpoint=False)
 
     # Cold restart: open + full rebuild + first answer.
-    started = time.perf_counter()
-    db = Database.open(cold_dir)
-    cold_queries = _drive_to_convergence(db, "ra", predicates)
-    cold_result = db.between("ra", *predicates[0])
-    cold_seconds = time.perf_counter() - started
+    with timed_stage("cold_restart", algorithm=method) as cold_timer:
+        db = Database.open(cold_dir)
+        cold_queries = _drive_to_convergence(db, "ra", predicates)
+        cold_result = db.between("ra", *predicates[0])
+    cold_seconds = cold_timer.seconds
     db.close(checkpoint=False)
 
     shutil.rmtree(warm_dir)

@@ -5,13 +5,18 @@
     python -m repro inspect <dir>           # catalog, WAL size, index phases
     python -m repro demo [--dir DIR]        # write -> crashless restart -> warm resume
     python -m repro bench [--rows N] [--dir DIR]   # cold rebuild vs warm resume
+    python -m repro top <endpoint>          # live telemetry from a running server
 
 ``inspect`` prints the durability status of an existing database directory:
 the catalog, per-column base/visible rows, WAL size and pending operations,
 the checkpoint watermark, and every index's life-cycle phase.  ``demo``
 walks the full durability story in a scratch directory; ``bench`` runs the
 restart-warmup measurement at a configurable scale (see
-``benchmarks/bench_restart_warmup.py`` for the CI-gated version).
+``benchmarks/bench_restart_warmup.py`` for the CI-gated version).  ``top``
+attaches to a live :mod:`repro.serve` endpoint (Unix-socket path or
+``host:port``) and periodically renders the server's metrics snapshot —
+query rates, index phases, cache hit ratio, scheduler fairness — like a
+tiny ``top(1)`` for the engine.
 """
 
 from __future__ import annotations
@@ -148,6 +153,109 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(endpoint: str):
+    """``host:port`` -> tuple, anything else -> Unix-socket path."""
+    if ":" in endpoint and not endpoint.startswith("/"):
+        host, _, port = endpoint.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+    return endpoint
+
+
+def _sum_series(snapshot: dict, name: str, field: str = "value") -> float:
+    total = 0.0
+    for entry in snapshot.get("series", []):
+        if entry["name"] == name:
+            total += float(entry.get(field, 0.0))
+    return total
+
+
+def _render_top(status: dict, snapshot: dict, previous, interval: float) -> None:
+    # Exact query counts come from the index.queries pull series; the
+    # duration histogram samples converged reads and would undercount.
+    queries = _sum_series(snapshot, "index.queries")
+    rate = ""
+    if previous is not None and interval > 0:
+        prior = _sum_series(previous, "index.queries")
+        rate = f"  ({max(0.0, queries - prior) / interval:,.0f} q/s)"
+    print(f"queries    {queries:,.0f}{rate}")
+
+    hits = _sum_series(snapshot, "cache.block.hits")
+    misses = _sum_series(snapshot, "cache.block.misses")
+    if hits + misses > 0:
+        print(
+            f"blockcache {hits:,.0f} hits / {misses:,.0f} misses "
+            f"({hits / (hits + misses):.1%} hit rate), "
+            f"{_sum_series(snapshot, 'cache.block.evictions'):,.0f} evictions"
+        )
+    spills = _sum_series(snapshot, "scratch.spill.count") + _sum_series(
+        snapshot, "delta.spills"
+    )
+    if spills:
+        print(
+            f"spills     {spills:,.0f} "
+            f"({_sum_series(snapshot, 'scratch.spill.bytes'):,.0f} scratch bytes)"
+        )
+
+    wal_bytes = _sum_series(snapshot, "wal.size.bytes")
+    commits = _sum_series(snapshot, "wal.commits")
+    if commits or wal_bytes:
+        print(f"wal        {wal_bytes:,.0f} bytes, {commits:,.0f} commit(s)")
+
+    for entry in sorted(
+        snapshot.get("series", []), key=lambda e: str(e.get("labels"))
+    ):
+        if entry["name"] != "index.queries":
+            continue
+        labels = entry.get("labels", {})
+        column = labels.get("column", "?")
+        phase = (status.get("indexes", {}).get(column) or {}).get("phase", "?")
+        print(
+            f"index      {column}: {labels.get('algorithm', '?')} "
+            f"phase={phase} queries={entry['value']:,.0f}"
+        )
+
+    admitted = {
+        entry.get("labels", {}).get("cls"): entry["value"]
+        for entry in snapshot.get("series", [])
+        if entry["name"] == "scheduler.admitted"
+    }
+    scheduler = status.get("scheduler") or {}
+    for cls_name, entry in sorted((scheduler.get("classes") or {}).items()):
+        print(
+            f"class      {cls_name}: tau={entry.get('tau')} "
+            f"balance={entry.get('balance', 0.0):.4f} "
+            f"admitted={admitted.get(cls_name, 0.0):,.0f}"
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient
+
+    address = _parse_endpoint(args.endpoint)
+    iterations = 1 if args.once else args.iterations
+    previous = None
+    tick = 0
+    with ServiceClient(address, role="reader", connection_class="admin") as client:
+        while True:
+            snapshot = client.metrics()
+            status = client.status()
+            if args.json:
+                print(json.dumps({"status": status, "metrics": snapshot}))
+            else:
+                if tick:
+                    print()
+                print(f"--- repro top @ {snapshot.get('at', 0.0):.3f} ---")
+                if not snapshot.get("enabled", True):
+                    print("(metrics registry disabled on the server)")
+                _render_top(status, snapshot, previous, args.interval)
+            sys.stdout.flush()
+            tick += 1
+            previous = snapshot
+            if iterations and tick >= iterations:
+                return 0
+            time.sleep(args.interval)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -170,6 +278,20 @@ def main(argv=None) -> int:
     bench.add_argument("--rows", type=int, default=200_000, help="rows in the column")
     bench.add_argument("--method", default="PQ", help="index algorithm acronym")
     bench.set_defaults(handler=_cmd_bench)
+
+    top = commands.add_parser("top", help="live telemetry from a running query server")
+    top.add_argument(
+        "endpoint", help="server endpoint: Unix-socket path or host:port"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, help="stop after N refreshes (0 = forever)"
+    )
+    top.add_argument("--once", action="store_true", help="print one snapshot and exit")
+    top.add_argument("--json", action="store_true", help="emit raw JSON per refresh")
+    top.set_defaults(handler=_cmd_top)
 
     args = parser.parse_args(argv)
     try:

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Callable
+
+from repro import obs
 
 from repro.core.budget import FixedBudget
 from repro.core.calibration import CostConstants
@@ -58,6 +61,20 @@ def _snapshot_is_compressed(snapshot) -> bool:
         return False
     parts = data.parts if isinstance(data, ChainArray) else (data,)
     return any(hasattr(part, "reader") for part in parts)
+
+
+#: Stable tracer singleton; hot paths read one attribute (``.enabled``)
+#: per query when the detailed trace mode is off.
+_TR = obs.tracer()
+
+#: Duration-sampling period for converged steady-state reads.  While an
+#: index is under construction every query is timed (the budgeted work
+#: dwarfs the timer), but once converged a query is a bare structure probe
+#: and two clock reads plus a histogram observe would be the largest
+#: non-essential cost on the hottest path — so only every Nth converged
+#: read is timed.  Query *counts* stay exact: they come from the
+#: ``index.queries`` pull series, not from histogram totals.
+_OBS_SAMPLE_EVERY = 7
 
 
 @dataclass
@@ -183,6 +200,26 @@ class BaseIndex(DeltaOverlay, abc.ABC):
             ) / constants_eff.omega
         else:
             self._decompress_ratio = 0.0
+        # Observability: one duration histogram and one actual/predicted
+        # ratio histogram per algorithm, shared across instances via the
+        # registry's idempotent lookup.  A disabled registry hands back a
+        # falsy no-op, which the query hot path uses to skip its timers.
+        registry = obs.metrics()
+        self._obs_query_seconds = registry.histogram(
+            "index.query.seconds",
+            help=(
+                "End-to-end index.query() latency including budgeted work "
+                "(converged steady-state reads sampled 1:%d)" % _OBS_SAMPLE_EVERY
+            ),
+            algorithm=self.name,
+        )
+        self._obs_sample_tick = 1
+        self._obs_tau_ratio = registry.histogram(
+            "index.tau.ratio",
+            help="Actual / predicted query cost (tau-miss debugging)",
+            edges=obs.RATIO_EDGES,
+            algorithm=self.name,
+        )
         self._init_overlay(live, snapshot)
 
     # ------------------------------------------------------------------
@@ -264,23 +301,76 @@ class BaseIndex(DeltaOverlay, abc.ABC):
             raise IndexStateError(
                 f"query() expects a Predicate, got {type(predicate).__name__}"
             )
-        self._queries_executed += 1
-        self.last_stats = QueryStats(
-            query_number=self._queries_executed, phase=self.phase
-        )
-        started = self._controller.query_started()
-        result = self._execute(predicate)
-        if self._overlay_active():
-            correction = self._overlay_correction(predicate)
-            if correction is not None:
-                result = result + correction
-            # Maintenance runs strictly after the correction: a fold changes
-            # the watermark the *next* query's correction is computed from.
-            self._merge_maintenance(predicate)
-        self._controller.query_finished(started, self.last_stats.predicted_cost)
-        self._lifecycle.note_query(
-            self.last_stats.phase, self.last_stats.indexing_seconds
-        )
+        hist = self._obs_query_seconds
+        tracing = _TR.enabled
+        t0 = 0.0
+        if tracing or (hist and self._lifecycle.phase is not IndexPhase.CONVERGED):
+            t0 = perf_counter()
+        elif hist:
+            tick = self._obs_sample_tick - 1
+            if tick <= 0:
+                self._obs_sample_tick = _OBS_SAMPLE_EVERY
+                t0 = perf_counter()
+            else:
+                self._obs_sample_tick = tick
+        qspan = None
+        if tracing:
+            qspan = _TR.start("index.query", {
+                "column": getattr(self._column, "name", None),
+                "algorithm": self.name,
+            })
+        try:
+            self._queries_executed += 1
+            self.last_stats = QueryStats(
+                query_number=self._queries_executed, phase=self.phase
+            )
+            started = self._controller.query_started()
+            espan = _TR.start("phase.execute") if tracing else None
+            result = self._execute(predicate)
+            if espan is not None:
+                arrival = self.last_stats.phase
+                ran = self.phase if arrival is IndexPhase.INACTIVE else arrival
+                espan.rename(f"phase.{ran.value}").set(
+                    delta=self.last_stats.delta,
+                    elements_indexed=self.last_stats.elements_indexed,
+                ).end()
+            if self._overlay_active():
+                cspan = _TR.start("overlay.correct") if tracing else None
+                correction = self._overlay_correction(predicate)
+                if cspan is not None:
+                    cspan.end()
+                if correction is not None:
+                    result = result + correction
+                # Maintenance runs strictly after the correction: a fold
+                # changes the watermark the *next* query's correction is
+                # computed from.
+                mspan = _TR.start("overlay.merge") if tracing else None
+                self._merge_maintenance(predicate)
+                if mspan is not None:
+                    mspan.end()
+            self._controller.query_finished(started, self.last_stats.predicted_cost)
+            self._lifecycle.note_query(
+                self.last_stats.phase, self.last_stats.indexing_seconds
+            )
+        finally:
+            if qspan is not None:
+                stats = self.last_stats
+                qspan.set(
+                    phase=stats.phase.value,
+                    delta=stats.delta,
+                    predicted_cost=stats.predicted_cost,
+                    query_number=stats.query_number,
+                ).end()
+        if hist and t0:
+            elapsed = perf_counter() - t0
+            hist.observe(elapsed)
+            stats = self.last_stats
+            # The tau ratio tracks the cost model's prediction error while
+            # the model is steering construction; converged steady-state
+            # reads make no delta decision, so charging them an extra
+            # observe would only tax the hottest path.
+            if stats.predicted_cost and stats.phase is not IndexPhase.CONVERGED:
+                self._obs_tau_ratio.observe(elapsed / stats.predicted_cost)
         return result
 
     def search_many(self, lows, highs):
@@ -473,6 +563,23 @@ class BaseIndex(DeltaOverlay, abc.ABC):
         self.last_stats.delta = decision.delta
         self.last_stats.predicted_breakdown = decision.predicted
         self.last_stats.predicted_cost = decision.predicted_seconds
+        if _TR.enabled:
+            span = _TR.current()
+            if span is not None:
+                predicted = decision.predicted
+                span.add_decision({
+                    "phase": self.phase.value,
+                    "delta": decision.delta,
+                    "predicted_seconds": decision.predicted_seconds,
+                    "breakdown": None if predicted is None else {
+                        "scan": predicted.scan,
+                        "lookup": predicted.lookup,
+                        "indexing": predicted.indexing,
+                        "merge": predicted.merge,
+                        "decompress": predicted.decompress,
+                        "total": predicted.total,
+                    },
+                })
         return decision
 
     def _scan_column(self, predicate: Predicate, start: int = 0, stop: int | None = None) -> QueryResult:

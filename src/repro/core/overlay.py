@@ -258,14 +258,24 @@ class DeltaOverlay:
         cap = self._overlay_cap_rows
         if cap is None:
             return
+        sealed = 0
         if self._buffer_ins.size > cap:
             self._run_ins.seal(self._buffer_ins)
             self._buffer_ins = np.empty(0, dtype=self._buffer_ins.dtype)
             self._buffer_ins_prefix = None
+            sealed += 1
         if self._buffer_del.size > cap:
             self._run_del.seal(self._buffer_del)
             self._buffer_del = np.empty(0, dtype=self._buffer_del.dtype)
             self._buffer_del_prefix = None
+            sealed += 1
+        if sealed:
+            from repro import obs
+
+            obs.metrics().counter(
+                "overlay.seals",
+                help="Overlay buffers sealed into sorted on-disk runs",
+            ).inc(sealed)
 
     # ------------------------------------------------------------------
     # Tier-2 merge: sorted buffers -> structure (budget-priced)
@@ -378,6 +388,12 @@ class DeltaOverlay:
         self._folded_seq = self._absorbed_seq
         self._rows_folded += folded_rows
         self._folds_completed += 1
+        from repro import obs
+
+        obs.metrics().counter(
+            "overlay.folds",
+            help="Budget-priced delta folds merged into index structures",
+        ).inc()
         self._clear_buffers()
         if self._live.version == self._folded_seq:
             self._merge_credit = 0.0

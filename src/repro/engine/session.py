@@ -39,10 +39,12 @@ True
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.full_scan import FullScan
 from repro.core.policy import BudgetPolicy, CostModelGreedy, FixedDelta, TimeAdaptive
 from repro.core.calibration import CostConstants
@@ -119,6 +121,38 @@ class IndexingSession:
         # FullScan.search_many caches its sorted scratch copy, so repeated
         # batches only pay the O(N log N) preparation once per column.
         self._scan_handles: Dict[str, FullScan] = {}
+        registry = obs.metrics()
+        self._obs_where_seconds = registry.histogram(
+            "session.where.seconds",
+            help="Conjunctive where() latency (planning + driving index + masks)",
+        )
+        self._obs_batch_seconds = registry.histogram(
+            "session.batch.seconds",
+            help="execute_batch() latency for one whole batch",
+        )
+        self._obs_batch_queries = registry.counter(
+            "session.batch.queries",
+            help="Individual predicates answered through execute_batch()",
+        )
+
+    def _register_index_obs(self, column_name: str, index) -> None:
+        """Pull series for an index's own counters (no hot-path cost)."""
+        registry = obs.metrics()
+        registry.register_pull(
+            "index.queries", index, lambda i: i.queries_executed,
+            help="Queries answered by this index",
+            column=column_name, algorithm=index.name,
+        )
+        registry.register_pull(
+            "index.phase", index, lambda i: i.phase.order, kind="gauge",
+            help="Life-cycle phase ordinal (0=inactive .. 4=converged)",
+            column=column_name,
+        )
+        registry.register_pull(
+            "index.memory.bytes", index, lambda i: i.memory_footprint(),
+            kind="gauge", help="Index structure footprint",
+            column=column_name,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -222,6 +256,7 @@ class IndexingSession:
                 method, column, budget=budget, constants=self._constants, **kwargs
             )
         self._indexes[column_name] = index
+        self._register_index_obs(column_name, index)
         return index
 
     @staticmethod
@@ -342,6 +377,7 @@ class IndexingSession:
             **kwargs,
         )
         self._indexes[column_name] = index
+        self._register_index_obs(column_name, index)
         return index
 
     def drop_index(self, column_name: str) -> None:
@@ -373,6 +409,7 @@ class IndexingSession:
                 f"attach_index() expects a BaseIndex, got {type(index).__name__}"
             )
         self._indexes[column_name] = index
+        self._register_index_obs(column_name, index)
         return index
 
     # ------------------------------------------------------------------
@@ -528,19 +565,31 @@ class IndexingSession:
             One result per query, in submission order.  Inverted ranges
             (``low > high``) yield empty results, matching :meth:`between`.
         """
+        hist = self._obs_batch_seconds
+        tracer = obs.tracer()
+        if hist or tracer.enabled:
+            batch_started = perf_counter()
         executor = executor or BatchExecutor()
         pairs = self._normalize_batch(queries, column_name)
-        # Inverted ranges select nothing; answer them directly (the same
-        # leniency as between()) and hand only valid predicates downstream.
-        valid = [(number, pair) for number, pair in enumerate(pairs) if pair[1] is not None]
-        results: List[QueryResult] = [QueryResult.empty() for _ in pairs]
-        if valid:
-            valid_pairs = [pair for _, pair in valid]
-            columns = {name: self._table.column(name) for name, _ in valid_pairs}
-            indexes = {name: self._batch_handle(name, column) for name, column in columns.items()}
-            answers = executor.execute_grouped(indexes, valid_pairs, columns)
-            for (number, _), answer in zip(valid, answers):
-                results[number] = answer
+        span = tracer.start("session.batch", {"queries": len(pairs)}) if tracer.enabled else None
+        try:
+            # Inverted ranges select nothing; answer them directly (the same
+            # leniency as between()) and hand only valid predicates downstream.
+            valid = [(number, pair) for number, pair in enumerate(pairs) if pair[1] is not None]
+            results: List[QueryResult] = [QueryResult.empty() for _ in pairs]
+            if valid:
+                valid_pairs = [pair for _, pair in valid]
+                columns = {name: self._table.column(name) for name, _ in valid_pairs}
+                indexes = {name: self._batch_handle(name, column) for name, column in columns.items()}
+                answers = executor.execute_grouped(indexes, valid_pairs, columns)
+                for (number, _), answer in zip(valid, answers):
+                    results[number] = answer
+        finally:
+            if span is not None:
+                span.end()
+        if hist:
+            hist.observe(perf_counter() - batch_started)
+            self._obs_batch_queries.inc(len(pairs))
         return results
 
     def _batch_handle(self, column_name: str, column: Column) -> BaseIndex:
@@ -642,6 +691,21 @@ class IndexingSession:
         """
         if not predicates:
             raise ExperimentError("where() requires at least one column predicate")
+        hist = self._obs_where_seconds
+        tracer = obs.tracer()
+        if hist or tracer.enabled:
+            started = perf_counter()
+        if tracer.enabled:
+            with tracer.span("session.where", columns=sorted(predicates)) as span:
+                result = self._where_impl(predicates)
+                span.set(count=int(result.count), driving=result.driving_column)
+        else:
+            result = self._where_impl(predicates)
+        if hist:
+            hist.observe(perf_counter() - started)
+        return result
+
+    def _where_impl(self, predicates: Mapping[str, Sequence]) -> ConjunctionResult:
         bounds: Dict[str, tuple] = {}
         for column_name, pair in predicates.items():
             column = self._table.column(column_name)  # validates the name
@@ -749,4 +813,20 @@ class IndexingSession:
             if shard_status is not None:
                 entry["sharding"] = shard_status()
             report[column_name] = entry
+        budget = self.memory_budget
+        if budget is None:
+            # Columns opened with their own budget (Column.from_file) and
+            # never attached to a session-level one still get surfaced.
+            for column_name in self._table.column_names:
+                budget = getattr(
+                    self._table.column(column_name), "memory_budget", None
+                )
+                if budget is not None:
+                    break
+        if budget is not None:
+            # Out-of-core sessions surface the BlockCache hit/miss/eviction
+            # and scratch-spill counters alongside the per-index entries.
+            # "memory" is a reserved key (a column of that name would have
+            # its entry replaced here; none of the engine's callers do).
+            report["memory"] = budget.stats()
         return _json_safe(report)

@@ -1,0 +1,93 @@
+"""``repro.obs`` — unified observability: metrics registry + trace spans.
+
+Public surface
+--------------
+* :func:`metrics` — the process-wide :class:`MetricsRegistry`.  Components
+  bind instruments at construction time (``obs.metrics().histogram(...)``)
+  and register pull series for counters they already maintain.
+* :func:`tracer` — the process-wide :class:`Tracer` (disabled by default;
+  the detailed mode).  Hot paths guard on ``tracer().enabled``.
+* :func:`configure` — flip metrics / tracing on or off.  Turning metrics
+  *on* installs a **fresh** registry, so components constructed afterwards
+  bind live instruments; turning it *off* installs a disabled registry
+  whose instruments are shared no-ops (components constructed afterwards
+  pay nothing).  Already-constructed components keep whatever they bound.
+* :func:`span` — shorthand for ``tracer().span(...)``.
+
+Metric names and labels are documented in ``src/repro/obs/METRICS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import render_prometheus
+from repro.obs.registry import (
+    DURATION_EDGES,
+    RATIO_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "metrics",
+    "tracer",
+    "configure",
+    "span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "render_prometheus",
+    "DURATION_EDGES",
+    "RATIO_EDGES",
+]
+
+_metrics = MetricsRegistry(enabled=True)
+_tracer = Tracer(enabled=False)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (swapped by :func:`configure`)."""
+    return _metrics
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer.  A stable singleton: hot paths may cache it."""
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """``with obs.span("stage"): ...`` — no-op when tracing is off."""
+    return _tracer.span(name, **attrs)
+
+
+def configure(*, metrics: bool | None = None, tracing: bool | None = None,
+              trace_path: str | None | bool = False,
+              trace_buffer: int | None = None) -> None:
+    """Reconfigure the global observability state.
+
+    Parameters
+    ----------
+    metrics:
+        ``True`` installs a fresh enabled registry (dropping all prior
+        series); ``False`` installs a disabled registry.  ``None`` leaves
+        the current one.
+    tracing:
+        Toggle the detailed trace mode on the (stable) global tracer.
+    trace_path:
+        JSONL sink path for finished spans; ``None`` closes the sink.
+        The default ``False`` leaves the sink untouched.
+    trace_buffer:
+        Resize the tracer's in-memory ring buffer.
+    """
+    global _metrics
+    if metrics is not None:
+        _metrics = MetricsRegistry(enabled=bool(metrics))
+    if tracing is not None or trace_path is not False or trace_buffer is not None:
+        _tracer.configure(enabled=tracing, buffer_size=trace_buffer,
+                          sink_path=trace_path)

@@ -1,0 +1,81 @@
+"""Prometheus-style text exposition of a registry snapshot.
+
+The wire format follows the Prometheus text exposition conventions
+closely enough for standard scrapers and ``promtool`` to parse: metric
+names are sanitised (dots become underscores, everything gets a
+``repro_`` prefix), histograms expand to cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``, and counters get a ``_total``
+suffix.  The input is a :meth:`MetricsRegistry.snapshot` dict, so the
+renderer never touches live instruments and needs no locks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_prometheus", "prometheus_name"]
+
+_PREFIX = "repro_"
+
+
+def prometheus_name(name: str, kind: str = "gauge") -> str:
+    base = _PREFIX + "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    seen_help: set[str] = set()
+    for sample in snapshot.get("series", []):
+        kind = sample.get("kind", "gauge")
+        name = prometheus_name(sample["name"], kind)
+        labels = sample.get("labels", {})
+        if name not in seen_help:
+            seen_help.add(name)
+            help_text = (sample.get("help") or sample["name"]).replace("\n", " ")
+            lines.append(f"# HELP {name} {help_text}")
+            prom_type = "histogram" if kind == "histogram" else (
+                "counter" if kind == "counter" else "gauge"
+            )
+            lines.append(f"# TYPE {name} {prom_type}")
+        if kind == "histogram":
+            cumulative = 0
+            for edge, count in zip(sample["edges"], sample["buckets"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, {'le': repr(float(edge))})}"
+                    f" {cumulative}"
+                )
+            total = cumulative + sample["buckets"][len(sample["edges"])]
+            lines.append(f"{name}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {total}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(sample['sum'])}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {total}")
+        else:
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(sample.get('value'))}")
+    return "\n".join(lines) + "\n"

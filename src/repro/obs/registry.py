@@ -1,0 +1,370 @@
+"""Metrics registry: counters, gauges and log-bucket histograms.
+
+The registry is the engine's single metrics surface.  Two kinds of
+instruments feed it:
+
+* **Push** instruments (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) are bound once at component-construction time and
+  updated inline on the hot path.  They are *lock-sharded*: every thread
+  writes only its own cell (keyed by ``threading.get_ident()``), so
+  concurrent increments are exact without a lock or an atomic in the hot
+  path.  A snapshot sums the cells; because each cell is non-decreasing,
+  two consecutive snapshots of a counter are monotone even while other
+  threads keep incrementing.
+* **Pull** series are registered with a weakly-referenced owner object and
+  a getter.  Components that already maintain their own counters (the
+  ``BlockCache`` hit/miss/eviction counts, the ``ScratchAllocator`` spill
+  totals, an index's ``queries_executed``) cost *zero* extra work per
+  operation — the registry reads them lazily at snapshot time.  When the
+  owner is garbage collected the series silently disappears.
+
+Everything here is numpy-free: histogram bucket search is a
+``bisect_right`` over a fixed list of log-scale edges, and
+:meth:`MetricsRegistry.snapshot` coerces every value through ``float()`` /
+``int()`` so the result is JSON-serializable with no numpy scalars, even
+when a pull getter returns one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DURATION_EDGES",
+    "RATIO_EDGES",
+]
+
+#: Default histogram edges for durations in seconds: log-scale (doubling)
+#: from 1 microsecond to ~134 seconds, 28 buckets plus overflow.
+DURATION_EDGES: tuple[float, ...] = tuple(1e-6 * (2.0 ** i) for i in range(28))
+
+#: Edges for dimensionless ratios (e.g. actual/predicted cost): doubling
+#: from 1/128 to 128, centred on 1.0.
+RATIO_EDGES: tuple[float, ...] = tuple(2.0 ** (i - 7) for i in range(15))
+
+
+def _labels_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone counter with per-thread cells.
+
+    ``inc`` touches only the calling thread's cell, so increments from
+    concurrent threads never race; ``value`` sums a point-in-time copy of
+    the cells.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labels", "_cells")
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._cells: dict[int, list] = {}
+
+    def inc(self, n: float = 1) -> None:
+        cells = self._cells
+        tid = threading.get_ident()
+        cell = cells.get(tid)
+        if cell is None:
+            cell = cells[tid] = [0]
+        cell[0] += n
+
+    @property
+    def value(self) -> float:
+        while True:
+            try:
+                total = sum(cell[0] for cell in self._cells.values())
+                break
+            except RuntimeError:  # cells dict grew mid-iteration; retry
+                continue
+        return int(total) if isinstance(total, int) else float(total)
+
+    def to_sample(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar.  Set rarely; read at snapshot time."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        # Not thread-exact (gauges are for levels, not event counts).
+        self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return float(self._value)
+
+    def to_sample(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+
+class _HistCell:
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram with per-thread cells.
+
+    ``observe`` is the hot-path entry: one ``bisect_right`` over the fixed
+    edge list plus three cell updates, all on this thread's private cell.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labels", "edges", "_n", "_cells")
+
+    def __init__(self, name: str, help: str = "",
+                 edges: tuple[float, ...] = DURATION_EDGES,
+                 labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.edges = tuple(float(e) for e in edges)
+        self._n = len(self.edges) + 1  # +1 overflow bucket
+        self._cells: dict[int, _HistCell] = {}
+
+    def observe(self, value: float) -> None:
+        cells = self._cells
+        tid = threading.get_ident()
+        cell = cells.get(tid)
+        if cell is None:
+            cell = cells[tid] = _HistCell(self._n)
+        cell.counts[bisect_right(self.edges, value)] += 1
+        cell.count += 1
+        cell.sum += value
+        if cell.min is None or value < cell.min:
+            cell.min = value
+        if cell.max is None or value > cell.max:
+            cell.max = value
+
+    def _merged(self) -> _HistCell:
+        out = _HistCell(self._n)
+        while True:
+            try:
+                cells = list(self._cells.values())
+                break
+            except RuntimeError:  # concurrent first-observe from a new thread
+                continue
+        for cell in cells:
+            out.count += cell.count
+            out.sum += cell.sum
+            for i, c in enumerate(cell.counts):
+                out.counts[i] += c
+            if cell.min is not None and (out.min is None or cell.min < out.min):
+                out.min = cell.min
+            if cell.max is not None and (out.max is None or cell.max > out.max):
+                out.max = cell.max
+        return out
+
+    @property
+    def count(self) -> int:
+        return self._merged().count
+
+    @property
+    def sum(self) -> float:
+        return float(self._merged().sum)
+
+    def to_sample(self) -> dict:
+        m = self._merged()
+        return {
+            "kind": "histogram",
+            "count": int(m.count),
+            "sum": float(m.sum),
+            "min": None if m.min is None else float(m.min),
+            "max": None if m.max is None else float(m.max),
+            "edges": [float(e) for e in self.edges],
+            "buckets": [int(c) for c in m.counts],
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    kind = "null"
+    name = ""
+    help = ""
+    labels: dict = {}
+    edges: tuple = ()
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_sample(self) -> dict:  # pragma: no cover - never registered
+        return {"kind": "null"}
+
+    def __bool__(self) -> bool:
+        # ``if self._obs:`` guards in hot paths skip even the timer calls
+        # when the registry is disabled.
+        return False
+
+
+_NULL = _NullInstrument()
+
+
+def _scalar(value):
+    """Coerce a (possibly numpy) scalar to a plain JSON-safe number."""
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    # numpy integer / floating expose item(); anything else goes float().
+    item = getattr(value, "item", None)
+    if item is not None:
+        value = item()
+        return value if isinstance(value, (int, float)) else float(value)
+    return float(value)
+
+
+class MetricsRegistry:
+    """Process-wide instrument factory and snapshot surface.
+
+    Instrument creation is idempotent per ``(name, labels)``: asking twice
+    returns the same object, so components can bind at construction time
+    without coordinating.  A disabled registry hands out a shared no-op
+    instrument (falsy, so hot paths can skip their timers entirely) and
+    snapshots to an empty series list.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+        self._pulls: dict[tuple, tuple] = {}
+
+    # -- push instruments -------------------------------------------------
+
+    def _instrument(self, cls, name: str, help: str, labels: dict, **kw):
+        if not self.enabled:
+            return _NULL
+        key = (name, _labels_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, help=help, labels=labels, **kw)
+                self._instruments[key] = inst
+            return inst
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._instrument(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._instrument(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  edges: tuple[float, ...] = DURATION_EDGES,
+                  **labels) -> Histogram:
+        return self._instrument(Histogram, name, help, labels, edges=edges)
+
+    # -- pull series ------------------------------------------------------
+
+    def register_pull(self, name: str, owner, getter, *, kind: str = "counter",
+                      help: str = "", **labels) -> None:
+        """Register ``getter(owner) -> number`` as a lazily-read series.
+
+        ``owner`` is held by weak reference: the series vanishes when the
+        owner is collected.  Re-registering the same ``(name, labels)``
+        replaces the previous owner (latest instance wins), which is the
+        behaviour wanted when tests build engines back to back.
+        """
+        if not self.enabled:
+            return
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._pulls[key] = (weakref.ref(owner), getter, kind, help, dict(labels))
+
+    # -- snapshot ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe point-in-time view of every live series."""
+        series = []
+        with self._lock:
+            instruments = list(self._instruments.values())
+            pulls = list(self._pulls.items())
+        for inst in instruments:
+            sample = inst.to_sample()
+            sample["name"] = inst.name
+            sample["labels"] = dict(inst.labels)
+            sample["help"] = inst.help
+            series.append(sample)
+        dead = []
+        for key, (ref, getter, kind, help, labels) in pulls:
+            owner = ref()
+            if owner is None:
+                dead.append(key)
+                continue
+            try:
+                value = getter(owner)
+            except Exception:  # component mid-teardown; drop this sample
+                continue
+            if value is None:
+                continue
+            series.append({
+                "kind": kind,
+                "name": key[0],
+                "labels": labels,
+                "help": help,
+                "value": _scalar(value),
+            })
+        if dead:
+            with self._lock:
+                for key in dead:
+                    self._pulls.pop(key, None)
+        series.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return {"enabled": self.enabled, "at": time.time(), "series": series}
+
+    # -- convenience ------------------------------------------------------
+
+    def find(self, name: str, **labels):
+        """Locate a series sample by name (+ label subset) in a snapshot."""
+        for sample in self.snapshot()["series"]:
+            if sample["name"] != name:
+                continue
+            if all(sample["labels"].get(k) == str(v) or sample["labels"].get(k) == v
+                   for k, v in labels.items()):
+                return sample
+        return None

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Optional
 
@@ -135,6 +136,7 @@ class CheckpointManager:
         """
         if "op_id" not in state:
             raise PersistenceError("a checkpoint state must carry its op_id watermark")
+        write_started = time.perf_counter()
         self.last_write_stats = {
             "parts_written": 0,
             "parts_reused": 0,
@@ -171,6 +173,22 @@ class CheckpointManager:
         fsync_directory(self.directory)
         crash_point("checkpoint-after-publish")
         self._collect_unreferenced(referenced)
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.histogram(
+            "checkpoint.publish.seconds",
+            help="End-to-end checkpoint write+publish latency",
+        ).observe(time.perf_counter() - write_started)
+        registry.counter(
+            "checkpoint.publishes", help="Checkpoints atomically published"
+        ).inc()
+        registry.counter(
+            "checkpoint.parts.written", help="Content-addressed parts rewritten"
+        ).inc(self.last_write_stats["parts_written"])
+        registry.counter(
+            "checkpoint.parts.reused", help="Parts reused unchanged"
+        ).inc(self.last_write_stats["parts_reused"])
 
     def _collect_unreferenced(self, referenced: set) -> None:
         """Delete parts the just-published manifest does not reference.

@@ -403,6 +403,21 @@ class BlockCache:
         self.evictions = 0
         self.bytes_decompressed = 0
         self.decompress_seconds = 0.0
+        # Pull-mode registration: the cache already counts hits / misses /
+        # evictions under its own lock, so the registry reads them lazily
+        # at snapshot time and the get() hot path pays nothing extra.
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.register_pull("cache.block.hits", self,
+                               lambda c: c.hits, help="BlockCache lookup hits")
+        registry.register_pull("cache.block.misses", self,
+                               lambda c: c.misses, help="BlockCache lookup misses")
+        registry.register_pull("cache.block.evictions", self,
+                               lambda c: c.evictions, help="BlockCache evictions")
+        registry.register_pull("cache.block.bytes", self,
+                               lambda c: c._bytes, kind="gauge",
+                               help="Resident decompressed bytes in the BlockCache")
 
     def _key(self, reader: CompressedColumnReader, block_id: int) -> tuple:
         return (reader.cache_token, int(block_id))

@@ -630,5 +630,19 @@ class Database:
             }
         )
 
+    def stats(self) -> dict:
+        """One-call telemetry bundle: :meth:`status` plus the metrics registry.
+
+        ``status`` describes the database's *shape* (tables, indexes,
+        durability state); ``stats`` adds the live observability snapshot —
+        every counter, gauge and histogram currently registered in
+        :mod:`repro.obs` — so a caller can poll a single method for both.
+        """
+        from repro import obs
+
+        report = self.status()
+        report["metrics"] = obs.metrics().snapshot()
+        return report
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Database(directory={self.directory!r}, rows={len(self._table)})"

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -120,6 +121,21 @@ class WriteAheadLog:
         self._handle = _handle
         #: Number of appended-but-uncommitted operations.
         self.pending_ops = 0
+        from repro import obs
+
+        registry = obs.metrics()
+        self._obs_fsync_seconds = registry.histogram(
+            "wal.fsync.seconds", help="Commit-marker fsync latency"
+        )
+        self._obs_commits = registry.counter(
+            "wal.commits", help="WAL commit markers written"
+        )
+        self._obs_appends = registry.counter(
+            "wal.appends", help="Operations appended to the WAL"
+        )
+        registry.register_pull("wal.size.bytes", self,
+                               lambda w: w.size_bytes(), kind="gauge",
+                               help="Current WAL file size")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -205,6 +221,7 @@ class WriteAheadLog:
         self._handle.flush()
         self.next_op_id = record.op_id + 1
         self.pending_ops += 1
+        self._obs_appends.inc()
         crash_point("wal-after-append")
         return record.op_id
 
@@ -218,7 +235,10 @@ class WriteAheadLog:
         self._handle.write(_encode_record(marker))
         self._handle.flush()
         crash_point("wal-before-commit-fsync")
+        fsync_started = time.perf_counter()
         fsync_file(self._handle)
+        self._obs_fsync_seconds.observe(time.perf_counter() - fsync_started)
+        self._obs_commits.inc()
         self.next_op_id = marker.op_id + 1
         self.pending_ops = 0
         crash_point("wal-after-commit")

@@ -123,6 +123,24 @@ class ServiceClient:
         """Service status: engine, per-index and scheduler counters."""
         return self.request({"op": "status"})["status"]
 
+    def metrics(self, format: str = "json"):
+        """Server-side metrics registry snapshot.
+
+        ``format="json"`` returns the structured snapshot dict;
+        ``format="prometheus"`` returns the text exposition body.
+        """
+        response = self.request({"op": "metrics", "format": format})
+        if format == "prometheus":
+            return response["body"]
+        return response["metrics"]
+
+    def trace(self, limit: Optional[int] = None, drain: bool = False) -> dict:
+        """Recent trace spans from the server's ring buffer."""
+        payload: dict = {"op": "trace", "drain": bool(drain)}
+        if limit is not None:
+            payload["limit"] = int(limit)
+        return self.request(payload)
+
     # ------------------------------------------------------------------
     # Writer operations
     # ------------------------------------------------------------------

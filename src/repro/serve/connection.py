@@ -131,6 +131,10 @@ class ClientConnection:
                 raise ProtocolError("the first request must be 'hello'")
             elif op == "status":
                 response = {"ok": True, "status": self._server.status()}
+            elif op == "metrics":
+                response = self._metrics(request)
+            elif op == "trace":
+                response = self._trace(request)
             elif self._role == "reader":
                 response = self._reader_op(op, request)
             else:
@@ -162,6 +166,42 @@ class ClientConnection:
             versions = engine.committed_versions()
         self._role = role
         return {"ok": True, "op": "hello", "role": role, "versions": versions}
+
+    # ------------------------------------------------------------------
+    def _metrics(self, request: dict) -> dict:
+        """Registry snapshot, as structured JSON or Prometheus text.
+
+        Available to both roles (like ``status``): telemetry is not a
+        data-plane privilege.
+        """
+        from repro import obs
+
+        snapshot = obs.metrics().snapshot()
+        if request.get("format") == "prometheus":
+            return {
+                "ok": True,
+                "format": "prometheus",
+                "body": obs.render_prometheus(snapshot),
+            }
+        return {"ok": True, "metrics": snapshot}
+
+    def _trace(self, request: dict) -> dict:
+        """Recent finished spans from the tracer's ring buffer.
+
+        ``limit`` bounds the reply; ``drain`` additionally clears the ring
+        so a polling exporter sees each span once.
+        """
+        from repro import obs
+
+        tracer = obs.tracer()
+        if request.get("drain"):
+            spans = tracer.drain()
+            limit = request.get("limit")
+            if limit is not None:
+                spans = spans[-int(limit):]
+        else:
+            spans = tracer.recent(request.get("limit"))
+        return {"ok": True, "enabled": tracer.enabled, "spans": spans}
 
     # ------------------------------------------------------------------
     def _reader_op(self, op: str, request: dict) -> dict:

@@ -39,9 +39,11 @@ reproducible under test.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.core.phase import IndexPhase
 from repro.core.policy import CappedBudget
 from repro.errors import ConcurrencyError
@@ -166,6 +168,38 @@ class ProgressiveScheduler:
         self._lanes: Dict[int, WorkLane] = {}
         self._lock = threading.Lock()
         self.min_throttle = float(min_throttle)
+        self.burst_queries = int(burst_queries)
+        registry = obs.metrics()
+        self._obs_admitted = {
+            c.name: registry.counter(
+                "scheduler.admitted",
+                help="Serialized queries admitted with an allowance ticket",
+                cls=c.name,
+            )
+            for c in class_list
+        }
+        self._obs_throttled = {
+            c.name: registry.counter(
+                "scheduler.throttled",
+                help="Admissions scaled down by the fairness ledger",
+                cls=c.name,
+            )
+            for c in class_list
+        }
+        self._obs_serialized_seconds = registry.histogram(
+            "scheduler.serialized.seconds",
+            help="Wall time of serialized (exclusive-lane) operations",
+        )
+        registry.register_pull(
+            "scheduler.lockfree.reads", self,
+            lambda s: sum(lane.lockfree_reads for lane in s._lanes.values()),
+            help="Batch lookups served through the shared (lock-free) lane",
+        )
+        registry.register_pull(
+            "scheduler.serialized.ops", self,
+            lambda s: sum(lane.serialized_ops for lane in s._lanes.values()),
+            help="Operations run through the exclusive work lanes",
+        )
 
     # ------------------------------------------------------------------
     def class_named(self, name: str) -> ConnectionClass:
@@ -249,16 +283,30 @@ class ProgressiveScheduler:
         the fairness ledger afterwards.
         """
         allowance = self._admit(cls, column_name)
+        tracer = obs.tracer()
+        span = None
+        if tracer.enabled:
+            span = tracer.start("scheduler.serialized", {
+                "cls": cls.name, "column": column_name,
+                "allowance": allowance if allowance != float("inf") else None,
+            })
+        op_started = time.perf_counter()
         lane = self.lane_for(index)
-        with lane.exclusive():
-            capped = CappedBudget(index.budget, allowance)
-            index.swap_budget(capped)
-            try:
-                result = fn()
-            finally:
-                index.swap_budget(capped.inner)
-            lane.serialized_ops += 1
-            granted = capped.granted_seconds
+        granted = 0.0
+        try:
+            with lane.exclusive():
+                capped = CappedBudget(index.budget, allowance)
+                index.swap_budget(capped)
+                try:
+                    result = fn()
+                finally:
+                    index.swap_budget(capped.inner)
+                lane.serialized_ops += 1
+                granted = capped.granted_seconds
+        finally:
+            if span is not None:
+                span.set(granted=granted).end()
+        self._obs_serialized_seconds.observe(time.perf_counter() - op_started)
         self._charge(cls, column_name, granted)
         return result
 
@@ -269,6 +317,7 @@ class ProgressiveScheduler:
         with self._lock:
             account = self._accounts[cls.name]
             account.deposit()
+            self._obs_admitted[cls.name].inc()
             if cls.tau is None:
                 return float("inf")
             allowance = min(account.balance, cls.tau)
@@ -283,7 +332,22 @@ class ProgressiveScheduler:
                 fair = cls.weight / self._total_weight
                 if share > fair:
                     allowance *= max(self.min_throttle, fair / share)
+                    self._obs_throttled[cls.name].inc()
             return allowance
+
+    def _throttle_factor(self, cls_name: str, column_name: str) -> float:
+        """Current fairness scaling a class's next admission would see."""
+        cls = self._classes[cls_name]
+        total = sum(
+            self._ledger.get((name, column_name), 0.0) for name in self._classes
+        )
+        if total <= 0.0:
+            return 1.0
+        share = self._ledger.get((cls_name, column_name), 0.0) / total
+        fair = cls.weight / self._total_weight
+        if share <= fair:
+            return 1.0
+        return max(self.min_throttle, fair / share)
 
     def _charge(self, cls: ConnectionClass, column_name: str, granted: float) -> None:
         if granted <= 0.0:
@@ -298,6 +362,9 @@ class ProgressiveScheduler:
         """JSON-safe scheduler counters for status reporting and tests."""
         with self._lock:
             return {
+                "min_throttle": self.min_throttle,
+                "total_weight": self._total_weight,
+                "burst_queries": self.burst_queries,
                 "classes": {
                     name: {
                         "tau": account.cls.tau,
@@ -306,11 +373,35 @@ class ProgressiveScheduler:
                         "allowance_deposited": account.deposited,
                         "work_charged": account.charged,
                         "balance": account.balance,
+                        "balance_cap": (
+                            None if account.cls.tau is None
+                            else self.burst_queries * account.cls.tau
+                        ),
                     }
                     for name, account in self._accounts.items()
                 },
                 "columns": {
                     f"{cls}:{column}": seconds
+                    for (cls, column), seconds in sorted(self._ledger.items())
+                },
+                # The computed fairness view: per (class, column) share of
+                # the column's granted work vs. the class's fair share, and
+                # the throttle factor the *next* admission would be scaled
+                # by — previously only derivable by poking the raw ledger.
+                "fairness": {
+                    f"{cls}:{column}": {
+                        "charged": seconds,
+                        "share": (
+                            seconds / total if (total := sum(
+                                self._ledger.get((name, column), 0.0)
+                                for name in self._classes
+                            )) > 0.0 else 0.0
+                        ),
+                        "fair_share": (
+                            self._classes[cls].weight / self._total_weight
+                        ),
+                        "throttle": self._throttle_factor(cls, column),
+                    }
                     for (cls, column), seconds in sorted(self._ledger.items())
                 },
                 "lanes": {

@@ -31,12 +31,14 @@ duration of one query.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.index import BaseIndex
 from repro.core.policy import CappedBudget, policy_from_state
 from repro.core.query import Predicate
@@ -143,13 +145,24 @@ class SerialShardExecutor:
         return self._indexes
 
     def query(
-        self, shard_numbers: Sequence[int], low, high, shard_budget: Optional[float]
+        self, shard_numbers: Sequence[int], low, high, shard_budget: Optional[float],
+        trace_ctx: Optional[dict] = None,
     ) -> Dict[int, tuple]:
-        """``{shard: (value_sum, count, granted_seconds, report)}``."""
+        """``{shard: (value_sum, count, granted_seconds, report)}``.
+
+        ``trace_ctx`` is accepted for signature parity with the parallel
+        executor; in-process the tracer's ambient current span already
+        parents the per-shard spans.
+        """
+        tracer = obs.tracer()
         answers: Dict[int, tuple] = {}
         for shard_number in shard_numbers:
             index = self._indexes[int(shard_number)]
-            result, granted = execute_shard_query(index, low, high, shard_budget)
+            if tracer.enabled:
+                with tracer.span("shard.query", shard=int(shard_number)):
+                    result, granted = execute_shard_query(index, low, high, shard_budget)
+            else:
+                result, granted = execute_shard_query(index, low, high, shard_budget)
             answers[int(shard_number)] = (
                 result.value_sum,
                 int(result.count),
@@ -272,17 +285,39 @@ def _worker_main(connection, shard_numbers: List[int], spec: dict) -> None:
                     f"a forwarded shard write failed in this worker:\n{error}"
                 )
             if kind == "query":
-                reply = {}
-                for shard_number, low, high, shard_budget in payload:
-                    result, granted = execute_shard_query(
-                        indexes[shard_number], low, high, shard_budget
-                    )
-                    reply[shard_number] = (
-                        result.value_sum,
-                        int(result.count),
-                        granted,
-                        shard_report(indexes[shard_number]),
-                    )
+                # Traced dispatches wrap the items in a dict carrying the
+                # parent's trace context; the worker activates it, captures
+                # every span finished inside, and ships them back in the
+                # reply so the parent's trace shows the per-shard children.
+                trace_ctx = None
+                items = payload
+                if isinstance(payload, dict):
+                    trace_ctx = payload.get("trace")
+                    items = payload["items"]
+                tracer = obs.tracer()
+                with tracer.collect(trace_ctx) as captured:
+                    answers = {}
+                    for shard_number, low, high, shard_budget in items:
+                        if trace_ctx is not None:
+                            with tracer.span("shard.query", shard=shard_number,
+                                             worker_pid=os.getpid()):
+                                result, granted = execute_shard_query(
+                                    indexes[shard_number], low, high, shard_budget
+                                )
+                        else:
+                            result, granted = execute_shard_query(
+                                indexes[shard_number], low, high, shard_budget
+                            )
+                        answers[shard_number] = (
+                            result.value_sum,
+                            int(result.count),
+                            granted,
+                            shard_report(indexes[shard_number]),
+                        )
+                if trace_ctx is not None:
+                    reply = {"answers": answers, "spans": captured}
+                else:
+                    reply = answers
             elif kind == "batch":
                 reply = {
                     shard_number: _run_shard_batch(indexes[shard_number], lows, highs)
@@ -425,15 +460,15 @@ class ParallelShardExecutor:
         self._finalizer = weakref.finalize(self, _shutdown_workers, self._workers)
 
     # ------------------------------------------------------------------
-    def _dispatch(self, tasks: Dict[int, tuple]) -> Dict[int, object]:
-        """Send one task per worker, then gather all replies.
+    def _collect(self, tasks: Dict[int, tuple]) -> Dict[int, object]:
+        """Send one task per worker, then gather the raw per-worker replies.
 
         ``tasks`` maps worker number to a ``(kind, payload)`` tuple.  Sends
         complete before any receive so the workers run concurrently.
         """
         for worker_number, message in tasks.items():
             self._workers[worker_number][0].send(message)
-        merged: Dict[int, object] = {}
+        replies: Dict[int, object] = {}
         for worker_number in tasks:
             connection = self._workers[worker_number][0]
             if not connection.poll(REPLY_TIMEOUT_SECONDS):
@@ -446,6 +481,13 @@ class ParallelShardExecutor:
                 raise ExperimentError(
                     f"shard worker {worker_number} failed:\n{payload}"
                 )
+            replies[worker_number] = payload
+        return replies
+
+    def _dispatch(self, tasks: Dict[int, tuple]) -> Dict[int, object]:
+        """Like :meth:`_collect`, but merges the per-shard reply dicts."""
+        merged: Dict[int, object] = {}
+        for payload in self._collect(tasks).values():
             merged.update(payload)
         return merged
 
@@ -458,17 +500,32 @@ class ParallelShardExecutor:
 
     # ------------------------------------------------------------------
     def query(
-        self, shard_numbers: Sequence[int], low, high, shard_budget: Optional[float]
+        self, shard_numbers: Sequence[int], low, high, shard_budget: Optional[float],
+        trace_ctx: Optional[dict] = None,
     ) -> Dict[int, tuple]:
         items = [
             (int(shard_number), low, high, shard_budget)
             for shard_number in shard_numbers
         ]
+        if trace_ctx is None:
+            tasks = {
+                worker: ("query", grouped)
+                for worker, grouped in self._group(items).items()
+            }
+            return self._dispatch(tasks)
+        # Traced dispatch: forward the trace context over the pipes and
+        # merge the workers' captured child spans into this process's
+        # tracer before returning the answers.
         tasks = {
-            worker: ("query", grouped)
+            worker: ("query", {"items": grouped, "trace": trace_ctx})
             for worker, grouped in self._group(items).items()
         }
-        return self._dispatch(tasks)
+        merged: Dict[int, tuple] = {}
+        tracer = obs.tracer()
+        for payload in self._collect(tasks).values():
+            merged.update(payload["answers"])
+            tracer.ingest(payload["spans"])
+        return merged
 
     def execute_batch(self, per_shard: Dict[int, tuple]) -> Dict[int, tuple]:
         items = [

@@ -26,6 +26,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from time import perf_counter
+
+from repro import obs
 from repro.core.phase import IndexPhase
 from repro.core.policy import (
     BudgetPolicy,
@@ -142,6 +145,19 @@ class ShardedIndex:
         self._lifecycle = _MergedLifecycle(self)
         self._status_cache: Optional[tuple] = None
         self._closed = False
+        # Parent-side latency histogram: with a parallel executor the
+        # per-shard BaseIndex histograms live in the worker processes, so
+        # this is the registry's end-to-end view of a sharded query.
+        registry = obs.metrics()
+        self._obs_query_seconds = registry.histogram(
+            "shard.query.seconds",
+            help="Routed sharded-query latency (routing + dispatch + merge)",
+            algorithm=self._algorithm,
+        )
+        self._obs_pruned = registry.counter(
+            "shard.pruned",
+            help="Shards skipped by the zone-map router",
+        )
 
     # ------------------------------------------------------------------
     # Identity / lifecycle surface
@@ -226,25 +242,46 @@ class ShardedIndex:
 
     def query(self, predicate: Predicate) -> QueryResult:
         """Answer one logical range query across the surviving shards."""
-        survivors = self._router.route(predicate.low, predicate.high)
-        self._queries += 1
-        self._status_cache = None
-        if survivors.size == 0:
-            self._controller.charge(0, 0.0)
-            return QueryResult.empty()
-        shard_budget = self._controller.shard_budget(int(survivors.size))
-        answers = self._executor.query(
-            [int(s) for s in survivors], predicate.low, predicate.high, shard_budget
-        )
-        total = QueryResult.empty()
-        granted = 0.0
-        for shard_number in sorted(answers):
-            value_sum, count, shard_granted, report = answers[shard_number]
-            total += QueryResult(value_sum, int(count))
-            granted += float(shard_granted)
-            self._apply_report(int(shard_number), report)
-        self._controller.charge(int(survivors.size), granted)
-        return total
+        hist = self._obs_query_seconds
+        tracer = obs.tracer()
+        if hist or tracer.enabled:
+            started = perf_counter()
+        span = None
+        if tracer.enabled:
+            span = tracer.start("shard.route", {
+                "algorithm": self._algorithm, "n_shards": self.n_shards,
+            })
+        try:
+            survivors = self._router.route(predicate.low, predicate.high)
+            self._queries += 1
+            self._status_cache = None
+            pruned = self.n_shards - int(survivors.size)
+            if pruned and hist:
+                self._obs_pruned.inc(pruned)
+            if span is not None:
+                span.set(survivors=int(survivors.size), pruned=pruned)
+            if survivors.size == 0:
+                self._controller.charge(0, 0.0)
+                return QueryResult.empty()
+            shard_budget = self._controller.shard_budget(int(survivors.size))
+            answers = self._executor.query(
+                [int(s) for s in survivors], predicate.low, predicate.high,
+                shard_budget, trace_ctx=tracer.context(),
+            )
+            total = QueryResult.empty()
+            granted = 0.0
+            for shard_number in sorted(answers):
+                value_sum, count, shard_granted, report = answers[shard_number]
+                total += QueryResult(value_sum, int(count))
+                granted += float(shard_granted)
+                self._apply_report(int(shard_number), report)
+            self._controller.charge(int(survivors.size), granted)
+            return total
+        finally:
+            if span is not None:
+                span.end()
+            if hist:
+                hist.observe(perf_counter() - started)
 
     def execute_batch(self, lows, highs) -> List[QueryResult]:
         """Answer a whole batch, routed per query, sub-batched per shard.

@@ -405,7 +405,8 @@ class Column(_ReadableColumn):
                 f"column {self._name!r} has been dropped; writes are rejected"
             )
         if self._delta is None:
-            self._delta = DeltaStore(self._base, memory_budget=self.memory_budget)
+            self._delta = DeltaStore(self._base, memory_budget=self.memory_budget,
+                                     name=self._name)
         return self._delta
 
     def _invalidate(self) -> None:

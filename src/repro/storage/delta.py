@@ -101,6 +101,13 @@ class _GrowableArray:
                 and capacity * self._data.dtype.itemsize > self._spill_bytes
             ):
                 grown = _spill_backing(capacity, self._data.dtype, self._spill_dir)
+                if not self.spilled:
+                    from repro import obs
+
+                    obs.metrics().counter(
+                        "delta.spills",
+                        help="Delta write logs spilled to disk backing",
+                    ).inc()
                 self.spilled = True
             else:
                 grown = np.empty(capacity, dtype=self._data.dtype)
@@ -123,7 +130,7 @@ class DeltaStore:
         outgrows its share of the budget's delta allowance.
     """
 
-    def __init__(self, base, memory_budget=None) -> None:
+    def __init__(self, base, memory_budget=None, name=None) -> None:
         self._base = base
         self.base_size = int(base.size)
         dtype = np.dtype(base.dtype)
@@ -154,6 +161,21 @@ class DeltaStore:
         #: also defuses CPython id reuse resurrecting a stale flag.
         self.pending_handles: Dict[int, Optional[weakref.ref]] = {}
         self._handle_names: dict = {}
+        # Lazily-read pull series: write counts and the log footprint are
+        # already tracked, so the write hot path pays nothing.
+        from repro import obs
+
+        registry = obs.metrics()
+        column_name = name or "column"
+        registry.register_pull("delta.inserts", self, lambda d: d.n_inserts,
+                               help="Rows in the insert log",
+                               column=column_name)
+        registry.register_pull("delta.deletes", self, lambda d: d.n_deletes,
+                               help="Rows in the delete log",
+                               column=column_name)
+        registry.register_pull("delta.bytes", self, lambda d: d.memory_footprint(),
+                               kind="gauge", help="Delta log footprint in bytes",
+                               column=column_name)
 
     # ------------------------------------------------------------------
     # Write operations

@@ -50,6 +50,20 @@ class ScratchAllocator:
         self._spilled: list = []  # weakrefs (np.memmap is unhashable, no WeakSet)
         self.spill_count = 0
         self.spilled_bytes = 0
+        # Pull-mode metrics: the allocator's own counters are read lazily
+        # at snapshot time — no per-allocation overhead.
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.register_pull("scratch.spill.count", self,
+                               lambda a: a.spill_count,
+                               help="Scratch allocations spilled to disk")
+        registry.register_pull("scratch.spill.bytes", self,
+                               lambda a: a.spilled_bytes,
+                               help="Bytes of scratch spilled to disk")
+        registry.register_pull("scratch.resident.bytes", self,
+                               lambda a: a._resident_bytes, kind="gauge",
+                               help="Resident (in-budget) scratch bytes")
 
     # ------------------------------------------------------------------
     @property
